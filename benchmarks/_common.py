@@ -1,0 +1,42 @@
+"""Shared constants and dataset builders for the benchmark suite.
+
+Import as ``from _common import ...`` — works both under pytest (which
+puts ``benchmarks/`` on ``sys.path``) and when a bench file is run
+directly as a script.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datasets import make_geolife_like, make_openstreetmap_like
+
+#: Base sizes for the scalability studies (laptop-scale stand-ins for
+#: Geolife's 24.9M and OpenStreetMap's 2.77B points).
+GEOLIFE_N = 40_000
+OSM_N = 40_000
+
+#: Parameters mirroring the paper's setup (Section IV-B): minPts = 100
+#: on billions of points becomes minPts = 10 at our scale; the eps
+#: values carry over because the simulators use the same units.
+MIN_PTS = 10
+GEOLIFE_EPS = 100.0
+OSM_EPS = 1.0e6
+
+#: The eps sweeps of Figs. 11 and 12 (paper values, same units).
+GEOLIFE_EPS_SWEEP = (25.0, 50.0, 100.0, 200.0)
+OSM_EPS_SWEEP = (2.5e5, 5.0e5, 1.0e6, 2.0e6)
+
+
+@lru_cache(maxsize=1)
+def geolife_dataset() -> np.ndarray:
+    """Cached Geolife-like dataset."""
+    return make_geolife_like(GEOLIFE_N, seed=0)
+
+
+@lru_cache(maxsize=1)
+def osm_dataset() -> np.ndarray:
+    """Cached OpenStreetMap-like dataset."""
+    return make_openstreetmap_like(OSM_N, seed=0)

@@ -1,0 +1,81 @@
+"""Fig. 11 — Geolife: scalability with respect to eps.
+
+On the heavily skewed Geolife data the paper finds *no* consistent
+winner between DBSCOUT and RP-DBSCAN across eps: the giant hotspot cell
+(40% of points at eps = 200) favors RP-DBSCAN's cell-level summaries
+while making DBSCOUT's joins heavier.  The reproduced series prints
+both algorithms over the paper's eps sweep {25, 50, 100, 200}.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import GEOLIFE_EPS_SWEEP, MIN_PTS, geolife_dataset
+from repro import DBSCOUT
+from repro.baselines import RPDBSCAN
+from repro.experiments import format_series
+
+
+def time_dbscout(points, eps: float) -> float:
+    start = time.perf_counter()
+    DBSCOUT(eps=eps, min_pts=MIN_PTS).fit(points)
+    return time.perf_counter() - start
+
+
+def time_rp_dbscan(points, eps: float) -> float:
+    start = time.perf_counter()
+    RPDBSCAN(eps, MIN_PTS, rho=0.01, num_partitions=8).detect(points)
+    return time.perf_counter() - start
+
+
+def test_dbscout_eps_smallest(benchmark, geolife):
+    benchmark.pedantic(
+        lambda: time_dbscout(geolife, GEOLIFE_EPS_SWEEP[0]),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_dbscout_eps_largest(benchmark, geolife):
+    benchmark.pedantic(
+        lambda: time_dbscout(geolife, GEOLIFE_EPS_SWEEP[-1]),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_rp_dbscan_eps_largest(benchmark, geolife):
+    benchmark.pedantic(
+        lambda: time_rp_dbscan(geolife, GEOLIFE_EPS_SWEEP[-1]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_results_identical_across_eps_order(geolife):
+    """Sanity: eps sweep must be monotone in the outlier counts."""
+    counts = [
+        DBSCOUT(eps=eps, min_pts=MIN_PTS).fit(geolife).n_outliers
+        for eps in GEOLIFE_EPS_SWEEP
+    ]
+    assert counts == sorted(counts, reverse=True)
+
+
+def main() -> None:
+    points = geolife_dataset()
+    series = {"DBSCOUT": {}, "RP-DBSCAN": {}}
+    for eps in GEOLIFE_EPS_SWEEP:
+        series["DBSCOUT"][eps] = time_dbscout(points, eps)
+        series["RP-DBSCAN"][eps] = time_rp_dbscan(points, eps)
+    print(
+        format_series(
+            "eps",
+            series,
+            title="Fig. 11: Geolife — running time (s) vs eps (minPts=10)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Fig. 12 — OpenStreetMap: scalability with respect to eps.
+
+The paper's finding: on OSM both algorithms get faster as eps grows
+(fewer cells), DBSCOUT wins almost everywhere, and the gap is largest
+at the smallest eps (RP-DBSCAN up to 4.5x slower).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import MIN_PTS, OSM_EPS_SWEEP, osm_dataset
+from repro import DBSCOUT
+from repro.baselines import RPDBSCAN
+from repro.experiments import format_series
+
+
+def time_dbscout(points, eps: float) -> float:
+    start = time.perf_counter()
+    DBSCOUT(eps=eps, min_pts=MIN_PTS).fit(points)
+    return time.perf_counter() - start
+
+
+def time_rp_dbscan(points, eps: float) -> float:
+    start = time.perf_counter()
+    RPDBSCAN(eps, MIN_PTS, rho=0.01, num_partitions=8).detect(points)
+    return time.perf_counter() - start
+
+
+def test_dbscout_eps_smallest(benchmark, osm):
+    benchmark.pedantic(
+        lambda: time_dbscout(osm, OSM_EPS_SWEEP[0]), rounds=2, iterations=1
+    )
+
+
+def test_dbscout_eps_largest(benchmark, osm):
+    benchmark.pedantic(
+        lambda: time_dbscout(osm, OSM_EPS_SWEEP[-1]), rounds=2, iterations=1
+    )
+
+
+def test_rp_dbscan_eps_smallest(benchmark, osm):
+    benchmark.pedantic(
+        lambda: time_rp_dbscan(osm, OSM_EPS_SWEEP[0]), rounds=1, iterations=1
+    )
+
+
+def test_dbscout_faster_than_rp_dbscan_at_low_eps(osm):
+    """Fig. 12's key shape: DBSCOUT wins at the smallest eps."""
+    eps = OSM_EPS_SWEEP[0]
+    t_scout = min(time_dbscout(osm, eps) for _ in range(2))
+    t_rp = time_rp_dbscan(osm, eps)
+    assert t_scout < t_rp
+
+
+def main() -> None:
+    points = osm_dataset()
+    series = {"DBSCOUT": {}, "RP-DBSCAN": {}}
+    for eps in OSM_EPS_SWEEP:
+        series["DBSCOUT"][eps] = time_dbscout(points, eps)
+        series["RP-DBSCAN"][eps] = time_rp_dbscan(points, eps)
+    print(
+        format_series(
+            "eps",
+            series,
+            title="Fig. 12: OpenStreetMap — running time (s) vs eps (minPts=10)",
+        )
+    )
+    worst = OSM_EPS_SWEEP[0]
+    ratio = series["RP-DBSCAN"][worst] / series["DBSCOUT"][worst]
+    print(f"\nRP-DBSCAN / DBSCOUT at the lowest eps: {ratio:.1f}x (paper: 4.5x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Table I — neighbor-count upper bound vs actual k_d, d = 2..9.
+
+Regenerates the exact table: ``kd_upper_bound`` is Lemma 3's
+``(2*ceil(sqrt(d)) + 1)**d`` and ``count_neighbor_offsets`` is the
+exact count; both must match the paper's numbers digit for digit.
+The benchmark times the two computations (the counting DP and, for
+low d, the enumeration actually used by the engines).
+"""
+
+from __future__ import annotations
+
+from repro.core.neighbors import (
+    count_neighbor_offsets,
+    kd_upper_bound,
+    neighbor_offsets,
+)
+from repro.experiments import format_table
+
+PAPER_TABLE_I = {
+    2: (25, 21),
+    3: (125, 117),
+    4: (625, 609),
+    5: (16807, 3903),
+    6: (117649, 28197),
+    7: (823543, 197067),
+    8: (5764801, 1278129),
+    9: (40353607, 8077671),
+}
+
+
+def build_table() -> list[list[int]]:
+    count_neighbor_offsets.cache_clear()  # time real work, not the cache
+    rows = []
+    for n_dims in sorted(PAPER_TABLE_I):
+        upper = kd_upper_bound(n_dims)
+        actual = count_neighbor_offsets(n_dims)
+        paper_upper, paper_actual = PAPER_TABLE_I[n_dims]
+        assert upper == paper_upper, (n_dims, upper, paper_upper)
+        assert actual == paper_actual, (n_dims, actual, paper_actual)
+        rows.append([n_dims, upper, actual])
+    return rows
+
+
+def test_table1_counting(benchmark):
+    """Time the exact k_d computation across all of Table I."""
+    rows = benchmark(build_table)
+    assert len(rows) == len(PAPER_TABLE_I)
+
+
+def test_table1_enumeration(benchmark):
+    """Time the stencil enumeration the engines actually use (d<=4)."""
+    from repro.core.neighbors import _offsets_cached
+
+    def enumerate_low_dims():
+        _offsets_cached.cache_clear()  # measure real work, not the cache
+        return {d: neighbor_offsets(d).shape[0] for d in (2, 3, 4)}
+
+    counts = benchmark(enumerate_low_dims)
+    assert counts == {2: 21, 3: 117, 4: 609}
+
+
+def main() -> None:
+    rows = build_table()
+    print(
+        format_table(
+            ["d", "Upper bound", "Actual k_d"],
+            rows,
+            title="Table I: neighboring-cell counts (matches paper exactly)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Table V — RP-DBSCAN detection accuracy on OpenStreetMap (TP/FP/FN).
+
+Same protocol as Table IV, on the OpenStreetMap-like dataset with the
+paper's eps sweep {2.5e5, 5e5, 1e6, 2e6}.
+"""
+
+from __future__ import annotations
+
+from _common import MIN_PTS, OSM_EPS_SWEEP, osm_dataset
+from repro import DBSCOUT
+from repro.baselines import RPDBSCAN
+from repro.experiments import format_table
+from repro.metrics import compare_outlier_sets
+
+
+def compare_at(points, eps: float):
+    exact = DBSCOUT(eps=eps, min_pts=MIN_PTS).fit(points)
+    approx = RPDBSCAN(eps, MIN_PTS, rho=0.01, num_partitions=8).detect(points)
+    return compare_outlier_sets(exact.outlier_mask, approx.outlier_mask)
+
+
+def test_accuracy_comparison_central_eps(benchmark, osm):
+    comparison = benchmark.pedantic(
+        lambda: compare_at(osm, OSM_EPS_SWEEP[2]), rounds=1, iterations=1
+    )
+    assert comparison.false_negative_rate < 0.02
+    assert comparison.true_positives > 0
+
+
+def test_superset_shape_across_eps(osm):
+    for eps in OSM_EPS_SWEEP:
+        comparison = compare_at(osm, eps)
+        assert comparison.true_positives > 0, eps
+        assert comparison.false_positives >= comparison.false_negatives, eps
+        assert comparison.false_negative_rate < 0.02, eps
+
+
+def main() -> None:
+    points = osm_dataset()
+    rows = []
+    for eps in OSM_EPS_SWEEP:
+        comparison = compare_at(points, eps)
+        rows.append([eps, *comparison.as_row()])
+    print(
+        format_table(
+            ["eps", "DBSCOUT", "RP-DBSCAN", "TP", "FP", "FN"],
+            rows,
+            title="Table V: RP-DBSCAN detection accuracy on OSM-like data",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

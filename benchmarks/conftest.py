@@ -1,0 +1,20 @@
+"""Pytest fixtures for the benchmark suite (data cached per session)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import geolife_dataset, osm_dataset
+
+
+@pytest.fixture(scope="session")
+def geolife() -> np.ndarray:
+    """Session-cached Geolife-like dataset."""
+    return geolife_dataset()
+
+
+@pytest.fixture(scope="session")
+def osm() -> np.ndarray:
+    """Session-cached OpenStreetMap-like dataset."""
+    return osm_dataset()

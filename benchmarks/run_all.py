@@ -1,0 +1,81 @@
+"""Run every benchmark's paper-style report and archive the outputs.
+
+Usage:
+    python benchmarks/run_all.py [--results-dir results] [--quick]
+
+Executes each ``bench_*.py`` module's ``main()`` in order, echoes the
+tables to stdout, and writes each module's captured output to
+``<results-dir>/<bench>.txt`` plus a combined ``report.txt``.  With
+``--quick``, only the fast benches run (skips the large scalability
+sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib
+import io
+import pathlib
+import sys
+import time
+
+FAST_BENCHES = [
+    "bench_table1_neighbors",
+    "bench_ablation_join_strategies",
+    "bench_ablation_engines",
+    "bench_ablation_incremental",
+    "bench_ablation_clustering_cost",
+    "bench_ablation_dimensionality",
+    "bench_extension_geospatial_quality",
+]
+
+SLOW_BENCHES = [
+    "bench_table2_scalability",
+    "bench_fig11_geolife_eps",
+    "bench_fig12_osm_eps",
+    "bench_fig13_partitions",
+    "bench_table3_quality",
+    "bench_table4_rpdbscan_geolife",
+    "bench_table5_rpdbscan_osm",
+]
+
+
+def run_bench(module_name: str) -> tuple[str, float]:
+    """Import and run one bench module's main(); return (output, secs)."""
+    module = importlib.import_module(module_name)
+    buffer = io.StringIO()
+    start = time.perf_counter()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue(), time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument(
+        "--quick", action="store_true", help="fast benches only"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    benches = FAST_BENCHES + ([] if args.quick else SLOW_BENCHES)
+    results_dir = pathlib.Path(args.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    combined: list[str] = []
+    for name in benches:
+        print(f"===== {name} =====", flush=True)
+        output, elapsed = run_bench(name)
+        print(output)
+        print(f"({elapsed:.1f}s)\n", flush=True)
+        (results_dir / f"{name}.txt").write_text(output)
+        combined.append(f"===== {name} =====\n{output}\n")
+    (results_dir / "report.txt").write_text("".join(combined))
+    print(f"wrote {len(benches)} reports to {results_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Running DBSCOUT as a distributed job on the SparkLite engine.
+
+This walks through what the paper's cluster deployment looks like:
+the dataset becomes an RDD, the cell maps are broadcast, core points
+and outliers are found with shuffle joins — and the engine's metrics
+expose the communication volume of each join strategy of Section
+III-G, plus the partition-count behaviour of Fig. 13.
+
+Run with:  python examples/distributed_cluster_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.distributed import JOIN_STRATEGIES, DistributedEngine
+from repro.experiments import format_table
+from repro.sparklite import Context
+
+
+def make_workload(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [
+            rng.normal(0.0, 1.0, size=(4_000, 2)),
+            rng.normal((12.0, 5.0), 1.5, size=(3_000, 2)),
+            rng.uniform(-25.0, 35.0, size=(600, 2)),
+        ]
+    )
+
+
+def main() -> None:
+    points = make_workload()
+    eps, min_pts = 1.0, 10
+
+    print("= Join strategies (Section III-G) =")
+    rows = []
+    for strategy in JOIN_STRATEGIES:
+        context = Context(default_parallelism=8)
+        engine = DistributedEngine(
+            num_partitions=8, join_strategy=strategy, context=context
+        )
+        start = time.perf_counter()
+        result = engine.detect(points, eps, min_pts)
+        elapsed = time.perf_counter() - start
+        metrics = context.metrics.snapshot()
+        rows.append(
+            [
+                strategy,
+                round(elapsed, 3),
+                result.n_outliers,
+                metrics["shuffles"],
+                metrics["records_shuffled"],
+                metrics["broadcasts"],
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "seconds", "outliers", "shuffles", "records", "bcasts"],
+            rows,
+        )
+    )
+    print()
+
+    print("= Scaling the number of partitions (Fig. 13) =")
+    rows = []
+    for num_partitions in (1, 2, 4, 8, 16, 32):
+        engine = DistributedEngine(num_partitions=num_partitions)
+        start = time.perf_counter()
+        result = engine.detect(points, eps, min_pts)
+        rows.append(
+            [num_partitions, round(time.perf_counter() - start, 3), result.n_outliers]
+        )
+    print(format_table(["partitions", "seconds", "outliers"], rows))
+    print()
+    print(
+        "All configurations return the identical exact outlier set; "
+        "only time and shuffle volume change."
+    )
+
+
+if __name__ == "__main__":
+    main()

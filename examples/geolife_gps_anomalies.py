@@ -1,0 +1,62 @@
+"""GPS anomaly detection on skewed trajectory data (Geolife-style).
+
+The paper's motivating workload: a huge, heavily skewed collection of
+GPS fixes where most points concentrate around one city and the
+interesting records are isolated fixes far from any travelled area
+(sensor glitches, spoofed positions, rare excursions).
+
+This example runs DBSCOUT on the Geolife-like simulator, compares the
+exact result against the approximated RP-DBSCAN baseline, and prints
+the Table IV-style TP/FP/FN breakdown.
+
+Run with:  python examples/geolife_gps_anomalies.py
+"""
+
+from repro import DBSCOUT
+from repro.baselines import RPDBSCAN
+from repro.datasets import make_geolife_like
+from repro.experiments import format_table
+from repro.metrics import compare_outlier_sets
+
+
+def main() -> None:
+    points = make_geolife_like(30_000, seed=7)
+    min_pts = 10
+
+    rows = []
+    for eps in (25.0, 50.0, 100.0, 200.0):
+        exact = DBSCOUT(eps=eps, min_pts=min_pts).fit(points)
+        approx = RPDBSCAN(
+            eps, min_pts, rho=0.01, num_partitions=8, seed=7
+        ).detect(points)
+        comparison = compare_outlier_sets(
+            exact.outlier_mask, approx.outlier_mask
+        )
+        rows.append(
+            [
+                eps,
+                comparison.n_exact,
+                comparison.n_approx,
+                comparison.true_positives,
+                comparison.false_positives,
+                comparison.false_negatives,
+            ]
+        )
+
+    print(
+        format_table(
+            ["eps", "DBSCOUT", "RP-DBSCAN", "TP", "FP", "FN"],
+            rows,
+            title="GPS anomalies: exact (DBSCOUT) vs approximated (RP-DBSCAN)",
+        )
+    )
+    print()
+    print(
+        "DBSCOUT is exact per Definition 3; RP-DBSCAN's approximation "
+        "flags a superset (the FP column) and occasionally absorbs a "
+        "true outlier into a cluster (the FN column)."
+    )
+
+
+if __name__ == "__main__":
+    main()

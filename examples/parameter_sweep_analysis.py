@@ -1,0 +1,77 @@
+"""Mapping the (eps, minPts) landscape before committing to parameters.
+
+The k-distance elbow gives one candidate eps; this example maps the
+whole neighborhood of that candidate: a sweep over the (eps, minPts)
+grid, the resulting outlier-count surface, and the *stability report*
+that surfaces plateau cells — settings whose verdicts barely move when
+the parameters are nudged, which is what a practitioner should deploy.
+
+Run with:  python examples/parameter_sweep_analysis.py
+"""
+
+import numpy as np
+
+from repro import estimate_eps
+from repro.datasets import make_cluto_t8
+from repro.experiments import format_table
+from repro.experiments.sweeps import stability_report, sweep_grid
+from repro.metrics import f1_score
+
+
+def main() -> None:
+    dataset = make_cluto_t8(n_points=3000, seed=8)
+    elbow = estimate_eps(dataset.points, 10)
+    print(
+        f"dataset: {dataset.name} (n={dataset.n_points}, "
+        f"true outliers={dataset.n_outliers}); elbow eps = {elbow:.3g}"
+    )
+    print()
+
+    eps_values = [round(elbow * f, 3) for f in (0.5, 0.75, 1.0, 1.5, 2.0)]
+    min_pts_values = [5, 10, 20]
+    sweep = sweep_grid(dataset.points, eps_values, min_pts_values)
+
+    eps_axis, min_pts_axis, matrix = sweep.outlier_matrix()
+    rows = [
+        [min_pts] + matrix[row].tolist()
+        for row, min_pts in enumerate(min_pts_axis)
+    ]
+    print(
+        format_table(
+            ["minPts \\ eps"] + [str(e) for e in eps_axis],
+            rows,
+            title="Outlier counts over the parameter grid",
+        )
+    )
+    print()
+
+    stable = stability_report(sweep, tolerance=0.25)
+    if not stable:
+        print("no stable plateau at this tolerance")
+        return
+    rows = []
+    for cell in stable[:5]:
+        from repro import DBSCOUT
+
+        result = DBSCOUT(eps=cell.eps, min_pts=cell.min_pts).fit(
+            dataset.points
+        )
+        rows.append(
+            [
+                cell.eps,
+                cell.min_pts,
+                cell.n_outliers,
+                f1_score(dataset.outlier_labels, result.outlier_mask),
+            ]
+        )
+    print(
+        format_table(
+            ["eps", "minPts", "outliers", "F1 vs ground truth"],
+            rows,
+            title="Most stable plateau cells (best deployment candidates)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Sensor-network fault detection: DBSCOUT vs LOF / IF / OC-SVM.
+
+A classic outlier-detection deployment: a field of environmental
+sensors reports (temperature, humidity) pairs.  Healthy sensors follow
+one of a few operating regimes (day/night, sun/shade); faulty sensors
+drift off to readings unlike any regime.  We know which sensors we
+broke, so every detector can be scored with the outlier-class F1 —
+the same protocol as the paper's Table III.
+
+Run with:  python examples/sensor_network_monitoring.py
+"""
+
+import numpy as np
+
+from repro import DBSCOUT, estimate_eps
+from repro.baselines import IsolationForest, LocalOutlierFactor, OneClassSVM
+from repro.datasets.synthetic import scatter_outliers
+from repro.experiments import format_table
+from repro.metrics import f1_score
+
+
+def make_sensor_readings(seed: int = 3):
+    """Three operating regimes plus 2% faulty sensors."""
+    rng = np.random.default_rng(seed)
+    regimes = [
+        ((21.0, 45.0), (1.2, 4.0), 700),  # daytime, shaded
+        ((29.0, 30.0), (1.5, 3.0), 500),  # daytime, direct sun
+        ((12.0, 70.0), (0.8, 5.0), 800),  # night
+    ]
+    readings = np.vstack(
+        [
+            np.column_stack(
+                [
+                    rng.normal(center[0], std[0], count),
+                    rng.normal(center[1], std[1], count),
+                ]
+            )
+            for center, std, count in regimes
+        ]
+    )
+    n_faulty = int(0.02 * readings.shape[0])
+    faults = scatter_outliers(readings, n_faulty, rng, clearance=6.0)
+    points = np.vstack([readings, faults])
+    labels = np.concatenate(
+        [np.zeros(readings.shape[0], dtype=int), np.ones(n_faulty, dtype=int)]
+    )
+    order = rng.permutation(points.shape[0])
+    return points[order], labels[order]
+
+
+def main() -> None:
+    points, labels = make_sensor_readings()
+    contamination = labels.mean()
+    min_pts = 8
+    eps = estimate_eps(points, min_pts)
+
+    detectors = {
+        f"DBSCOUT (eps={eps:.2f}, minPts={min_pts})": lambda: DBSCOUT(
+            eps=eps, min_pts=min_pts
+        ).fit(points),
+        "LOF (k=20)": lambda: LocalOutlierFactor(
+            k=20, contamination=contamination
+        ).detect(points),
+        "IsolationForest": lambda: IsolationForest(
+            contamination=contamination, seed=0
+        ).detect(points),
+        "OneClassSVM": lambda: OneClassSVM(nu=contamination, seed=0).detect(
+            points
+        ),
+    }
+
+    rows = []
+    for name, run in detectors.items():
+        result = run()
+        rows.append(
+            [name, result.n_outliers, f1_score(labels, result.outlier_mask)]
+        )
+
+    print(f"{points.shape[0]} sensor readings, {int(labels.sum())} faulty")
+    print()
+    print(
+        format_table(
+            ["detector", "flagged", "F1 (fault class)"],
+            rows,
+            title="Sensor fault detection quality",
+        )
+    )
+    print()
+    print(
+        "Note: DBSCOUT needs no contamination estimate — only the "
+        "k-distance elbow — while LOF/IF/OC-SVM were handed the true "
+        "fault rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Streaming GPS feed: incremental DBSCOUT vs recompute-from-scratch.
+
+GPS collections grow continuously.  This example loads a historical
+base map, then replays a stream of *localized* update batches (new
+fixes arriving around an active area — the common case for tracking
+feeds).  ``IncrementalDBSCOUT`` maintains the exact outlier set by
+re-evaluating only the affected neighborhoods, and is compared at
+every step against re-running batch DBSCOUT on everything received so
+far: the outputs are asserted identical, the costs are not.
+
+Run with:  python examples/streaming_gps_feed.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DBSCOUT, IncrementalDBSCOUT
+from repro.datasets import make_openstreetmap_like
+from repro.experiments import format_table
+
+
+def main() -> None:
+    eps, min_pts = 1.0e6, 10
+    base = make_openstreetmap_like(20_000, seed=21)
+    rng = np.random.default_rng(5)
+    active_area = base[rng.integers(0, base.shape[0])]
+    batches = [
+        active_area + rng.normal(0.0, 0.4e6, size=(200, 2))
+        for _ in range(15)
+    ]
+
+    incremental = IncrementalDBSCOUT(eps=eps, min_pts=min_pts)
+    incremental.insert(base)
+    incremental.detect()  # both strategies pay the initial load once
+    DBSCOUT(eps=eps, min_pts=min_pts).fit(base)
+
+    time_incremental = 0.0
+    time_batch = 0.0
+    arrived = base
+    rows = []
+    for step, batch in enumerate(batches, start=1):
+        arrived = np.vstack([arrived, batch])
+
+        start = time.perf_counter()
+        incremental.insert(batch)
+        result_inc = incremental.detect()
+        time_incremental += time.perf_counter() - start
+
+        start = time.perf_counter()
+        result_batch = DBSCOUT(eps=eps, min_pts=min_pts).fit(arrived)
+        time_batch += time.perf_counter() - start
+
+        assert np.array_equal(
+            result_inc.outlier_mask, result_batch.outlier_mask
+        ), "incremental result diverged from batch"
+        if step % 5 == 0:
+            rows.append(
+                [
+                    step,
+                    arrived.shape[0],
+                    result_inc.n_outliers,
+                    result_inc.stats.get("outlier_cells_recomputed", 0),
+                    round(time_incremental, 3),
+                    round(time_batch, 3),
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "batch",
+                "points",
+                "outliers",
+                "cells touched",
+                "incremental total (s)",
+                "recompute total (s)",
+            ],
+            rows,
+            title="Streaming GPS feed: exact outliers after every batch",
+        )
+    )
+    print()
+    print(
+        f"Incremental maintenance was "
+        f"{time_batch / max(time_incremental, 1e-9):.0f}x faster on the "
+        "update stream, with identical exact outlier sets at every step."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Visual outlier map: render DBSCOUT's verdicts in the terminal.
+
+Draws the dataset as an ASCII scatter plot with detected outliers
+highlighted (``X``), side by side with the paper-style pipeline stats:
+cells, dense cells, core points, and where the distance computations
+went.  No plotting library needed.
+
+Run with:  python examples/visual_outlier_map.py
+"""
+
+import numpy as np
+
+from repro import DBSCOUT, estimate_eps
+from repro.datasets import make_cluto_t7
+from repro.experiments import ascii_scatter
+
+
+def main() -> None:
+    dataset = make_cluto_t7(n_points=3000, seed=7)
+    min_pts = 10
+    eps = estimate_eps(dataset.points, min_pts)
+    result = DBSCOUT(eps=eps, min_pts=min_pts).fit(dataset.points)
+
+    print(
+        f"dataset: {dataset.name} (n={dataset.n_points}, "
+        f"true outliers={dataset.n_outliers})"
+    )
+    print(f"parameters: eps={eps:.3g} (elbow), minPts={min_pts}")
+    print()
+    print(ascii_scatter(dataset.points, result.outlier_mask, height=28))
+    print("X = detected outlier, . = inlier")
+    print()
+    stats = result.stats
+    print(
+        f"grid: {stats['n_cells']} cells "
+        f"({stats['n_dense_cells']} dense, {stats['n_core_cells']} core), "
+        f"k_d = {stats['k_d']}"
+    )
+    print(
+        f"work: {stats['distance_computations']} pairwise distances, "
+        f"{stats['pruned_cells']} cells pruned without any"
+    )
+    print(
+        f"found {result.n_outliers} outliers / "
+        f"{result.n_core_points} core points"
+    )
+    hits = int(
+        (result.outlier_mask & (dataset.outlier_labels == 1)).sum()
+    )
+    print(f"true outliers recovered: {hits}/{dataset.n_outliers}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""DBSCOUT reproduction: scalable exact density-based outlier detection.
+
+Reproduction of *DBSCOUT: A Density-based Method for Scalable Outlier
+Detection in Very Large Datasets* (Corain, Garza, Asudeh — ICDE 2021),
+including the DBSCOUT algorithm itself (vectorized and distributed
+engines), a from-scratch mini-Spark substrate (``repro.sparklite``),
+the paper's baselines (DBSCAN, RP-DBSCAN, LOF, DDLOF, Isolation Forest,
+One-Class SVM), dataset generators, quality metrics, and the experiment
+harness that regenerates every table and figure of the evaluation.
+
+Quickstart:
+    >>> import numpy as np
+    >>> from repro import DBSCOUT
+    >>> X = np.vstack([np.random.default_rng(0).normal(size=(500, 2)),
+    ...                [[25.0, 25.0]]])
+    >>> result = DBSCOUT(eps=0.8, min_pts=10).fit(X)
+    >>> result.n_outliers >= 1
+    True
+"""
+
+from repro.core.dbscout import DBSCOUT, detect_outliers
+from repro.core.distance_based import DistanceBasedDetector
+from repro.core.geographic import detect_geographic
+from repro.core.incremental import IncrementalDBSCOUT
+from repro.core.parameters import estimate_eps, k_distance_graph
+from repro.core.scoring import detect_with_scores, nearest_core_distance
+from repro.exceptions import (
+    DataValidationError,
+    EngineError,
+    NotFittedError,
+    ParameterError,
+    ReproError,
+    SparkLiteError,
+)
+from repro.types import DetectionResult, TimingBreakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DBSCOUT",
+    "DistanceBasedDetector",
+    "IncrementalDBSCOUT",
+    "detect_outliers",
+    "detect_with_scores",
+    "detect_geographic",
+    "nearest_core_distance",
+    "estimate_eps",
+    "k_distance_graph",
+    "DetectionResult",
+    "TimingBreakdown",
+    "ReproError",
+    "ParameterError",
+    "DataValidationError",
+    "EngineError",
+    "NotFittedError",
+    "SparkLiteError",
+    "__version__",
+]

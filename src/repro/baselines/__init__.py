@@ -1,0 +1,43 @@
+"""Baseline algorithms the paper compares against, built from scratch.
+
+* :mod:`repro.baselines.dbscan` — exact DBSCAN (KD-tree and brute);
+  its noise set equals DBSCOUT's outlier set by construction.
+* :mod:`repro.baselines.grid_dbscan` — exact grid-based DBSCAN
+  (Gunawan-style), the "naive clustering alternative" whose extra
+  cluster-construction cost the paper argues against.
+* :mod:`repro.baselines.rp_dbscan` — simplified RP-DBSCAN: the
+  rho-approximate parallel DBSCAN used as the scalable competitor.
+* :mod:`repro.baselines.lof` — exact Local Outlier Factor.
+* :mod:`repro.baselines.ddlof` — distributed LOF (DDLOF-style) on
+  SparkLite with grid partitioning and support areas.
+* :mod:`repro.baselines.isolation_forest` — Isolation Forest.
+* :mod:`repro.baselines.ocsvm` — One-Class SVM via random Fourier
+  features and SGD.
+* :mod:`repro.baselines.knn_outlier` — top-n kNN-distance outliers
+  (Ramaswamy et al., cited in the paper's related work).
+* :mod:`repro.baselines.hbos` — histogram-based outlier score, a
+  linear-time statistical baseline.
+"""
+
+from repro.baselines.dbscan import DBSCAN, dbscan_labels
+from repro.baselines.grid_dbscan import GridDBSCAN
+from repro.baselines.hbos import HBOS
+from repro.baselines.ddlof import DDLOF
+from repro.baselines.isolation_forest import IsolationForest
+from repro.baselines.knn_outlier import KNNOutlierDetector
+from repro.baselines.lof import LocalOutlierFactor
+from repro.baselines.ocsvm import OneClassSVM
+from repro.baselines.rp_dbscan import RPDBSCAN
+
+__all__ = [
+    "DBSCAN",
+    "GridDBSCAN",
+    "HBOS",
+    "dbscan_labels",
+    "DDLOF",
+    "IsolationForest",
+    "KNNOutlierDetector",
+    "LocalOutlierFactor",
+    "OneClassSVM",
+    "RPDBSCAN",
+]

@@ -1,0 +1,489 @@
+"""DDLOF-style distributed Local Outlier Factor (Yan et al., KDD 2017).
+
+A from-scratch reproduction of the paper's scalability competitor: LOF
+evaluated as a sequence of MapReduce-style jobs over a spatial grid of
+*blocks*, each extended with a *support area* so that k-nearest-neighbor
+computations stay block-local:
+
+1. **Partition** — points are assigned to square blocks; every point is
+   additionally duplicated into each neighboring block whose boundary
+   lies within the support margin (the MapReduce "supporting area").
+2. **k-distance job** — each block computes, for every point it *owns*,
+   the k nearest neighbors among owned + support points, with
+   **brute-force pairwise distances** (as in DDLOF's implementation —
+   this is precisely what blows up on skewed data, where one block can
+   own a large fraction of the dataset).
+3. **Multi-round support expansion** — a point whose locally computed
+   k-distance exceeds the support margin may have true neighbors
+   outside the block; such *unresolved* points are retried in further
+   rounds with the margin doubled each time (the supporting area then
+   reaches into blocks further away), and whatever survives
+   ``max_rounds`` is resolved exactly against the full dataset.
+4. **LRD job** — reachability distances need the k-distance of each
+   neighbor: a shuffle joins neighbor lists with k-distances by point
+   id, then reduces to each point's local reachability density.
+5. **LOF job** — a second join gathers neighbors' LRDs and averages
+   the ratio, yielding the exact LOF score.
+
+Scores equal the centralized :func:`repro.baselines.lof.lof_scores`
+up to nearest-neighbor ties; outliers are the top ``contamination``
+fraction by score.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.grid import validate_points
+from repro.exceptions import ParameterError
+from repro.sparklite import Context
+from repro.types import DetectionResult, TimingBreakdown
+
+__all__ = ["DDLOF"]
+
+Block = tuple[int, ...]
+
+
+class DDLOF:
+    """Distributed LOF over a block grid with support areas.
+
+    Args:
+        k: Neighborhood size (the paper uses ``k = 6``).
+        contamination: Fraction of points flagged as outliers.
+        top_n: Alternatively flag exactly the ``top_n`` highest-LOF
+            points (the DTOLF formulation of the paper's ref [38]);
+            overrides ``contamination`` when set.
+        points_per_block: Target average block population; the block
+            side is derived from the data's bounding box.
+        support_factor: Support margin as a fraction of the block side.
+        num_partitions: SparkLite partitions for the block jobs.
+        max_workers: Executor threads.
+        max_block_population: Safety valve — a block (with support)
+            whose population exceeds this bound aborts the run with
+            :class:`MemoryError`-like failure, emulating the paper's
+            DDLOF out-of-memory / timeout behaviour on skewed data.
+            ``None`` disables the check.
+        max_rounds: Support-expansion rounds.  A point whose local
+            k-distance exceeds the current margin is retried in the
+            next round with the margin doubled (DDLOF's multi-round
+            supporting-area refinement); whatever remains after the
+            last round is resolved against the full dataset.
+        context: Optional externally managed SparkLite context.
+    """
+
+    name = "ddlof"
+
+    def __init__(
+        self,
+        k: int = 6,
+        contamination: float = 0.05,
+        top_n: int | None = None,
+        points_per_block: int = 512,
+        support_factor: float = 0.3,
+        num_partitions: int = 8,
+        max_workers: int = 1,
+        max_block_population: int | None = None,
+        max_rounds: int = 3,
+        context: Context | None = None,
+    ) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if not 0.0 < contamination <= 0.5:
+            raise ParameterError(
+                f"contamination must be in (0, 0.5], got {contamination}"
+            )
+        if top_n is not None and top_n < 1:
+            raise ParameterError(f"top_n must be >= 1, got {top_n}")
+        if points_per_block < 1:
+            raise ParameterError(
+                f"points_per_block must be >= 1, got {points_per_block}"
+            )
+        if support_factor <= 0:
+            raise ParameterError(
+                f"support_factor must be positive, got {support_factor}"
+            )
+        if max_rounds < 1:
+            raise ParameterError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.k = int(k)
+        self.contamination = float(contamination)
+        self.top_n = top_n
+        self.points_per_block = int(points_per_block)
+        self.support_factor = float(support_factor)
+        self.num_partitions = int(num_partitions)
+        self.max_block_population = max_block_population
+        self.max_rounds = int(max_rounds)
+        self.context = context or Context(
+            default_parallelism=num_partitions, max_workers=max_workers
+        )
+
+    # ------------------------------------------------------------------
+
+    def _block_side(self, array: np.ndarray) -> float:
+        """Block side giving ~points_per_block points per non-empty block
+        under a uniformity assumption (skew breaks it — by design)."""
+        spans = array.max(axis=0) - array.min(axis=0)
+        volume = float(np.prod(np.maximum(spans, np.finfo(float).eps)))
+        n_blocks = max(1.0, array.shape[0] / self.points_per_block)
+        return (volume / n_blocks) ** (1.0 / array.shape[1])
+
+    def detect(self, points: np.ndarray) -> DetectionResult:
+        """Run the DDLOF pipeline and flag the top-contamination points."""
+        array = validate_points(points)
+        n_points = array.shape[0]
+        if n_points <= self.k:
+            raise ParameterError(
+                f"need more than k={self.k} points, got {n_points}"
+            )
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        side = self._block_side(array)
+        margin = side * self.support_factor
+        owned = self._assign_blocks(array, side)
+        timings["partition"] = time.perf_counter() - start
+
+        # Multi-round support expansion: start with every point as a
+        # target; whoever cannot resolve its kNN within the current
+        # margin is retried next round with the margin doubled.
+        start = time.perf_counter()
+        k_dist = np.zeros(n_points, dtype=np.float64)
+        neighbor_idx = np.zeros((n_points, self.k), dtype=np.int64)
+        neighbor_dist = np.zeros((n_points, self.k), dtype=np.float64)
+        targets = dict(owned)
+        rounds_log: list[dict[str, float]] = []
+        max_pool = 0
+        for round_no in range(self.max_rounds):
+            if not targets:
+                break
+            supported = self._support(
+                array, owned, side, margin, set(targets)
+            )
+            max_pool = max(
+                max_pool,
+                max(
+                    (
+                        len(owned[b]) + len(supported.get(b, ()))
+                        for b in targets
+                    ),
+                    default=0,
+                ),
+            )
+            n_targets = sum(len(v) for v in targets.values())
+            targets = self._kdistance_round(
+                array,
+                owned,
+                targets,
+                supported,
+                margin,
+                k_dist,
+                neighbor_idx,
+                neighbor_dist,
+            )
+            rounds_log.append(
+                {
+                    "round": round_no,
+                    "margin": margin,
+                    "targets": n_targets,
+                    "unresolved": sum(len(v) for v in targets.values()),
+                }
+            )
+            margin *= 2.0
+        timings["k_distance"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        n_unresolved = sum(len(v) for v in targets.values())
+        if n_unresolved:
+            remaining = np.concatenate(list(targets.values()))
+            self._global_fallback(
+                array, remaining, k_dist, neighbor_idx, neighbor_dist
+            )
+        timings["correction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        lrd = self._lrd_job(k_dist, neighbor_idx, neighbor_dist)
+        timings["lrd"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scores = self._lof_job(lrd, neighbor_idx)
+        timings["lof"] = time.perf_counter() - start
+
+        if self.top_n is not None:
+            n_outliers = min(self.top_n, n_points)
+        else:
+            n_outliers = max(1, int(round(self.contamination * n_points)))
+        threshold = np.partition(scores, n_points - n_outliers)[
+            n_points - n_outliers
+        ]
+        return DetectionResult(
+            n_points=n_points,
+            outlier_mask=scores >= threshold,
+            scores=scores,
+            timings=TimingBreakdown(timings),
+            stats={
+                "algorithm": self.name,
+                "k": self.k,
+                "block_side": side,
+                "n_blocks": len(owned),
+                "n_unresolved": n_unresolved,
+                "rounds": rounds_log,
+                "max_block_population": max_pool,
+                **self.context.metrics.snapshot(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1 — block assignment and support areas
+    # ------------------------------------------------------------------
+
+    def _assign_blocks(
+        self, array: np.ndarray, side: float
+    ) -> dict[Block, np.ndarray]:
+        """Owned point indices per block."""
+        coords = np.floor(array / side).astype(np.int64)
+        owned: dict[Block, list[int]] = defaultdict(list)
+        for index, row in enumerate(coords):
+            owned[tuple(row.tolist())].append(index)
+        return {
+            block: np.array(indices, dtype=np.int64)
+            for block, indices in owned.items()
+        }
+
+    def _support(
+        self,
+        array: np.ndarray,
+        owned: dict[Block, np.ndarray],
+        side: float,
+        margin: float,
+        needed_blocks: set[Block],
+    ) -> dict[Block, np.ndarray]:
+        """Support duplicates (points within ``margin`` of the block
+        boundary) for each block in ``needed_blocks``.
+
+        The reach grows with the margin: a round with ``margin > side``
+        pulls support from blocks further away, which is exactly
+        DDLOF's expanding supporting area.
+        """
+        import math
+
+        reach = max(1, math.ceil(margin / side))
+        offsets = _unit_offsets(array.shape[1], reach)
+        supported: dict[Block, list[int]] = defaultdict(list)
+        for block, indices in owned.items():
+            block_points = array[indices]
+            lo = np.array(block, dtype=np.float64) * side
+            for offset in offsets:
+                neighbor = tuple(int(b + o) for b, o in zip(block, offset))
+                if neighbor not in needed_blocks:
+                    continue
+                # Distance from each point to the neighbor block's box.
+                n_lo = lo + np.array(offset, dtype=np.float64) * side
+                n_hi = n_lo + side
+                below = n_lo - block_points
+                above = block_points - n_hi
+                gap = np.maximum(np.maximum(below, above), 0.0)
+                dist = np.sqrt(np.einsum("pd,pd->p", gap, gap))
+                close = dist <= margin
+                if close.any():
+                    supported[neighbor].extend(indices[close].tolist())
+        return {
+            block: np.array(indices, dtype=np.int64)
+            for block, indices in supported.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Phase 2 — per-block brute-force k-distance (one round)
+    # ------------------------------------------------------------------
+
+    def _kdistance_round(
+        self,
+        array: np.ndarray,
+        owned: dict[Block, np.ndarray],
+        targets: dict[Block, np.ndarray],
+        supported: dict[Block, np.ndarray],
+        margin: float,
+        k_dist: np.ndarray,
+        neighbor_idx: np.ndarray,
+        neighbor_dist: np.ndarray,
+    ) -> dict[Block, np.ndarray]:
+        """Resolve kNN for the target points of each block.
+
+        A target resolves when its block-local k-distance is at most
+        ``margin`` (then all true neighbors were inside the pool, so
+        the local answer is exact).  Returns the still-unresolved
+        targets per block.
+        """
+        k = self.k
+        cap = self.max_block_population
+
+        def process_block(item):
+            _block, (target_idx, own_idx, support_idx) = item
+            pool_idx = (
+                np.concatenate([own_idx, support_idx])
+                if support_idx.size
+                else own_idx
+            )
+            if cap is not None and pool_idx.size > cap:
+                raise MemoryError(
+                    f"DDLOF block population {pool_idx.size} exceeds the "
+                    f"configured limit {cap} (skew-induced blow-up)"
+                )
+            pool = array[pool_idx]
+            own = array[target_idx]
+            local_k = min(k, pool_idx.size - 1)
+            if local_k < 1:
+                # A lone point with no support: retry with wider margin.
+                return (
+                    target_idx,
+                    np.full(target_idx.size, np.inf),
+                    np.zeros((target_idx.size, k), dtype=np.int64),
+                    np.full((target_idx.size, k), np.inf),
+                    np.ones(target_idx.size, dtype=bool),
+                )
+            # Brute-force pairwise distances, chunked over target rows.
+            rows_kdist = np.empty(target_idx.size, dtype=np.float64)
+            rows_nidx = np.zeros((target_idx.size, k), dtype=np.int64)
+            rows_ndist = np.full((target_idx.size, k), np.inf, dtype=np.float64)
+            chunk = max(1, 2_000_000 // max(pool_idx.size, 1))
+            for begin in range(0, target_idx.size, chunk):
+                end = min(begin + chunk, target_idx.size)
+                diffs = own[begin:end, None, :] - pool[None, :, :]
+                dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+                # Exclude self: targets also appear in the pool.
+                dists[pool_idx[None, :] == target_idx[begin:end, None]] = np.inf
+                nearest = np.argpartition(dists, local_k - 1, axis=1)[
+                    :, :local_k
+                ]
+                nearest_d = np.take_along_axis(dists, nearest, axis=1)
+                order = np.argsort(nearest_d, axis=1)
+                nearest = np.take_along_axis(nearest, order, axis=1)
+                nearest_d = np.take_along_axis(nearest_d, order, axis=1)
+                rows_nidx[begin:end, :local_k] = pool_idx[nearest]
+                rows_ndist[begin:end, :local_k] = nearest_d
+                rows_kdist[begin:end] = nearest_d[:, local_k - 1]
+            short = local_k < k
+            flagged = (rows_kdist > margin) | short
+            return target_idx, rows_kdist, rows_nidx, rows_ndist, flagged
+
+        items = [
+            (
+                block,
+                (
+                    target_idx,
+                    owned[block],
+                    supported.get(block, np.empty(0, dtype=np.int64)),
+                ),
+            )
+            for block, target_idx in targets.items()
+        ]
+        rdd = self.context.parallelize(items, self.num_partitions)
+        still_unresolved: dict[Block, np.ndarray] = {}
+        for (block, _), result in zip(items, rdd.map(process_block).collect()):
+            target_idx, rows_kdist, rows_nidx, rows_ndist, flagged = result
+            k_dist[target_idx] = rows_kdist
+            neighbor_idx[target_idx] = rows_nidx
+            neighbor_dist[target_idx] = rows_ndist
+            if flagged.any():
+                still_unresolved[block] = target_idx[flagged]
+        return still_unresolved
+
+    # ------------------------------------------------------------------
+    # Phase 3 — exact global fallback for whatever rounds left over
+    # ------------------------------------------------------------------
+
+    def _global_fallback(
+        self,
+        array: np.ndarray,
+        targets: np.ndarray,
+        k_dist: np.ndarray,
+        neighbor_idx: np.ndarray,
+        neighbor_dist: np.ndarray,
+    ) -> None:
+        """Resolve the leftover targets exactly against everything."""
+        tree = cKDTree(array)
+        distances, indices = tree.query(array[targets], k=self.k + 1)
+        k_dist[targets] = distances[:, self.k]
+        neighbor_idx[targets] = indices[:, 1:]
+        neighbor_dist[targets] = distances[:, 1:]
+
+    # ------------------------------------------------------------------
+    # Phases 4 & 5 — join-based LRD and LOF jobs
+    # ------------------------------------------------------------------
+
+    def _lrd_job(
+        self,
+        k_dist: np.ndarray,
+        neighbor_idx: np.ndarray,
+        neighbor_dist: np.ndarray,
+    ) -> np.ndarray:
+        """Shuffle-join neighbor lists with k-distances, reduce to LRD."""
+        n_points = k_dist.shape[0]
+        # (neighbor, (point, distance)) pairs joined with (neighbor, k_dist).
+        pairs = [
+            (int(neighbor), (int(point), float(dist)))
+            for point in range(n_points)
+            for neighbor, dist in zip(neighbor_idx[point], neighbor_dist[point])
+        ]
+        pair_rdd = self.context.parallelize(pairs, self.num_partitions)
+        kdist_rdd = self.context.parallelize(
+            [(int(i), float(k_dist[i])) for i in range(n_points)],
+            self.num_partitions,
+        )
+        reach_sums = (
+            pair_rdd.join(kdist_rdd)
+            .map(
+                lambda rec: (
+                    rec[1][0][0],  # the point whose LRD we accumulate
+                    max(rec[1][1], rec[1][0][1]),  # reach-dist component
+                )
+            )
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        lrd = np.zeros(n_points, dtype=np.float64)
+        floor = np.finfo(np.float64).eps
+        for point, total in reach_sums:
+            lrd[point] = 1.0 / max(total / self.k, floor)
+        return lrd
+
+    def _lof_job(self, lrd: np.ndarray, neighbor_idx: np.ndarray) -> np.ndarray:
+        """Shuffle-join neighbor lists with LRDs, average the ratios."""
+        n_points = lrd.shape[0]
+        pairs = [
+            (int(neighbor), int(point))
+            for point in range(n_points)
+            for neighbor in neighbor_idx[point]
+        ]
+        pair_rdd = self.context.parallelize(pairs, self.num_partitions)
+        lrd_rdd = self.context.parallelize(
+            [(int(i), float(lrd[i])) for i in range(n_points)],
+            self.num_partitions,
+        )
+        sums = (
+            pair_rdd.join(lrd_rdd)
+            .map(lambda rec: (rec[1][0], rec[1][1]))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        scores = np.zeros(n_points, dtype=np.float64)
+        floor = np.finfo(np.float64).eps
+        for point, total in sums:
+            scores[point] = (total / self.k) / max(lrd[point], floor)
+        return scores
+
+
+def _unit_offsets(n_dims: int, reach: int = 1) -> list[tuple[int, ...]]:
+    """All non-zero offsets within Chebyshev distance ``reach``."""
+    import itertools
+
+    return [
+        offset
+        for offset in itertools.product(
+            range(-reach, reach + 1), repeat=n_dims
+        )
+        if any(offset)
+    ]

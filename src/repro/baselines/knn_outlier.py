@@ -1,0 +1,102 @@
+"""Top-n kNN-distance outliers (Ramaswamy, Rastogi, Shim — SIGMOD 2000).
+
+The paper cites this classic distance-based formulation among the
+related work: rank points by the distance to their k-th nearest
+neighbor and report the top n as outliers.  It complements the
+density-based notions in this repository — a point deep inside a
+*sparse but uniform* region gets a large k-distance (kNN outlier)
+while having enough eps-neighbors to avoid being a DBSCOUT outlier,
+and vice versa.
+
+Exact, KD-tree backed; scores are the k-distances themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.grid import validate_points
+from repro.exceptions import ParameterError
+from repro.types import DetectionResult
+
+__all__ = ["KNNOutlierDetector"]
+
+
+class KNNOutlierDetector:
+    """Rank by k-th-nearest-neighbor distance; flag the top n.
+
+    Args:
+        k: Neighbor rank (the point itself not counted).
+        n_outliers: How many points to report; mutually exclusive with
+            ``contamination``.
+        contamination: Alternatively, the fraction of points to report.
+    """
+
+    name = "knn_outlier"
+
+    def __init__(
+        self,
+        k: int = 5,
+        n_outliers: int | None = None,
+        contamination: float | None = None,
+    ) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if (n_outliers is None) == (contamination is None):
+            raise ParameterError(
+                "provide exactly one of n_outliers or contamination"
+            )
+        if n_outliers is not None and n_outliers < 1:
+            raise ParameterError(
+                f"n_outliers must be >= 1, got {n_outliers}"
+            )
+        if contamination is not None and not 0.0 < contamination <= 0.5:
+            raise ParameterError(
+                f"contamination must be in (0, 0.5], got {contamination}"
+            )
+        self.k = int(k)
+        self.n_outliers = n_outliers
+        self.contamination = contamination
+
+    def _resolve_n(self, n_points: int) -> int:
+        if self.n_outliers is not None:
+            if self.n_outliers > n_points:
+                raise ParameterError(
+                    f"n_outliers={self.n_outliers} exceeds the dataset "
+                    f"size {n_points}"
+                )
+            return self.n_outliers
+        return max(1, int(round(self.contamination * n_points)))
+
+    def scores(self, points: np.ndarray) -> np.ndarray:
+        """k-distance of every point (higher = more anomalous)."""
+        array = validate_points(points)
+        if array.shape[0] <= self.k:
+            raise ParameterError(
+                f"need more than k={self.k} points, got {array.shape[0]}"
+            )
+        tree = cKDTree(array)
+        distances, _ = tree.query(array, k=self.k + 1)
+        return distances[:, self.k]
+
+    def detect(self, points: np.ndarray) -> DetectionResult:
+        """Flag the top-n points by k-distance."""
+        array = validate_points(points)
+        values = self.scores(array)
+        n_points = array.shape[0]
+        n_flag = self._resolve_n(n_points)
+        threshold = np.partition(values, n_points - n_flag)[
+            n_points - n_flag
+        ]
+        return DetectionResult(
+            n_points=n_points,
+            outlier_mask=values >= threshold,
+            scores=values,
+            stats={
+                "algorithm": self.name,
+                "k": self.k,
+                "n_requested": n_flag,
+                "threshold": float(threshold),
+            },
+        )

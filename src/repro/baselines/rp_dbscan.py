@@ -1,0 +1,584 @@
+"""RP-DBSCAN-style approximated parallel DBSCAN (Song & Lee, SIGMOD 2018).
+
+A from-scratch, simplified reproduction of the paper's scalable
+competitor, preserving the three traits DBSCOUT is evaluated against:
+
+1. **Random partitioning + cell dictionaries.**  Points are randomly
+   (not spatially) partitioned; every partition summarizes its points
+   into a two-level dictionary: epsilon-cell -> sub-cell -> count,
+   where sub-cells have diagonal ``rho * eps``.  Local dictionaries are
+   merged and broadcast, like RP-DBSCAN's pseudo-random broadcast.
+
+2. **rho-approximate neighborhoods.**  Core tests count whole sub-cells
+   instead of points: a sub-cell contributes iff it is *guaranteed*
+   inside the query ball (max box distance ``<= eps``).  This
+   conservative undercount means approximate core points are a subset
+   of the exact ones, so the extracted outliers form a **superset** of
+   the exact outliers — the false-positive behaviour of Tables IV/V.
+   Conversely, border coverage is tested liberally (min box distance
+   ``<= eps`` to a core sub-cell), which can absorb a true outlier into
+   a cluster — the paper's rare false negatives.  Both errors are
+   bounded by the sub-cell diagonal ``rho * eps``.
+
+3. **Cluster construction.**  Unlike DBSCOUT, a DBSCAN-style algorithm
+   must build the clusters: every partition runs a local union-find
+   over the core cells its points touch (edges decided at sub-cell
+   granularity), and the driver merges the per-partition fragments.
+   The duplicated fragment work grows with the partition count,
+   reproducing the Fig. 13 degradation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.grid import cell_side_length, validate_points
+from repro.core.neighbors import NeighborStencil
+from repro.core.validation import validate_parameters
+from repro.core.vectorized import build_cell_adjacency
+from repro.exceptions import ParameterError
+from repro.sparklite import Context
+from repro.types import DetectionResult, TimingBreakdown
+
+__all__ = ["RPDBSCAN", "DisjointSet"]
+
+Cell = tuple[int, ...]
+
+
+class DisjointSet:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._size: dict = {}
+
+    def find(self, item) -> object:
+        """Return the representative of ``item``'s set (inserting it)."""
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        """Merge the sets containing ``a`` and ``b``."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+    def groups(self) -> dict:
+        """Mapping root -> list of members."""
+        out: dict = defaultdict(list)
+        for item in self._parent:
+            out[self.find(item)].append(item)
+        return dict(out)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+class _CellIndex:
+    """Merged cell dictionary in id-indexed array form.
+
+    Cells get integer ids; neighbor relations are a CSR adjacency; the
+    sub-cell summaries of cell ``i`` are ``sub_coords[i]`` (``(s, d)``)
+    with point counts ``sub_counts[i]``.
+    """
+
+    def __init__(
+        self,
+        cells: np.ndarray,
+        stencil: NeighborStencil,
+        sub_coords: list[np.ndarray],
+        sub_counts: list[np.ndarray],
+    ) -> None:
+        self.cells = cells
+        self.sub_coords = sub_coords
+        self.sub_counts = sub_counts
+        self.totals = np.array(
+            [int(counts.sum()) for counts in sub_counts], dtype=np.int64
+        )
+        self._targets, self._starts = build_cell_adjacency(cells, stencil)
+
+    def neighbors(self, cell_id: int) -> np.ndarray:
+        """Ids of the non-empty neighbor cells (self included)."""
+        return self._targets[
+            self._starts[cell_id] : self._starts[cell_id + 1]
+        ]
+
+    def __len__(self) -> int:
+        return int(self.cells.shape[0])
+
+
+@dataclass
+class RPDBSCANResult:
+    """Clustering + outlier output of RP-DBSCAN."""
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+    outlier_mask: np.ndarray
+    n_clusters: int
+    timings: TimingBreakdown | None = None
+    stats: Mapping[str, object] = field(default_factory=dict)
+
+
+class RPDBSCAN:
+    """Approximated parallel DBSCAN used as DBSCOUT's main competitor.
+
+    Args:
+        eps: Neighborhood radius.
+        min_pts: Core-point density threshold.
+        rho: Approximation granularity (sub-cell diagonal is
+            ``rho * eps``); the paper fixes ``rho = 0.01``.
+        num_partitions: Random data partitions (the Fig. 13 x-axis).
+        max_workers: Executor threads for the SparkLite context.
+        seed: RNG seed for the random partitioning.
+        context: Optional externally managed SparkLite context.
+    """
+
+    name = "rp_dbscan"
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        rho: float = 0.01,
+        num_partitions: int = 8,
+        max_workers: int = 1,
+        seed: int = 0,
+        context: Context | None = None,
+    ) -> None:
+        self.eps, self.min_pts = validate_parameters(eps, min_pts)
+        if not 0.0 < rho <= 1.0:
+            raise ParameterError(f"rho must be in (0, 1], got {rho}")
+        if num_partitions < 1:
+            raise ParameterError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.rho = float(rho)
+        self.num_partitions = int(num_partitions)
+        self.seed = seed
+        self.context = context or Context(
+            default_parallelism=num_partitions, max_workers=max_workers
+        )
+
+    # ------------------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> RPDBSCANResult:
+        """Run the three RP-DBSCAN phases and return clusters + outliers."""
+        array = validate_points(points)
+        n_points = array.shape[0]
+        if n_points == 0:
+            empty = np.zeros(0, dtype=bool)
+            return RPDBSCANResult(
+                labels=np.zeros(0, dtype=np.int64),
+                core_mask=empty,
+                outlier_mask=empty.copy(),
+                n_clusters=0,
+            )
+        n_dims = array.shape[1]
+        cell_side = cell_side_length(self.eps, n_dims)
+        sub_side = cell_side * self.rho
+        stencil = NeighborStencil(n_dims)
+        timings: dict[str, float] = {}
+
+        # Phase 1: random partitioning + merged cell dictionary.
+        start = time.perf_counter()
+        partitions = self._random_partitions(n_points)
+        cell_ids, index = self._build_dictionary(
+            array, cell_side, sub_side, stencil, partitions
+        )
+        timings["partition_dictionary"] = time.perf_counter() - start
+
+        # Phase 2: approximate core marking (per partition).
+        start = time.perf_counter()
+        core_mask = self._mark_cores(
+            array, cell_ids, sub_side, index, partitions
+        )
+        timings["core_marking"] = time.perf_counter() - start
+
+        # Core sub-cell index: cell id -> array of sub-cells with cores.
+        start = time.perf_counter()
+        core_subcells = self._core_subcell_index(
+            array, cell_ids, core_mask, sub_side
+        )
+        # Phase 3a: coverage (border/noise decision).
+        covered_by = self._cover_points(
+            array, cell_ids, core_mask, sub_side, index, core_subcells
+        )
+        timings["coverage"] = time.perf_counter() - start
+
+        # Phase 3b: per-partition local clustering + driver merge.
+        start = time.perf_counter()
+        labels, n_clusters = self._build_clusters(
+            cell_ids, core_mask, covered_by, sub_side, index,
+            core_subcells, partitions,
+        )
+        timings["cluster_merge"] = time.perf_counter() - start
+
+        outlier_mask = labels < 0
+        return RPDBSCANResult(
+            labels=labels,
+            core_mask=core_mask,
+            outlier_mask=outlier_mask,
+            n_clusters=n_clusters,
+            timings=TimingBreakdown(timings),
+            stats={
+                "algorithm": self.name,
+                "rho": self.rho,
+                "num_partitions": self.num_partitions,
+                "n_cells": len(index),
+                **self.context.metrics.snapshot(),
+            },
+        )
+
+    def detect(self, points: np.ndarray) -> DetectionResult:
+        """Detector facade returning outliers (noise points)."""
+        result = self.fit(points)
+        return DetectionResult(
+            n_points=result.labels.shape[0],
+            outlier_mask=result.outlier_mask,
+            core_mask=result.core_mask,
+            timings=result.timings,
+            stats={**result.stats, "n_clusters": result.n_clusters},
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1 helpers
+    # ------------------------------------------------------------------
+
+    def _random_partitions(self, n_points: int) -> list[np.ndarray]:
+        """Random (non-spatial) split of point indices into partitions."""
+        rng = np.random.default_rng(self.seed)
+        permuted = rng.permutation(n_points)
+        return list(np.array_split(permuted, self.num_partitions))
+
+    def _build_dictionary(
+        self,
+        array: np.ndarray,
+        cell_side: float,
+        sub_side: float,
+        stencil: NeighborStencil,
+        partitions: list[np.ndarray],
+    ) -> tuple[np.ndarray, _CellIndex]:
+        """Per-partition local dictionaries, merged into a cell index.
+
+        Returns the per-point cell ids and the merged index.  The
+        partition-level pass mirrors the engine's dataflow (each
+        partition summarizes its own points); the merge then assigns
+        global ids via a vectorized unique over cell coordinates.
+        """
+
+        def local_summary(indices: np.ndarray) -> np.ndarray:
+            # Emit each point's (cell, sub-cell) pair; the driver-side
+            # merge deduplicates.  Kept as arrays for speed.
+            local = array[indices]
+            return np.hstack(
+                [
+                    np.floor(local / cell_side).astype(np.int64),
+                    np.floor(local / sub_side).astype(np.int64),
+                ]
+            )
+
+        rdd = self.context.parallelize(partitions, len(partitions))
+        summaries = rdd.map(local_summary).collect()
+        stacked = np.vstack(summaries)
+        n_dims = array.shape[1]
+        cell_rows = stacked[:, :n_dims]
+        sub_rows = stacked[:, n_dims:]
+
+        # Global ids per cell (order of first appearance is irrelevant).
+        cells, inverse = np.unique(cell_rows, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        # The stacked order is partition-permuted; recover per-point ids
+        # by inverting the permutation.
+        permutation = np.concatenate(partitions)
+        cell_ids = np.empty(array.shape[0], dtype=np.int64)
+        cell_ids[permutation] = inverse
+
+        # Sub-cell summaries per cell id.
+        sub_coords: list[np.ndarray] = []
+        sub_counts: list[np.ndarray] = []
+        order = np.argsort(inverse, kind="stable")
+        sorted_cells = inverse[order]
+        boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+        groups = np.split(order, boundaries)
+        for group in groups:
+            subs, counts = np.unique(sub_rows[group], axis=0, return_counts=True)
+            sub_coords.append(subs)
+            sub_counts.append(counts)
+        index = _CellIndex(cells, stencil, sub_coords, sub_counts)
+        return cell_ids, index
+
+    # ------------------------------------------------------------------
+    # Phase 2 helpers
+    # ------------------------------------------------------------------
+
+    def _mark_cores(
+        self,
+        array: np.ndarray,
+        cell_ids: np.ndarray,
+        sub_side: float,
+        index: _CellIndex,
+        partitions: list[np.ndarray],
+    ) -> np.ndarray:
+        """Approximate core test, run partition-by-partition."""
+        eps = self.eps
+        min_pts = self.min_pts
+        index_broadcast = self.context.broadcast(index)
+
+        def mark_partition(indices: np.ndarray) -> np.ndarray:
+            cell_index = index_broadcast.value
+            core_hits: list[np.ndarray] = []
+            local_cells = cell_ids[indices]
+            order = np.argsort(local_cells, kind="stable")
+            sorted_cells = local_cells[order]
+            boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+            for group in np.split(order, boundaries):
+                cell_id = int(local_cells[group[0]])
+                members = indices[group]
+                if cell_index.totals[cell_id] >= min_pts:
+                    core_hits.append(members)  # dense cell: exact
+                    continue
+                neighbor_ids = cell_index.neighbors(cell_id)
+                if cell_index.totals[neighbor_ids].sum() < min_pts:
+                    continue  # cannot possibly be core
+                counts = np.zeros(len(members), dtype=np.int64)
+                member_points = array[members]
+                for neighbor_id in neighbor_ids:
+                    guaranteed = _max_box_dist_le(
+                        member_points,
+                        cell_index.sub_coords[neighbor_id],
+                        sub_side,
+                        eps,
+                    )
+                    counts += guaranteed @ cell_index.sub_counts[neighbor_id]
+                core_hits.append(members[counts >= min_pts])
+            if not core_hits:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(core_hits)
+
+        rdd = self.context.parallelize(partitions, len(partitions))
+        core_mask = np.zeros(array.shape[0], dtype=bool)
+        for hits in rdd.map(mark_partition).collect():
+            core_mask[hits] = True
+        return core_mask
+
+    # ------------------------------------------------------------------
+    # Phase 3 helpers
+    # ------------------------------------------------------------------
+
+    def _core_subcell_index(
+        self,
+        array: np.ndarray,
+        cell_ids: np.ndarray,
+        core_mask: np.ndarray,
+        sub_side: float,
+    ) -> dict[int, np.ndarray]:
+        """cell id -> (s, d) array of sub-cells containing core points."""
+        core_idx = np.flatnonzero(core_mask)
+        result: dict[int, np.ndarray] = {}
+        if core_idx.size == 0:
+            return result
+        core_cells = cell_ids[core_idx]
+        subs = np.floor(array[core_idx] / sub_side).astype(np.int64)
+        order = np.argsort(core_cells, kind="stable")
+        sorted_cells = core_cells[order]
+        boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+        for group in np.split(order, boundaries):
+            cell_id = int(core_cells[group[0]])
+            result[cell_id] = np.unique(subs[group], axis=0)
+        return result
+
+    def _cover_points(
+        self,
+        array: np.ndarray,
+        cell_ids: np.ndarray,
+        core_mask: np.ndarray,
+        sub_side: float,
+        index: _CellIndex,
+        core_subcells: dict[int, np.ndarray],
+    ) -> dict[int, int]:
+        """For each covered non-core point, a covering core cell id.
+
+        Coverage is liberal (min box distance <= eps to a core
+        sub-cell): the rare false negatives of Tables IV/V come from
+        here.
+        """
+        eps = self.eps
+        covered: dict[int, int] = {}
+        non_core = np.flatnonzero(~core_mask)
+        if non_core.size == 0:
+            return covered
+        local_cells = cell_ids[non_core]
+        order = np.argsort(local_cells, kind="stable")
+        sorted_cells = local_cells[order]
+        boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+        for group in np.split(order, boundaries):
+            cell_id = int(local_cells[group[0]])
+            members = non_core[group]
+            member_points = array[members]
+            undecided = np.ones(len(members), dtype=bool)
+            for neighbor_id in index.neighbors(cell_id):
+                subs = core_subcells.get(int(neighbor_id))
+                if subs is None or not undecided.any():
+                    continue
+                reach = _min_box_dist_le(
+                    member_points[undecided], subs, sub_side, eps
+                )
+                hit_rows = reach.any(axis=1)
+                if not hit_rows.any():
+                    continue
+                undecided_idx = np.flatnonzero(undecided)
+                for row in np.flatnonzero(hit_rows):
+                    covered[int(members[undecided_idx[row]])] = int(neighbor_id)
+                undecided[undecided_idx[hit_rows]] = False
+        return covered
+
+    def _build_clusters(
+        self,
+        cell_ids: np.ndarray,
+        core_mask: np.ndarray,
+        covered_by: dict[int, int],
+        sub_side: float,
+        index: _CellIndex,
+        core_subcells: dict[int, np.ndarray],
+        partitions: list[np.ndarray],
+    ) -> tuple[np.ndarray, int]:
+        """Local per-partition cluster fragments merged on the driver.
+
+        The union-find runs over *core cells* (any two core points of
+        one cell are within eps by construction); whether two
+        neighboring core cells connect is decided from the bounding
+        boxes of their core sub-cells — a slightly liberal stand-in
+        for RP-DBSCAN's pairwise sub-cell merge test that only affects
+        cluster granularity, never the outlier set.  Every partition
+        re-derives the edges for the cells its own points touch — this
+        duplicated fragment work is what grows with the partition
+        count (Fig. 13).
+        """
+        eps = self.eps
+        eps_sq = eps * eps
+        n_cells = len(index)
+        n_dims = index.cells.shape[1]
+        # Bounding box of each cell's core sub-cells (inf = no cores).
+        core_lo = np.full((n_cells, n_dims), np.inf)
+        core_hi = np.full((n_cells, n_dims), -np.inf)
+        for cell_id, subs in core_subcells.items():
+            core_lo[cell_id] = subs.min(axis=0) * sub_side
+            core_hi[cell_id] = subs.max(axis=0) * sub_side + sub_side
+        boxes_broadcast = self.context.broadcast((core_lo, core_hi))
+
+        def local_edges(indices: np.ndarray) -> list[tuple[int, int]]:
+            lo, hi = boxes_broadcast.value
+            local_core = indices[core_mask[indices]]
+            if local_core.size == 0:
+                return []
+            seen = np.unique(cell_ids[local_core])
+            edges: list[tuple[int, int]] = []
+            for cell_id in seen:
+                cell_id = int(cell_id)
+                neighbor_ids = index.neighbors(cell_id)
+                neighbor_ids = neighbor_ids[neighbor_ids > cell_id]
+                neighbor_ids = neighbor_ids[
+                    np.isfinite(lo[neighbor_ids, 0])
+                ]
+                if neighbor_ids.size == 0:
+                    continue
+                gap = np.maximum(
+                    np.maximum(
+                        lo[neighbor_ids] - hi[cell_id],
+                        lo[cell_id] - hi[neighbor_ids],
+                    ),
+                    0.0,
+                )
+                close = np.einsum("nd,nd->n", gap, gap) <= eps_sq
+                edges.extend(
+                    (cell_id, int(nid)) for nid in neighbor_ids[close]
+                )
+            return edges
+
+        rdd = self.context.parallelize(partitions, len(partitions))
+        forest = DisjointSet()
+        for edges in rdd.map(local_edges).collect():
+            for a, b in edges:
+                forest.union(a, b)
+        # Every core cell belongs to some cluster even if edge-less.
+        for cell_id in core_subcells:
+            forest.find(cell_id)
+        root_to_cluster: dict[object, int] = {}
+        labels = np.full(cell_ids.shape[0], -1, dtype=np.int64)
+        for point_index in np.flatnonzero(core_mask):
+            root = forest.find(int(cell_ids[point_index]))
+            cluster = root_to_cluster.setdefault(root, len(root_to_cluster))
+            labels[point_index] = cluster
+        for point_index, covering_cell in covered_by.items():
+            root = forest.find(covering_cell)
+            cluster = root_to_cluster.setdefault(root, len(root_to_cluster))
+            labels[point_index] = cluster
+        return labels, len(root_to_cluster)
+
+
+# ----------------------------------------------------------------------
+# Box-distance predicates (vectorized over sub-cell arrays)
+# ----------------------------------------------------------------------
+
+
+def _min_box_dist_le(
+    points: np.ndarray, sub_coords: np.ndarray, sub_side: float, eps: float
+) -> np.ndarray:
+    """Boolean (n_points, n_subs): min distance point-to-box <= eps."""
+    lo = sub_coords * sub_side  # (s, d)
+    hi = lo + sub_side
+    below = lo[None, :, :] - points[:, None, :]
+    above = points[:, None, :] - hi[None, :, :]
+    gap = np.maximum(np.maximum(below, above), 0.0)
+    return np.einsum("psd,psd->ps", gap, gap) <= eps * eps
+
+
+def _max_box_dist_le(
+    points: np.ndarray, sub_coords: np.ndarray, sub_side: float, eps: float
+) -> np.ndarray:
+    """Boolean (n_points, n_subs): max distance point-to-box <= eps."""
+    lo = sub_coords * sub_side
+    hi = lo + sub_side
+    far = np.maximum(
+        np.abs(points[:, None, :] - lo[None, :, :]),
+        np.abs(points[:, None, :] - hi[None, :, :]),
+    )
+    return np.einsum("psd,psd->ps", far, far) <= eps * eps
+
+
+def _box_box_dist_le(
+    subs_a: np.ndarray, subs_b: np.ndarray, sub_side: float, eps: float
+) -> np.ndarray:
+    """Boolean (a, b): min distance between two sub-cell boxes <= eps."""
+    lo_a = subs_a * sub_side
+    hi_a = lo_a + sub_side
+    lo_b = subs_b * sub_side
+    hi_b = lo_b + sub_side
+    below = lo_b[None, :, :] - hi_a[:, None, :]
+    above = lo_a[:, None, :] - hi_b[None, :, :]
+    gap = np.maximum(np.maximum(below, above), 0.0)
+    return np.einsum("abd,abd->ab", gap, gap) <= eps * eps
+
+
+def subcell_side(eps: float, rho: float, n_dims: int) -> float:
+    """Side of a sub-cell with diagonal ``rho * eps``."""
+    return rho * eps / math.sqrt(n_dims)

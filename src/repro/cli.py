@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``detect`` — run DBSCOUT on a CSV/NPY point file and print (or save)
+  the outlier indices.
+* ``estimate-eps`` — print the k-distance elbow eps for a dataset.
+* ``generate`` — write one of the built-in synthetic datasets to disk.
+
+Examples:
+    python -m repro detect points.csv --eps 0.5 --min-pts 10
+    python -m repro detect points.npy --min-pts 10 --auto-eps
+    python -m repro estimate-eps points.csv --min-pts 10
+    python -m repro generate osm --n 100000 --output osm.npy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import DBSCOUT, __version__, estimate_eps
+from repro.datasets import (
+    make_blobs,
+    make_circles,
+    make_geolife_like,
+    make_moons,
+    make_openstreetmap_like,
+)
+from repro.datasets.io import load_points, save_outliers, save_points
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+GENERATORS = {
+    "blobs": lambda n, seed: make_blobs(
+        n_inliers=max(n - n // 100, 1), n_outliers=n // 100, seed=seed
+    ).points,
+    "circles": lambda n, seed: make_circles(
+        n_inliers=max(n - n // 100, 1), n_outliers=n // 100, seed=seed
+    ).points,
+    "moons": lambda n, seed: make_moons(
+        n_inliers=max(n - n // 100, 1), n_outliers=n // 100, seed=seed
+    ).points,
+    "geolife": lambda n, seed: make_geolife_like(n, seed=seed),
+    "osm": lambda n, seed: make_openstreetmap_like(n, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DBSCOUT: scalable exact density-based outlier detection",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    detect = commands.add_parser(
+        "detect", help="detect outliers in a CSV/NPY point file"
+    )
+    detect.add_argument("input", help="points file (.csv or .npy)")
+    detect.add_argument("--eps", type=float, help="neighborhood radius")
+    detect.add_argument(
+        "--min-pts", type=int, required=True, help="density threshold"
+    )
+    detect.add_argument(
+        "--auto-eps",
+        action="store_true",
+        help="estimate eps with the k-distance elbow (ignores --eps)",
+    )
+    detect.add_argument(
+        "--engine",
+        choices=("vectorized", "distributed"),
+        default="vectorized",
+    )
+    detect.add_argument(
+        "--num-partitions",
+        type=int,
+        default=8,
+        help="partitions for the distributed engine",
+    )
+    detect.add_argument(
+        "--output", help="write outlier indices here instead of stdout"
+    )
+    detect.add_argument(
+        "--stats", action="store_true", help="print phase timings and stats"
+    )
+
+    estimate = commands.add_parser(
+        "estimate-eps", help="print the k-distance elbow eps"
+    )
+    estimate.add_argument("input", help="points file (.csv or .npy)")
+    estimate.add_argument("--min-pts", type=int, required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a built-in synthetic dataset"
+    )
+    generate.add_argument("dataset", choices=sorted(GENERATORS))
+    generate.add_argument("--n", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+
+    compare = commands.add_parser(
+        "compare",
+        help="run DBSCOUT and the baselines on a file, print a summary",
+    )
+    compare.add_argument("input", help="points file (.csv or .npy)")
+    compare.add_argument("--min-pts", type=int, required=True)
+    compare.add_argument(
+        "--eps", type=float, help="defaults to the k-distance elbow"
+    )
+    compare.add_argument(
+        "--contamination",
+        type=float,
+        default=0.05,
+        help="fraction handed to the score-based baselines",
+    )
+    compare.add_argument(
+        "--detectors",
+        default="dbscout,lof,iforest,knn",
+        help="comma list from: dbscout,lof,iforest,ocsvm,knn,dbscan",
+    )
+    return parser
+
+
+def _run_detect(args: argparse.Namespace) -> int:
+    points = load_points(args.input)
+    if args.auto_eps:
+        eps = estimate_eps(points, args.min_pts)
+        print(f"estimated eps: {eps:.6g}", file=sys.stderr)
+    elif args.eps is not None:
+        eps = args.eps
+    else:
+        print(
+            "error: provide --eps or --auto-eps",
+            file=sys.stderr,
+        )
+        return 2
+    engine_options = (
+        {"num_partitions": args.num_partitions}
+        if args.engine == "distributed"
+        else {}
+    )
+    detector = DBSCOUT(
+        eps=eps, min_pts=args.min_pts, engine=args.engine, **engine_options
+    )
+    result = detector.fit(points)
+    if args.stats:
+        print(f"points:   {result.n_points}", file=sys.stderr)
+        print(f"core:     {result.n_core_points}", file=sys.stderr)
+        print(f"outliers: {result.n_outliers}", file=sys.stderr)
+        if result.timings is not None:
+            print(f"timings:  {result.timings}", file=sys.stderr)
+    if args.output:
+        save_outliers(result.outlier_indices, args.output)
+        print(
+            f"{result.n_outliers} outlier indices written to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        for index in result.outlier_indices:
+            print(int(index))
+    return 0
+
+
+def _run_estimate(args: argparse.Namespace) -> int:
+    points = load_points(args.input)
+    print(f"{estimate_eps(points, args.min_pts):.6g}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.baselines import (
+        DBSCAN,
+        IsolationForest,
+        KNNOutlierDetector,
+        LocalOutlierFactor,
+        OneClassSVM,
+    )
+    from repro.experiments import format_table
+
+    points = load_points(args.input)
+    eps = args.eps if args.eps is not None else estimate_eps(
+        points, args.min_pts
+    )
+    nu = args.contamination
+    registry = {
+        "dbscout": lambda: DBSCOUT(eps=eps, min_pts=args.min_pts).fit(points),
+        "dbscan": lambda: DBSCAN(eps, args.min_pts).detect(points),
+        "lof": lambda: LocalOutlierFactor(
+            k=max(args.min_pts, 2), contamination=nu
+        ).detect(points),
+        "iforest": lambda: IsolationForest(contamination=nu, seed=0).detect(
+            points
+        ),
+        "ocsvm": lambda: OneClassSVM(nu=nu, seed=0).detect(points),
+        "knn": lambda: KNNOutlierDetector(
+            k=max(args.min_pts, 1), contamination=nu
+        ).detect(points),
+    }
+    names = [name.strip() for name in args.detectors.split(",") if name.strip()]
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(
+            f"error: unknown detectors {unknown}; "
+            f"choose from {sorted(registry)}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = []
+    for name in names:
+        start = time.perf_counter()
+        result = registry[name]()
+        elapsed = time.perf_counter() - start
+        rows.append([name, result.n_outliers, round(elapsed, 3)])
+    print(
+        format_table(
+            ["detector", "outliers", "seconds"],
+            rows,
+            title=(
+                f"{points.shape[0]} points, eps={eps:.6g}, "
+                f"minPts={args.min_pts}, contamination={nu}"
+            ),
+        )
+    )
+    return 0
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    points = GENERATORS[args.dataset](args.n, args.seed)
+    save_points(points, args.output)
+    print(
+        f"wrote {points.shape[0]} x {points.shape[1]} points to {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "detect": _run_detect,
+        "estimate-eps": _run_estimate,
+        "generate": _run_generate,
+        "compare": _run_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core DBSCOUT algorithm: grid geometry, cell maps, and detection engines."""
+
+from repro.core.cellmap import CellMap, CellType
+from repro.core.dbscout import DBSCOUT, detect_outliers
+from repro.core.distance_based import DistanceBasedDetector
+from repro.core.grid import Grid, cell_coordinates, cell_side_length
+from repro.core.incremental import IncrementalDBSCOUT
+from repro.core.neighbors import (
+    NeighborStencil,
+    count_neighbor_offsets,
+    kd_upper_bound,
+    neighbor_offsets,
+)
+from repro.core.parameters import estimate_eps, k_distance_graph
+from repro.core.scoring import detect_with_scores, nearest_core_distance
+
+__all__ = [
+    "CellMap",
+    "CellType",
+    "DBSCOUT",
+    "DistanceBasedDetector",
+    "IncrementalDBSCOUT",
+    "detect_outliers",
+    "Grid",
+    "cell_coordinates",
+    "cell_side_length",
+    "NeighborStencil",
+    "count_neighbor_offsets",
+    "kd_upper_bound",
+    "neighbor_offsets",
+    "estimate_eps",
+    "detect_with_scores",
+    "nearest_core_distance",
+    "k_distance_graph",
+]

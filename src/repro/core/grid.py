@@ -1,0 +1,248 @@
+"""Grid partitioning: assignment of points to epsilon-cells.
+
+An *epsilon-cell* (Definition 4 of the paper) is a d-dimensional
+hypercube whose **diagonal** has length ``eps``, hence whose side is
+``l = eps / sqrt(d)``.  A cell is identified by the integer coordinates
+of its minimum vertex scaled by ``l``: point ``x`` belongs to cell
+``floor(x / l)`` along every dimension.  Cells are half-open boxes
+``[c*l, (c+1)*l)`` so the grid is a complete, non-overlapping partition
+of the space (Definition 5).
+
+The key geometric property (used by Lemma 1) is that any two points in
+the same cell are at distance at most ``eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, ParameterError
+
+__all__ = [
+    "cell_side_length",
+    "cell_coordinates",
+    "validate_points",
+    "Grid",
+]
+
+
+def cell_side_length(eps: float, n_dims: int) -> float:
+    """Return the side length ``l = eps / sqrt(d)`` of an epsilon-cell.
+
+    Args:
+        eps: Neighborhood radius (positive).
+        n_dims: Dimensionality ``d`` of the space (positive integer).
+
+    Raises:
+        ParameterError: If ``eps`` or ``n_dims`` is not positive.
+    """
+    if not math.isfinite(eps) or eps <= 0:
+        raise ParameterError(f"eps must be a positive finite number, got {eps!r}")
+    if n_dims < 1:
+        raise ParameterError(f"n_dims must be >= 1, got {n_dims!r}")
+    return eps / math.sqrt(n_dims)
+
+
+def validate_points(points: np.ndarray) -> np.ndarray:
+    """Validate and normalize an input point array.
+
+    Args:
+        points: Array-like of shape ``(n, d)`` with finite values.
+
+    Returns:
+        A C-contiguous ``float64`` array of shape ``(n, d)``.
+
+    Raises:
+        DataValidationError: If the array is not 2-D, is empty along the
+            feature axis, or contains NaN/inf values.
+    """
+    array = np.ascontiguousarray(points, dtype=np.float64)
+    if array.ndim != 2:
+        raise DataValidationError(
+            f"points must be a 2-D array of shape (n, d), got ndim={array.ndim}"
+        )
+    if array.shape[1] < 1:
+        raise DataValidationError("points must have at least one feature column")
+    if array.size and not np.isfinite(array).all():
+        raise DataValidationError("points contain NaN or infinite values")
+    return array
+
+
+def cell_coordinates(points: np.ndarray, eps: float) -> np.ndarray:
+    """Compute the epsilon-cell coordinates of each point (Algorithm 1).
+
+    Each point ``p`` maps to the integer vector
+    ``C_i = floor(p_i * sqrt(d) / eps)``.
+
+    Args:
+        points: Array of shape ``(n, d)``.
+        eps: Neighborhood radius.
+
+    Returns:
+        Integer array of shape ``(n, d)`` with the cell coordinates.
+    """
+    array = validate_points(points)
+    side = cell_side_length(eps, array.shape[1])
+    return np.floor(array / side).astype(np.int64)
+
+
+def _pack_columns(coords: np.ndarray) -> np.ndarray | None:
+    """Pack integer coordinate rows into single int64 keys when possible.
+
+    Packing gives a fast, order-preserving-per-cell scalar key for
+    dictionary and sort operations.  Returns ``None`` when the combined
+    coordinate ranges do not fit into 63 bits (caller must fall back to
+    tuple keys).
+    """
+    if coords.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    mins = coords.min(axis=0)
+    spans = coords.max(axis=0) - mins + 1
+    bits = [int(span).bit_length() for span in spans]
+    if sum(bits) > 62:
+        return None
+    keys = np.zeros(coords.shape[0], dtype=np.int64)
+    for dim in range(coords.shape[1]):
+        keys = (keys << bits[dim]) | (coords[:, dim] - mins[dim])
+    return keys
+
+
+@dataclass(frozen=True)
+class GridStats:
+    """Summary statistics of a grid (used in experiment reports)."""
+
+    n_points: int
+    n_cells: int
+    max_cell_population: int
+    mean_cell_population: float
+
+
+class Grid:
+    """A complete non-overlapping partition of a dataset into epsilon-cells.
+
+    The grid indexes points by cell: it computes, once, the unique cells
+    present in the data, the per-cell population, and for each point the
+    index of the cell it belongs to.  Point indices are grouped so that
+    the members of any cell can be retrieved in O(|cell|).
+
+    Attributes:
+        points: The validated ``(n, d)`` input array.
+        eps: Neighborhood radius used to size the cells.
+        side: Cell side length ``eps / sqrt(d)``.
+        coords: ``(n, d)`` integer cell coordinates of each point.
+        cells: ``(m, d)`` integer coordinates of the unique non-empty
+            cells, in lexicographic-key order.
+        counts: ``(m,)`` population of each unique cell.
+        point_cell: ``(n,)`` index into ``cells`` for each point.
+    """
+
+    def __init__(self, points: np.ndarray, eps: float) -> None:
+        self.points = validate_points(points)
+        self.eps = float(eps)
+        n_dims = self.points.shape[1]
+        self.side = cell_side_length(eps, n_dims)
+        self.coords = np.floor(self.points / self.side).astype(np.int64)
+        self._build_index()
+
+    def _build_index(self) -> None:
+        """Group points by cell using a packed-key sort (O(n log n))."""
+        n_points = self.points.shape[0]
+        if n_points == 0:
+            self.cells = np.empty((0, self.points.shape[1]), dtype=np.int64)
+            self.point_cell = np.empty(0, dtype=np.int64)
+            self.counts = np.empty(0, dtype=np.int64)
+            self._order = np.empty(0, dtype=np.int64)
+            self._starts = np.zeros(0, dtype=np.int64)
+            self._n_points = 0
+            self._cell_lookup = None
+            return
+        packed = _pack_columns(self.coords)
+        if packed is None:
+            # Ranges too wide for packing: unique over rows directly.
+            self.cells, self.point_cell, self.counts = np.unique(
+                self.coords, axis=0, return_inverse=True, return_counts=True
+            )
+            self.point_cell = self.point_cell.ravel()
+            order = np.argsort(self.point_cell, kind="stable")
+        else:
+            unique_keys, inverse, counts = np.unique(
+                packed, return_inverse=True, return_counts=True
+            )
+            self.point_cell = inverse.ravel()
+            self.counts = counts
+            order = np.argsort(self.point_cell, kind="stable")
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            self.cells = self.coords[order[starts]]
+        # Contiguous grouping: points of cell i occupy
+        # _order[_starts[i]:_starts[i] + counts[i]].
+        self._order = order
+        self._starts = np.concatenate(([0], np.cumsum(self.counts)[:-1]))
+        self._n_points = n_points
+        self._cell_lookup: dict[tuple[int, ...], int] | None = None
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return self._n_points
+
+    @property
+    def n_cells(self) -> int:
+        """Number of non-empty cells."""
+        return int(self.cells.shape[0])
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the space."""
+        return int(self.points.shape[1])
+
+    def cell_members(self, cell_index: int) -> np.ndarray:
+        """Return the point indices belonging to the cell at ``cell_index``."""
+        start = self._starts[cell_index]
+        return self._order[start : start + self.counts[cell_index]]
+
+    def members_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR view of the per-cell membership.
+
+        Returns:
+            ``(order, starts)``: the members of cell ``i`` are
+            ``order[starts[i] : starts[i] + counts[i]]``.  Used by the
+            engines to gather many cells' members without per-cell
+            Python overhead.
+        """
+        return self._order, self._starts
+
+    def cell_of_point(self, point_index: int) -> int:
+        """Return the cell index that contains the given point."""
+        return int(self.point_cell[point_index])
+
+    def lookup(self) -> dict[tuple[int, ...], int]:
+        """Return (building lazily) a mapping from cell tuple to cell index."""
+        if self._cell_lookup is None:
+            self._cell_lookup = {
+                tuple(int(c) for c in row): i for i, row in enumerate(self.cells)
+            }
+        return self._cell_lookup
+
+    def cell_index(self, cell: tuple[int, ...]) -> int | None:
+        """Return the index of the cell with the given coordinates, if present."""
+        return self.lookup().get(tuple(int(c) for c in cell))
+
+    def stats(self) -> GridStats:
+        """Return summary statistics of the grid."""
+        if self.n_cells == 0:
+            return GridStats(0, 0, 0, 0.0)
+        return GridStats(
+            n_points=self.n_points,
+            n_cells=self.n_cells,
+            max_cell_population=int(self.counts.max()),
+            mean_cell_population=float(self.counts.mean()),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Grid(n_points={self.n_points}, n_cells={self.n_cells}, "
+            f"eps={self.eps}, side={self.side:.6g})"
+        )

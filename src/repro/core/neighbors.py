@@ -1,0 +1,172 @@
+"""Exact neighboring-cell enumeration (Definition 8, Lemma 3, Table I).
+
+Two non-empty cells are *neighbors* when the minimum possible distance
+between a point of one and a point of the other is strictly below
+``eps``.  With cells of side ``l = eps / sqrt(d)``, the offset vector
+``j`` between two cells yields a minimum gap of ``g_i = max(0, |j_i|-1)``
+cell-sides along dimension ``i``, so the cells are neighbors iff::
+
+    sum_i max(0, |j_i| - 1)^2  <  d        (all integer arithmetic)
+
+because ``eps^2 = d * l^2``.  The inequality is strict: the infimum is
+taken over the closure of the half-open cells and is not attained by
+actual points, so any pair of points at distance ``<= eps`` lives in
+cells satisfying the strict inequality.
+
+The number of neighbor offsets depends only on ``d`` and is denoted
+``k_d``.  ``kd_upper_bound`` gives the loose bound
+``(2 * ceil(sqrt(d)) + 1) ** d`` of Lemma 3; ``count_neighbor_offsets``
+computes the exact ``k_d`` without enumerating offsets (closed-form
+polynomial convolution), matching the "Actual" column of Table I.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "kd_upper_bound",
+    "count_neighbor_offsets",
+    "neighbor_offsets",
+    "NeighborStencil",
+    "min_cell_gap_squared",
+]
+
+#: Enumerating offsets materializes up to ``kd_upper_bound(d)`` candidate
+#: vectors; beyond this dimensionality we refuse and callers must rely on
+#: the counting form.  d=8 gives ~5.8M candidates which is still fine.
+MAX_ENUMERATION_DIMS = 8
+
+
+def _check_dims(n_dims: int) -> None:
+    if not isinstance(n_dims, (int, np.integer)) or n_dims < 1:
+        raise ParameterError(f"n_dims must be a positive integer, got {n_dims!r}")
+
+
+def kd_upper_bound(n_dims: int) -> int:
+    """Loose upper bound on ``k_d`` from Lemma 3: ``(2*ceil(sqrt(d))+1)^d``."""
+    _check_dims(n_dims)
+    reach = math.isqrt(n_dims - 1) + 1  # ceil(sqrt(d))
+    return (2 * reach + 1) ** n_dims
+
+
+def min_cell_gap_squared(offset: tuple[int, ...] | np.ndarray) -> int:
+    """Squared minimum gap, in cell-side units, between cells at ``offset``.
+
+    This is ``sum_i max(0, |j_i| - 1)^2``; the actual minimum distance is
+    its square root times the cell side ``l``.
+    """
+    total = 0
+    for j in offset:
+        gap = abs(int(j)) - 1
+        if gap > 0:
+            total += gap * gap
+    return total
+
+
+@lru_cache(maxsize=64)
+def count_neighbor_offsets(n_dims: int) -> int:
+    """Exact ``k_d``: the number of neighbor offsets in ``d`` dimensions.
+
+    Computed by dynamic programming over dimensions: each dimension
+    contributes a squared gap of ``0`` (offsets -1, 0, +1 -> 3 ways) or
+    ``(a-1)^2`` for ``|j| = a >= 2`` (2 ways each), and an offset vector
+    is a neighbor iff the contributions sum to strictly less than ``d``.
+    """
+    _check_dims(n_dims)
+    reach = math.isqrt(n_dims - 1) + 1
+    # ways[s] = number of per-dimension offsets with squared gap s.
+    ways: dict[int, int] = {0: 3}
+    for magnitude in range(2, reach + 1):
+        ways[(magnitude - 1) ** 2] = 2
+    # counts[s] = number of offset prefixes with total squared gap s < d.
+    counts = {0: 1}
+    for _ in range(n_dims):
+        next_counts: dict[int, int] = {}
+        for total, n_prefixes in counts.items():
+            for gap_sq, n_ways in ways.items():
+                new_total = total + gap_sq
+                if new_total < n_dims:
+                    next_counts[new_total] = (
+                        next_counts.get(new_total, 0) + n_prefixes * n_ways
+                    )
+        counts = next_counts
+    return sum(counts.values())
+
+
+@lru_cache(maxsize=16)
+def _offsets_cached(n_dims: int) -> np.ndarray:
+    reach = math.isqrt(n_dims - 1) + 1
+    per_dim = range(-reach, reach + 1)
+    rows = [
+        offset
+        for offset in itertools.product(per_dim, repeat=n_dims)
+        if min_cell_gap_squared(offset) < n_dims
+    ]
+    return np.array(rows, dtype=np.int64)
+
+
+def neighbor_offsets(n_dims: int) -> np.ndarray:
+    """Enumerate all neighbor offsets for ``d`` dimensions.
+
+    Returns:
+        Integer array of shape ``(k_d, d)``.  The zero offset (the cell
+        itself) is included, as Definition 8 makes each cell a neighbor
+        of itself.
+
+    Raises:
+        ParameterError: If ``n_dims`` exceeds ``MAX_ENUMERATION_DIMS``
+            (use :func:`count_neighbor_offsets` for counting at higher d).
+    """
+    _check_dims(n_dims)
+    if n_dims > MAX_ENUMERATION_DIMS:
+        raise ParameterError(
+            f"neighbor offset enumeration is limited to "
+            f"d <= {MAX_ENUMERATION_DIMS}; got d={n_dims}. "
+            "Use count_neighbor_offsets for the count only."
+        )
+    return _offsets_cached(n_dims).copy()
+
+
+class NeighborStencil:
+    """Reusable neighbor-offset stencil for a fixed dimensionality.
+
+    Wraps the offset table with convenience iterators used by both the
+    vectorized and the distributed DBSCOUT engines, as well as by the
+    RP-DBSCAN baseline.
+    """
+
+    def __init__(self, n_dims: int) -> None:
+        _check_dims(n_dims)
+        self.n_dims = int(n_dims)
+        self.offsets = neighbor_offsets(n_dims)
+        self._offset_tuples: list[tuple[int, ...]] | None = None
+
+    @property
+    def k_d(self) -> int:
+        """Number of neighbor offsets (the constant ``k_d`` of the paper)."""
+        return int(self.offsets.shape[0])
+
+    def offset_tuples(self) -> list[tuple[int, ...]]:
+        """Return the offsets as a cached list of Python int tuples."""
+        if self._offset_tuples is None:
+            self._offset_tuples = [
+                tuple(int(j) for j in row) for row in self.offsets
+            ]
+        return self._offset_tuples
+
+    def neighbors_of(self, cell: tuple[int, ...]) -> list[tuple[int, ...]]:
+        """Return the coordinates of every potential neighbor of ``cell``."""
+        return [
+            tuple(c + j for c, j in zip(cell, offset))
+            for offset in self.offset_tuples()
+        ]
+
+    def __repr__(self) -> str:
+        return f"NeighborStencil(n_dims={self.n_dims}, k_d={self.k_d})"

@@ -1,0 +1,64 @@
+"""Brute-force reference implementation of Definitions 2 and 3.
+
+Quadratic in the number of points; used as ground truth in tests and to
+validate the fast engines on small inputs.  Kept deliberately simple —
+a direct transcription of the definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import validate_points
+from repro.core.validation import validate_parameters
+from repro.types import DetectionResult
+
+__all__ = ["brute_force_core_mask", "brute_force_detect"]
+
+
+def _pairwise_sq_dists(points: np.ndarray) -> np.ndarray:
+    """Full (n, n) matrix of squared Euclidean distances."""
+    sq_norms = np.einsum("ij,ij->i", points, points)
+    sq_dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * points @ points.T
+    np.maximum(sq_dists, 0.0, out=sq_dists)
+    return sq_dists
+
+
+def brute_force_core_mask(
+    points: np.ndarray, eps: float, min_pts: int
+) -> np.ndarray:
+    """Exact core-point mask per Definition 2 (``<= eps``, self included)."""
+    array = validate_points(points)
+    validate_parameters(eps, min_pts)
+    if array.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    sq_dists = _pairwise_sq_dists(array)
+    neighbor_counts = (sq_dists <= eps * eps).sum(axis=1)
+    return neighbor_counts >= min_pts
+
+
+def brute_force_detect(
+    points: np.ndarray, eps: float, min_pts: int
+) -> DetectionResult:
+    """Exact outliers per Definition 3: not within eps of any core point."""
+    array = validate_points(points)
+    validate_parameters(eps, min_pts)
+    n_points = array.shape[0]
+    if n_points == 0:
+        return DetectionResult(
+            n_points=0,
+            outlier_mask=np.zeros(0, dtype=bool),
+            core_mask=np.zeros(0, dtype=bool),
+        )
+    sq_dists = _pairwise_sq_dists(array)
+    within = sq_dists <= eps * eps
+    core_mask = within.sum(axis=1) >= min_pts
+    if core_mask.any():
+        covered = within[:, core_mask].any(axis=1)
+    else:
+        covered = np.zeros(n_points, dtype=bool)
+    return DetectionResult(
+        n_points=n_points,
+        outlier_mask=~covered,
+        core_mask=core_mask,
+    )

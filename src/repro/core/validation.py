@@ -1,0 +1,40 @@
+"""Parameter validation shared by all detection engines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["validate_parameters"]
+
+
+def validate_parameters(eps: float, min_pts: int) -> tuple[float, int]:
+    """Validate DBSCOUT / DBSCAN parameters.
+
+    Args:
+        eps: Neighborhood radius; must be positive and finite.
+        min_pts: Minimum number of points (self included) in a dense
+            region; must be a positive integer.
+
+    Returns:
+        The normalized ``(eps, min_pts)`` pair.
+
+    Raises:
+        ParameterError: If either parameter is out of range.
+    """
+    if isinstance(eps, bool) or not isinstance(eps, (int, float, np.floating, np.integer)):
+        raise ParameterError(f"eps must be a number, got {type(eps).__name__}")
+    eps = float(eps)
+    if not math.isfinite(eps) or eps <= 0:
+        raise ParameterError(f"eps must be positive and finite, got {eps!r}")
+    if isinstance(min_pts, bool) or not isinstance(min_pts, (int, np.integer)):
+        raise ParameterError(
+            f"min_pts must be an integer, got {type(min_pts).__name__}"
+        )
+    min_pts = int(min_pts)
+    if min_pts < 1:
+        raise ParameterError(f"min_pts must be >= 1, got {min_pts}")
+    return eps, min_pts

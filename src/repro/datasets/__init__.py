@@ -1,0 +1,59 @@
+"""Dataset generators used by the tests, examples, and benchmarks.
+
+* :mod:`repro.datasets.synthetic` — labelled small 2-D benchmark
+  datasets (blobs, blobs-vd, circles, moons), sklearn-like but written
+  from scratch.
+* :mod:`repro.datasets.cluto` — CLUTO/CURE-style shape datasets with
+  noise labels (synthetic stand-ins for the paper's benchmark files).
+* :mod:`repro.datasets.geospatial` — Geolife-like and
+  OpenStreetMap-like GPS simulators, plus the duplicate-with-jitter
+  enlargement used for the paper's 200%-1000% variants.
+"""
+
+from repro.datasets.cluto import (
+    make_cluto_t4,
+    make_cluto_t5,
+    make_cluto_t7,
+    make_cluto_t8,
+    make_cure_t2,
+)
+from repro.datasets.geospatial import (
+    enlarge_with_jitter,
+    make_geolife_like,
+    make_geolife_like_labeled,
+    make_openstreetmap_like,
+    sample_fraction,
+)
+from repro.datasets.projection import (
+    haversine_distance,
+    project_to_meters,
+    unproject_to_degrees,
+)
+from repro.datasets.synthetic import (
+    LabelledDataset,
+    make_blobs,
+    make_blobs_varying_density,
+    make_circles,
+    make_moons,
+)
+
+__all__ = [
+    "LabelledDataset",
+    "make_blobs",
+    "make_blobs_varying_density",
+    "make_circles",
+    "make_moons",
+    "make_cluto_t4",
+    "make_cluto_t5",
+    "make_cluto_t7",
+    "make_cluto_t8",
+    "make_cure_t2",
+    "make_geolife_like",
+    "make_geolife_like_labeled",
+    "make_openstreetmap_like",
+    "enlarge_with_jitter",
+    "sample_fraction",
+    "project_to_meters",
+    "unproject_to_degrees",
+    "haversine_distance",
+]

@@ -1,0 +1,81 @@
+"""Loading and saving point datasets (CSV and NPY).
+
+The CLI and examples use these helpers; they are deliberately plain:
+CSV files are headerless rows of floats (optionally with a header line
+that is auto-detected and skipped), NPY files are 2-D float arrays.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.grid import validate_points
+from repro.exceptions import DataValidationError
+
+__all__ = ["load_points", "save_points", "save_outliers"]
+
+
+def _looks_like_header(first_line: str, delimiter: str) -> bool:
+    for token in first_line.strip().split(delimiter):
+        try:
+            float(token)
+        except ValueError:
+            return True
+    return False
+
+
+def load_points(path: str | pathlib.Path, delimiter: str = ",") -> np.ndarray:
+    """Load a 2-D float array from a ``.npy`` or delimited text file.
+
+    Args:
+        path: Input file; ``.npy`` loads binary, anything else is
+            parsed as delimited text.  A non-numeric first line is
+            treated as a header and skipped.
+        delimiter: Column separator for text files.
+
+    Returns:
+        Validated ``(n, d)`` float array.
+
+    Raises:
+        DataValidationError: If the file cannot be parsed into a valid
+            point array.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DataValidationError(f"input file does not exist: {path}")
+    if path.suffix == ".npy":
+        array = np.load(path)
+    else:
+        with open(path) as handle:
+            first_line = handle.readline()
+        skip = 1 if _looks_like_header(first_line, delimiter) else 0
+        try:
+            array = np.loadtxt(
+                path, delimiter=delimiter, skiprows=skip, ndmin=2
+            )
+        except ValueError as exc:
+            raise DataValidationError(
+                f"could not parse {path} as delimited floats: {exc}"
+            ) from exc
+    return validate_points(array)
+
+
+def save_points(
+    points: np.ndarray, path: str | pathlib.Path, delimiter: str = ","
+) -> None:
+    """Save a point array as ``.npy`` or delimited text (by suffix)."""
+    path = pathlib.Path(path)
+    array = validate_points(points)
+    if path.suffix == ".npy":
+        np.save(path, array)
+    else:
+        np.savetxt(path, array, delimiter=delimiter)
+
+
+def save_outliers(
+    outlier_indices: np.ndarray, path: str | pathlib.Path
+) -> None:
+    """Save outlier point indices, one per line."""
+    np.savetxt(path, np.asarray(outlier_indices, dtype=np.int64), fmt="%d")

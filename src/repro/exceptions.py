@@ -1,0 +1,58 @@
+"""Exception hierarchy for the DBSCOUT reproduction library.
+
+Every error raised by the public API derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is invalid (e.g. non-positive ``eps``)."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """The input data does not satisfy the algorithm's requirements."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """A computation engine failed or was configured inconsistently."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result or model attribute was accessed before ``fit`` ran."""
+
+
+class SparkLiteError(ReproError, RuntimeError):
+    """Base class for errors raised by the SparkLite execution engine."""
+
+
+class ShuffleError(SparkLiteError):
+    """A shuffle stage failed (e.g. unhashable key)."""
+
+
+class TaskFailure(SparkLiteError):
+    """A (transient) task failure; the engine retries these.
+
+    Raised by failure injectors to exercise the engine's lineage-based
+    recovery, or by user code that wants a task attempt re-executed.
+    Anything else a task raises is treated as a deterministic error
+    and propagates without retry.
+    """
+
+
+class BroadcastError(SparkLiteError):
+    """A broadcast variable was used after being destroyed."""
+
+
+class ExecutorMemoryError(SparkLiteError, MemoryError):
+    """A simulated executor exceeded its memory budget.
+
+    Raised by the cluster memory model (``repro.sparklite.cluster``)
+    when broadcasts plus shuffle buckets overflow an executor — the
+    engine's analogue of a Spark executor OOM.
+    """

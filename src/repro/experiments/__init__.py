@@ -1,0 +1,29 @@
+"""Experiment harness: timed runs, table rendering, terminal plots."""
+
+from repro.experiments.plotting import ascii_curve, ascii_loglog, ascii_scatter
+from repro.experiments.persistence import load_experiment, save_experiment
+from repro.experiments.runner import Measurement, run_timed, time_callable
+from repro.experiments.sweeps import (
+    SweepCell,
+    SweepResult,
+    stability_report,
+    sweep_grid,
+)
+from repro.experiments.tables import format_series, format_table
+
+__all__ = [
+    "Measurement",
+    "run_timed",
+    "time_callable",
+    "format_table",
+    "format_series",
+    "ascii_scatter",
+    "ascii_curve",
+    "ascii_loglog",
+    "save_experiment",
+    "load_experiment",
+    "sweep_grid",
+    "stability_report",
+    "SweepCell",
+    "SweepResult",
+]

@@ -1,0 +1,83 @@
+"""Persisting experiment results as JSON.
+
+Benchmarks write their paper-style tables both to stdout and (via
+``save_experiment``) to ``results/<name>.json`` so that runs can be
+diffed, archived, and re-rendered without re-measuring.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+from repro.exceptions import DataValidationError
+from repro.experiments.runner import Measurement
+
+__all__ = ["save_experiment", "load_experiment", "measurement_to_dict"]
+
+
+def measurement_to_dict(measurement: Measurement) -> dict[str, Any]:
+    """JSON-safe form of a :class:`Measurement` (payload omitted)."""
+    return {
+        "label": measurement.label,
+        "seconds": list(measurement.seconds),
+        "mean": measurement.mean,
+        "std": measurement.std,
+        "best": measurement.best,
+    }
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and Measurements."""
+    import numpy as np
+
+    if isinstance(value, Measurement):
+        return measurement_to_dict(value)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def save_experiment(
+    name: str,
+    payload: Mapping[str, Any],
+    directory: str | pathlib.Path = "results",
+) -> pathlib.Path:
+    """Write an experiment record to ``<directory>/<name>.json``.
+
+    Args:
+        name: Experiment id (used as the file stem; no separators).
+        payload: JSON-serializable mapping (numpy values and
+            Measurements are converted automatically).
+        directory: Target directory, created if missing.
+
+    Returns:
+        The path written.
+    """
+    if not name or "/" in name or "\\" in name:
+        raise DataValidationError(f"invalid experiment name: {name!r}")
+    target_dir = pathlib.Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(_jsonify(dict(payload)), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_experiment(
+    name: str, directory: str | pathlib.Path = "results"
+) -> dict[str, Any]:
+    """Load a previously saved experiment record."""
+    path = pathlib.Path(directory) / f"{name}.json"
+    if not path.exists():
+        raise DataValidationError(f"no saved experiment at {path}")
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,156 @@
+"""Terminal (ASCII) plotting for examples and experiment reports.
+
+No plotting library is available offline, so the examples render
+results directly in the terminal: 2-D scatter plots with per-class
+markers, descending curves (the k-distance plot), and log-log series
+(the scalability figures).  Output is deterministic and therefore
+testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["ascii_scatter", "ascii_curve", "ascii_loglog"]
+
+
+def _prepare_canvas(width: int, height: int) -> list[list[str]]:
+    if width < 8 or height < 4:
+        raise ParameterError(
+            f"canvas must be at least 8x4, got {width}x{height}"
+        )
+    return [[" "] * width for _ in range(height)]
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    mask: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 24,
+    marker: str = ".",
+    masked_marker: str = "X",
+) -> str:
+    """Render a 2-D scatter plot; masked points get a loud marker.
+
+    Args:
+        points: ``(n, 2)`` array.
+        mask: Optional boolean array; ``True`` rows are drawn with
+            ``masked_marker`` (e.g. the detected outliers) and always
+            win over ordinary points sharing a character cell.
+        width: Canvas width in characters.
+        height: Canvas height in characters.
+        marker: Character for unmasked points.
+        masked_marker: Character for masked points.
+
+    Returns:
+        The plot as a multi-line string framed by a border.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ParameterError(
+            f"ascii_scatter needs (n, 2) points, got {array.shape}"
+        )
+    canvas = _prepare_canvas(width, height)
+    if array.shape[0]:
+        lo = array.min(axis=0)
+        hi = array.max(axis=0)
+        span = np.maximum(hi - lo, 1e-12)
+        cols = ((array[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int)
+        rows = ((array[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int)
+        flags = (
+            np.zeros(array.shape[0], dtype=bool)
+            if mask is None
+            else np.asarray(mask, dtype=bool)
+        )
+        # Draw plain points first so masked markers overwrite them.
+        for order_pass, symbol in ((False, marker), (True, masked_marker)):
+            for col, row, flagged in zip(cols, rows, flags):
+                if flagged == order_pass:
+                    canvas[height - 1 - row][col] = symbol
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in canvas)
+    return f"{border}\n{body}\n{border}"
+
+
+def ascii_curve(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    mark_value: float | None = None,
+    mark_label: str = "<-",
+) -> str:
+    """Render a 1-D curve (index vs value), optionally marking a level.
+
+    Used for the k-distance plot: pass the descending distances and
+    mark the chosen ``eps``.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ParameterError("ascii_curve needs at least one value")
+    canvas = _prepare_canvas(width, height)
+    lo = float(data.min())
+    hi = float(data.max())
+    span = max(hi - lo, 1e-12)
+    xs = np.linspace(0, data.size - 1, width).astype(int)
+    sampled = data[xs]
+    rows = ((sampled - lo) / span * (height - 1)).astype(int)
+    for col, row in enumerate(rows):
+        canvas[height - 1 - row][col] = "*"
+    lines = []
+    mark_row = None
+    if mark_value is not None:
+        clipped = min(max(mark_value, lo), hi)
+        mark_row = height - 1 - int((clipped - lo) / span * (height - 1))
+    for row_index, line in enumerate(canvas):
+        level = hi - span * row_index / (height - 1)
+        suffix = (
+            f" {mark_label} {mark_value:.4g}"
+            if mark_row == row_index
+            else ""
+        )
+        lines.append(f"{level:12.4g} |{''.join(line)}|{suffix}")
+    return "\n".join(lines)
+
+
+def ascii_loglog(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render several (x, y) series on shared log-log axes.
+
+    Each series gets a distinct marker (its first letter); overlapping
+    cells show the later series.  Used for the scalability figures.
+    """
+    if not series:
+        raise ParameterError("ascii_loglog needs at least one series")
+    xs_all = [
+        x for mapping in series.values() for x in mapping if x > 0
+    ]
+    ys_all = [
+        y for mapping in series.values() for y in mapping.values() if y > 0
+    ]
+    if not xs_all or not ys_all:
+        raise ParameterError("ascii_loglog needs positive x and y values")
+    lx_lo, lx_hi = math.log10(min(xs_all)), math.log10(max(xs_all))
+    ly_lo, ly_hi = math.log10(min(ys_all)), math.log10(max(ys_all))
+    lx_span = max(lx_hi - lx_lo, 1e-12)
+    ly_span = max(ly_hi - ly_lo, 1e-12)
+    canvas = _prepare_canvas(width, height)
+    for name, mapping in series.items():
+        symbol = name[0].upper() if name else "?"
+        for x, y in mapping.items():
+            if x <= 0 or y <= 0:
+                continue
+            col = int((math.log10(x) - lx_lo) / lx_span * (width - 1))
+            row = int((math.log10(y) - ly_lo) / ly_span * (height - 1))
+            canvas[height - 1 - row][col] = symbol
+    legend = "   ".join(f"{name[0].upper()} = {name}" for name in series)
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in canvas)
+    return f"{border}\n{body}\n{border}\n{legend}"

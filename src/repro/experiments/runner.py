@@ -1,0 +1,75 @@
+"""Timed experiment execution with repeats.
+
+The paper runs every configuration five times and reports mean and
+standard deviation of the elapsed time; :func:`run_timed` mirrors that
+protocol (with a configurable repeat count so the laptop-scale benches
+stay quick).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ParameterError
+
+__all__ = ["Measurement", "time_callable", "run_timed"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregated timing of repeated runs of one configuration.
+
+    Attributes:
+        label: Configuration name (algorithm, dataset, parameter, ...).
+        seconds: Per-repeat wall-clock times.
+        payload: The last run's return value (e.g. a DetectionResult).
+    """
+
+    label: str
+    seconds: tuple[float, ...]
+    payload: Any = field(compare=False, default=None)
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds."""
+        return sum(self.seconds) / len(self.seconds)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the elapsed seconds."""
+        mean = self.mean
+        return math.sqrt(
+            sum((s - mean) ** 2 for s in self.seconds) / len(self.seconds)
+        )
+
+    @property
+    def best(self) -> float:
+        """Fastest repeat."""
+        return min(self.seconds)
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.mean:.4f}s ± {self.std:.4f}s"
+
+
+def time_callable(func: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``func`` once; return (elapsed_seconds, return_value)."""
+    start = time.perf_counter()
+    value = func()
+    return time.perf_counter() - start, value
+
+
+def run_timed(
+    label: str, func: Callable[[], Any], repeats: int = 3
+) -> Measurement:
+    """Run ``func`` ``repeats`` times and aggregate the wall-clock times."""
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats}")
+    seconds: list[float] = []
+    payload: Any = None
+    for _ in range(repeats):
+        elapsed, payload = time_callable(func)
+        seconds.append(elapsed)
+    return Measurement(label=label, seconds=tuple(seconds), payload=payload)

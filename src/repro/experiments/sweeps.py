@@ -1,0 +1,137 @@
+"""Parameter sweeps: outlier-count and runtime surfaces over (eps, minPts).
+
+Practitioners tune DBSCOUT by looking at how the outlier count reacts
+to the parameters: a *stable plateau* in the (eps, minPts) surface
+marks robust settings, while cliffs mark phase changes (everything
+outlier / nothing outlier).  :func:`sweep_grid` measures the surface;
+:func:`stability_report` finds the plateau.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dbscout import DBSCOUT
+from repro.core.grid import validate_points
+from repro.exceptions import ParameterError
+
+__all__ = ["SweepCell", "SweepResult", "sweep_grid", "stability_report"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (eps, minPts) evaluation."""
+
+    eps: float
+    min_pts: int
+    n_outliers: int
+    outlier_fraction: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The full surface: one :class:`SweepCell` per grid point."""
+
+    cells: tuple[SweepCell, ...]
+    n_points: int
+
+    def outlier_matrix(self) -> tuple[list[float], list[int], np.ndarray]:
+        """Return (eps_values, min_pts_values, counts[min_pts, eps])."""
+        eps_values = sorted({cell.eps for cell in self.cells})
+        min_pts_values = sorted({cell.min_pts for cell in self.cells})
+        matrix = np.full((len(min_pts_values), len(eps_values)), -1, dtype=int)
+        for cell in self.cells:
+            row = min_pts_values.index(cell.min_pts)
+            col = eps_values.index(cell.eps)
+            matrix[row, col] = cell.n_outliers
+        return eps_values, min_pts_values, matrix
+
+    def at(self, eps: float, min_pts: int) -> SweepCell:
+        """Lookup one grid point."""
+        for cell in self.cells:
+            if cell.eps == eps and cell.min_pts == min_pts:
+                return cell
+        raise ParameterError(
+            f"(eps={eps}, min_pts={min_pts}) was not part of the sweep"
+        )
+
+
+def sweep_grid(
+    points: np.ndarray,
+    eps_values: Sequence[float],
+    min_pts_values: Sequence[int],
+) -> SweepResult:
+    """Run DBSCOUT for every (eps, minPts) combination.
+
+    Args:
+        points: ``(n, d)`` dataset.
+        eps_values: Radii to evaluate (each positive).
+        min_pts_values: Density thresholds to evaluate.
+
+    Returns:
+        A :class:`SweepResult` with one cell per combination.
+    """
+    array = validate_points(points)
+    if not eps_values or not min_pts_values:
+        raise ParameterError("sweep needs at least one value per axis")
+    n_points = array.shape[0]
+    cells: list[SweepCell] = []
+    for min_pts in min_pts_values:
+        for eps in eps_values:
+            start = time.perf_counter()
+            result = DBSCOUT(eps=eps, min_pts=min_pts).fit(array)
+            elapsed = time.perf_counter() - start
+            cells.append(
+                SweepCell(
+                    eps=float(eps),
+                    min_pts=int(min_pts),
+                    n_outliers=result.n_outliers,
+                    outlier_fraction=result.n_outliers / max(n_points, 1),
+                    seconds=elapsed,
+                )
+            )
+    return SweepResult(cells=tuple(cells), n_points=n_points)
+
+
+def stability_report(
+    sweep: SweepResult, tolerance: float = 0.25
+) -> list[SweepCell]:
+    """Cells whose outlier count is stable against parameter nudges.
+
+    A cell is *stable* when every grid neighbor (adjacent eps or
+    adjacent minPts) has an outlier count within ``tolerance``
+    (relative) of its own — the plateau a practitioner should pick
+    from.  Cells with zero outliers are excluded (trivially stable and
+    useless).
+
+    Returns:
+        Stable cells, most-stable (lowest max relative change) first.
+    """
+    if not 0.0 < tolerance:
+        raise ParameterError(f"tolerance must be positive, got {tolerance}")
+    eps_values, min_pts_values, matrix = sweep.outlier_matrix()
+    stable: list[tuple[float, SweepCell]] = []
+    for row, min_pts in enumerate(min_pts_values):
+        for col, eps in enumerate(eps_values):
+            count = matrix[row, col]
+            if count <= 0:
+                continue
+            worst = 0.0
+            for d_row, d_col in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                n_row, n_col = row + d_row, col + d_col
+                if 0 <= n_row < len(min_pts_values) and 0 <= n_col < len(
+                    eps_values
+                ):
+                    neighbor = matrix[n_row, n_col]
+                    worst = max(
+                        worst, abs(neighbor - count) / max(count, 1)
+                    )
+            if worst <= tolerance:
+                stable.append((worst, sweep.at(eps, min_pts)))
+    stable.sort(key=lambda pair: pair[0])
+    return [cell for _worst, cell in stable]

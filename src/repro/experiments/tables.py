@@ -1,0 +1,81 @@
+"""Plain-text rendering of result tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}" if abs(value) < 1e5 else f"{value:.4e}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column names.
+        rows: Row values (any printable types).
+        title: Optional caption printed above the table.
+
+    Returns:
+        The formatted multi-line string (no trailing newline).
+    """
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: dict[str, dict[Any, float | None]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one row per x value, one column per series.
+
+    Args:
+        x_label: Name of the swept parameter (the figure's x axis).
+        series: Mapping from series name (algorithm) to a mapping from
+            x value to y value; ``None`` marks DNF/OOM, printed as "-"
+            like the paper's missing entries.
+        title: Optional caption.
+    """
+    x_values: list[Any] = []
+    for mapping in series.values():
+        for x in mapping:
+            if x not in x_values:
+                x_values.append(x)
+    headers = [x_label] + list(series)
+    rows = []
+    for x in x_values:
+        row: list[Any] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("-" if value is None else f"{value:.4f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,26 @@
+"""Evaluation metrics: outlier-class F1, rankings, set comparisons."""
+
+from repro.metrics.classification import (
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.metrics.comparison import OutlierSetComparison, compare_outlier_sets
+from repro.metrics.ranking import (
+    average_precision_score,
+    precision_at_n,
+    roc_auc_score,
+)
+
+__all__ = [
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "confusion_counts",
+    "OutlierSetComparison",
+    "compare_outlier_sets",
+    "roc_auc_score",
+    "average_precision_score",
+    "precision_at_n",
+]

@@ -1,0 +1,61 @@
+"""Binary classification metrics for the outlier class.
+
+The paper scores detectors with the F1 of the *outlier* class
+(positive label 1).  All functions take boolean or 0/1 arrays of equal
+shape and reduce over all elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["confusion_counts", "precision_score", "recall_score", "f1_score"]
+
+
+def _normalize(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true).astype(bool).ravel()
+    pred = np.asarray(y_pred).astype(bool).ravel()
+    if true.shape != pred.shape:
+        raise DataValidationError(
+            f"label shapes differ: {true.shape} vs {pred.shape}"
+        )
+    return true, pred
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[int, int, int, int]:
+    """Return (TP, FP, FN, TN) for the positive (outlier) class."""
+    true, pred = _normalize(y_true, y_pred)
+    tp = int(np.sum(true & pred))
+    fp = int(np.sum(~true & pred))
+    fn = int(np.sum(true & ~pred))
+    tn = int(np.sum(~true & ~pred))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+    tp, fp, _fn, _tn = confusion_counts(y_true, y_pred)
+    if tp + fp == 0:
+        return 0.0
+    return tp / (tp + fp)
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); 0.0 when there are no true positives to find."""
+    tp, _fp, fn, _tn = confusion_counts(y_true, y_pred)
+    if tp + fn == 0:
+        return 0.0
+    return tp / (tp + fn)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall on the outlier class."""
+    tp, fp, fn, _tn = confusion_counts(y_true, y_pred)
+    denominator = 2 * tp + fp + fn
+    if denominator == 0:
+        return 0.0
+    return 2 * tp / denominator

@@ -1,0 +1,77 @@
+"""Outlier-set comparison against an exact reference (Tables IV/V).
+
+The paper evaluates RP-DBSCAN's approximation quality by comparing its
+outlier set against DBSCOUT's exact set: true positives are outliers
+both agree on, false positives are points RP-DBSCAN flags but the exact
+algorithm does not, false negatives are exact outliers RP-DBSCAN
+misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.classification import confusion_counts
+
+__all__ = ["OutlierSetComparison", "compare_outlier_sets"]
+
+
+@dataclass(frozen=True)
+class OutlierSetComparison:
+    """Counts comparing an approximate outlier set to the exact one.
+
+    Attributes mirror the columns of Tables IV/V: the exact detector's
+    outlier count, the approximate detector's count, and TP/FP/FN of
+    the approximation with the exact set as ground truth.
+    """
+
+    n_exact: int
+    n_approx: int
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def false_positive_rate_of_output(self) -> float:
+        """FP as a fraction of the approximate output (7-19% in Table IV)."""
+        if self.n_approx == 0:
+            return 0.0
+        return self.false_positives / self.n_approx
+
+    @property
+    def false_negative_rate(self) -> float:
+        """FN as a fraction of the exact outliers (~0.01% in the paper)."""
+        if self.n_exact == 0:
+            return 0.0
+        return self.false_negatives / self.n_exact
+
+    @property
+    def is_superset(self) -> bool:
+        """True when the approximation found every exact outlier."""
+        return self.false_negatives == 0
+
+    def as_row(self) -> tuple[int, int, int, int, int]:
+        """(exact, approx, TP, FP, FN) — one row of Table IV/V."""
+        return (
+            self.n_exact,
+            self.n_approx,
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives,
+        )
+
+
+def compare_outlier_sets(
+    exact_mask: np.ndarray, approx_mask: np.ndarray
+) -> OutlierSetComparison:
+    """Compare an approximate outlier mask against the exact one."""
+    tp, fp, fn, _tn = confusion_counts(exact_mask, approx_mask)
+    return OutlierSetComparison(
+        n_exact=int(np.asarray(exact_mask).astype(bool).sum()),
+        n_approx=int(np.asarray(approx_mask).astype(bool).sum()),
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )

@@ -1,0 +1,114 @@
+"""Ranking metrics for score-based detectors (LOF, IF, OC-SVM).
+
+The thresholded F1 of Table III depends on the contamination cutoff;
+these metrics evaluate the *ranking* a detector induces, independent
+of any cutoff: ROC-AUC (probability a random outlier outscores a
+random inlier, with tie correction), average precision (area under the
+precision-recall curve), and precision@n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, ParameterError
+
+__all__ = ["roc_auc_score", "average_precision_score", "precision_at_n"]
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(y_true).astype(bool).ravel()
+    values = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != values.shape:
+        raise DataValidationError(
+            f"labels and scores differ in shape: "
+            f"{labels.shape} vs {values.shape}"
+        )
+    if labels.size == 0:
+        raise DataValidationError("need at least one sample")
+    if not np.isfinite(values).all():
+        raise DataValidationError("scores contain NaN or infinity")
+    return labels, values
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) form.
+
+    Ties receive half credit (midrank convention), matching the
+    standard trapezoidal ROC area.
+
+    Raises:
+        DataValidationError: If only one class is present.
+    """
+    labels, values = _validate(y_true, scores)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise DataValidationError(
+            "ROC-AUC needs both positive and negative samples"
+        )
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_values = values[order]
+    # Midranks for tied scores.
+    index = 0
+    position = 1.0
+    while index < labels.size:
+        tie_end = index
+        while (
+            tie_end + 1 < labels.size
+            and sorted_values[tie_end + 1] == sorted_values[index]
+        ):
+            tie_end += 1
+        midrank = (position + position + (tie_end - index)) / 2.0
+        ranks[order[index : tie_end + 1]] = midrank
+        position += tie_end - index + 1
+        index = tie_end + 1
+    rank_sum = ranks[labels].sum()
+    return float(
+        (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    )
+
+
+def average_precision_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision: sum of precision@k at each positive hit.
+
+    Ties are broken pessimistically against the positives (tied
+    negatives rank first), so the value is a lower bound under ties.
+    """
+    labels, values = _validate(y_true, scores)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise DataValidationError(
+            "average precision needs at least one positive sample"
+        )
+    # Sort by descending score; within ties, negatives first.
+    order = np.lexsort((~labels, -values))
+    hits = labels[order]
+    cum_hits = np.cumsum(hits)
+    ranks = np.arange(1, labels.size + 1)
+    precision_at_hits = cum_hits[hits] / ranks[hits]
+    return float(precision_at_hits.sum() / n_pos)
+
+
+def precision_at_n(
+    y_true: np.ndarray, scores: np.ndarray, n: int | None = None
+) -> float:
+    """Fraction of true outliers among the ``n`` highest-scored points.
+
+    Args:
+        y_true: Ground-truth labels (1/True = outlier).
+        scores: Anomaly scores, higher = more anomalous.
+        n: Cutoff; defaults to the number of true outliers (the
+            standard "precision@|O|" protocol, where it equals
+            recall@|O|).
+    """
+    labels, values = _validate(y_true, scores)
+    if n is None:
+        n = int(labels.sum())
+    if n < 1 or n > labels.size:
+        raise ParameterError(
+            f"n must be in [1, {labels.size}], got {n}"
+        )
+    top = np.argsort(-values, kind="mergesort")[:n]
+    return float(labels[top].mean())

@@ -1,0 +1,41 @@
+"""SparkLite: an in-process, from-scratch mini-Spark execution engine.
+
+The DBSCOUT paper defines its algorithm as a sequence of Spark
+transformations (MAP, FLATMAP, FILTER, REDUCEBYKEY, GROUPBYKEY, JOIN,
+UNION, BROADCAST, FOREACH).  SparkLite provides exactly that vocabulary
+over lazy, lineage-based RDDs with hash-partitioned shuffles, broadcast
+variables, accumulators, and optional thread-pool executors, plus
+instrumentation (records shuffled, tasks run) used by the experiment
+harness to reason about communication volumes.
+"""
+
+from repro.sparklite.accumulator import Accumulator
+from repro.sparklite.broadcast import Broadcast
+from repro.sparklite.cluster import (
+    CONFIGURATION_1,
+    CONFIGURATION_2,
+    ClusterConfig,
+    MemoryModel,
+    estimate_size,
+)
+from repro.sparklite.context import Context
+from repro.sparklite.failures import FailFirstAttempts, RandomFailures
+from repro.sparklite.metrics import EngineMetrics
+from repro.sparklite.partitioner import HashPartitioner
+from repro.sparklite.rdd import RDD
+
+__all__ = [
+    "Accumulator",
+    "Broadcast",
+    "ClusterConfig",
+    "MemoryModel",
+    "CONFIGURATION_1",
+    "CONFIGURATION_2",
+    "estimate_size",
+    "Context",
+    "FailFirstAttempts",
+    "RandomFailures",
+    "EngineMetrics",
+    "HashPartitioner",
+    "RDD",
+]

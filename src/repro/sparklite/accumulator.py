@@ -1,0 +1,49 @@
+"""Accumulators: write-only shared counters updated from tasks."""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+__all__ = ["Accumulator"]
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A thread-safe, add-only shared variable.
+
+    Tasks call :meth:`add`; only the driver should read :attr:`value`.
+    The combine function must be associative and commutative, as task
+    completion order is unspecified under parallel executors.
+    """
+
+    def __init__(
+        self,
+        accumulator_id: int,
+        zero: T,
+        combine: Callable[[T, T], T] | None = None,
+    ) -> None:
+        self._id = accumulator_id
+        self._value = zero
+        self._combine = combine or (lambda a, b: a + b)  # type: ignore[operator]
+        self._lock = threading.Lock()
+
+    @property
+    def id(self) -> int:
+        """Engine-assigned identifier of this accumulator."""
+        return self._id
+
+    def add(self, increment: T) -> None:
+        """Merge ``increment`` into the accumulated value."""
+        with self._lock:
+            self._value = self._combine(self._value, increment)
+
+    @property
+    def value(self) -> T:
+        """Current accumulated value (driver-side read)."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Accumulator(id={self._id}, value={self.value!r})"

@@ -1,0 +1,65 @@
+"""Broadcast variables: read-only values shared with every task."""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from repro.exceptions import BroadcastError
+
+__all__ = ["Broadcast"]
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value logically shipped once to every executor.
+
+    In a real cluster the value is serialized and distributed; here it
+    lives in process memory, but access is still funneled through
+    ``.value`` so the engine can meter broadcast usage and enforce the
+    destroy-before-use contract.
+    """
+
+    def __init__(
+        self,
+        broadcast_id: int,
+        value: T,
+        memory_model=None,
+        n_bytes: int = 0,
+    ) -> None:
+        self._id = broadcast_id
+        self._value: T | None = value
+        self._destroyed = False
+        self._memory_model = memory_model
+        self._n_bytes = n_bytes
+
+    @property
+    def id(self) -> int:
+        """Engine-assigned identifier of this broadcast."""
+        return self._id
+
+    @property
+    def value(self) -> T:
+        """The broadcast value.
+
+        Raises:
+            BroadcastError: If the broadcast was destroyed.
+        """
+        if self._destroyed:
+            raise BroadcastError(f"broadcast {self._id} was destroyed")
+        return self._value  # type: ignore[return-value]
+
+    def destroy(self) -> None:
+        """Release the value; later ``.value`` accesses raise.
+
+        Under a cluster memory model the executors' replicas are
+        credited back.
+        """
+        if not self._destroyed and self._memory_model is not None:
+            self._memory_model.release_broadcast(self._n_bytes)
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else "live"
+        return f"Broadcast(id={self._id}, {state})"

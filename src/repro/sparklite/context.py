@@ -1,0 +1,150 @@
+"""The SparkLite driver context: entry point to the execution engine."""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.exceptions import SparkLiteError
+from repro.sparklite.accumulator import Accumulator
+from repro.sparklite.broadcast import Broadcast
+from repro.sparklite.cluster import ClusterConfig, MemoryModel, estimate_size
+from repro.sparklite.metrics import EngineMetrics
+from repro.sparklite.rdd import RDD, _ParallelizedRDD
+
+__all__ = ["Context"]
+
+T = TypeVar("T")
+
+
+class Context:
+    """Driver-side handle to the SparkLite engine.
+
+    Args:
+        default_parallelism: Number of partitions used when
+            ``parallelize`` is not given an explicit count.
+        max_workers: Number of executor threads used to compute
+            partitions concurrently.  ``1`` (the default) evaluates
+            sequentially, which is fully deterministic and usually
+            fastest in CPython; higher values emulate multi-executor
+            scheduling.
+    """
+
+    def __init__(
+        self,
+        default_parallelism: int = 4,
+        max_workers: int = 1,
+        max_task_retries: int = 3,
+        failure_injector: Callable[[Any, int, int], None] | None = None,
+        cluster: "ClusterConfig | None" = None,
+    ) -> None:
+        if default_parallelism < 1:
+            raise SparkLiteError(
+                f"default_parallelism must be >= 1, got {default_parallelism}"
+            )
+        if max_workers < 1:
+            raise SparkLiteError(f"max_workers must be >= 1, got {max_workers}")
+        if max_task_retries < 0:
+            raise SparkLiteError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        self.default_parallelism = int(default_parallelism)
+        self.max_workers = int(max_workers)
+        self.max_task_retries = int(max_task_retries)
+        #: Optional fault hook called as ``injector(rdd, partition,
+        #: attempt)`` before each task attempt; raising
+        #: :class:`~repro.exceptions.TaskFailure` makes the engine
+        #: retry the task from lineage.
+        self.failure_injector = failure_injector
+        #: Optional per-executor memory accounting (simulated OOMs).
+        self.memory_model = MemoryModel(cluster) if cluster else None
+        self.metrics = EngineMetrics()
+        self._next_broadcast_id = itertools.count()
+        self._next_accumulator_id = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Dataset creation
+    # ------------------------------------------------------------------
+
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: int | None = None
+    ) -> RDD:
+        """Create an RDD from driver-side data, split into even slices."""
+        records = list(data)
+        if num_partitions is not None and num_partitions < 1:
+            raise SparkLiteError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        n_parts = num_partitions or self.default_parallelism
+        partitions = _split_evenly(records, n_parts)
+        return _ParallelizedRDD(self, partitions)
+
+    def empty_rdd(self) -> RDD:
+        """An RDD with a single empty partition."""
+        return _ParallelizedRDD(self, [[]])
+
+    # ------------------------------------------------------------------
+    # Shared variables
+    # ------------------------------------------------------------------
+
+    def broadcast(self, value: T) -> Broadcast[T]:
+        """Create a read-only broadcast variable visible to every task.
+
+        Under a cluster memory model, the replica held by each
+        executor is charged against its budget; an oversized broadcast
+        raises :class:`~repro.exceptions.ExecutorMemoryError`.
+        """
+        self.metrics.record_broadcast()
+        n_bytes = 0
+        if self.memory_model is not None:
+            n_bytes = estimate_size(value)
+            self.memory_model.charge_broadcast(n_bytes)
+        return Broadcast(
+            next(self._next_broadcast_id),
+            value,
+            memory_model=self.memory_model,
+            n_bytes=n_bytes,
+        )
+
+    def accumulator(
+        self, zero: T, combine: Callable[[T, T], T] | None = None
+    ) -> Accumulator[T]:
+        """Create an add-only accumulator (default combine: ``+``)."""
+        return Accumulator(next(self._next_accumulator_id), zero, combine)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _compute_all(self, rdd: RDD) -> list[list]:
+        """Compute every partition of ``rdd``, possibly in parallel.
+
+        A fresh thread pool per call avoids deadlocks when a shuffle
+        materialization (running inside a worker) needs to schedule its
+        parent's partitions.
+        """
+        indices = range(rdd.num_partitions)
+        if self.max_workers == 1 or rdd.num_partitions == 1:
+            return [rdd._get_partition(i) for i in indices]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(rdd._get_partition, indices))
+
+    def __repr__(self) -> str:
+        return (
+            f"Context(default_parallelism={self.default_parallelism}, "
+            f"max_workers={self.max_workers})"
+        )
+
+
+def _split_evenly(records: Sequence[Any], n_parts: int) -> list[list]:
+    """Split ``records`` into ``n_parts`` contiguous, size-balanced lists."""
+    total = len(records)
+    base, extra = divmod(total, n_parts)
+    partitions: list[list] = []
+    start = 0
+    for index in range(n_parts):
+        size = base + (1 if index < extra else 0)
+        partitions.append(list(records[start : start + size]))
+        start += size
+    return partitions

@@ -1,0 +1,73 @@
+"""Failure injectors: deterministic fault simulation for SparkLite.
+
+An injector is any callable ``injector(rdd, partition_index, attempt)``
+installed on a :class:`~repro.sparklite.Context`; raising
+:class:`~repro.exceptions.TaskFailure` from it makes the engine retry
+the task from lineage.  These utilities cover the two common testing
+patterns: fail every first attempt (verifies recovery is exercised on
+every task) and fail randomly at a given rate (verifies recovery under
+realistic flakiness).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.exceptions import ParameterError, TaskFailure
+
+__all__ = ["FailFirstAttempts", "RandomFailures"]
+
+
+class FailFirstAttempts:
+    """Fail the first ``n_failures`` attempts of every task.
+
+    With ``n_failures=1`` each task fails once and then succeeds — the
+    strongest deterministic exercise of the retry path.
+    """
+
+    def __init__(self, n_failures: int = 1) -> None:
+        if n_failures < 0:
+            raise ParameterError(
+                f"n_failures must be >= 0, got {n_failures}"
+            )
+        self.n_failures = int(n_failures)
+        self.injected = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, rdd, partition_index: int, attempt: int) -> None:
+        if attempt < self.n_failures:
+            with self._lock:
+                self.injected += 1
+            raise TaskFailure(
+                f"injected failure (attempt {attempt}) on partition "
+                f"{partition_index} of {type(rdd).__name__}"
+            )
+
+
+class RandomFailures:
+    """Fail each task attempt independently with probability ``rate``.
+
+    Deterministic given the seed: the decision depends on
+    ``(partition_index, attempt, draw_counter)`` only through an
+    internal seeded RNG, so a failing run can be replayed.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ParameterError(f"rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.injected = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def __call__(self, rdd, partition_index: int, attempt: int) -> None:
+        with self._lock:
+            fail = self._rng.random() < self.rate
+            if fail:
+                self.injected += 1
+        if fail:
+            raise TaskFailure(
+                f"random injected failure on partition {partition_index} "
+                f"(attempt {attempt})"
+            )

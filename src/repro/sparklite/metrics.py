@@ -1,0 +1,82 @@
+"""Execution metrics collected by the SparkLite engine.
+
+The experiment harness uses these counters to reason about
+communication volume (records crossing a shuffle boundary) and task
+counts, mirroring what the paper reads off the Spark web UI.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["EngineMetrics"]
+
+
+@dataclass
+class EngineMetrics:
+    """Mutable counter set for one :class:`~repro.sparklite.Context`.
+
+    Attributes:
+        tasks_executed: Number of partition-level tasks computed
+            (cache hits do not count).
+        shuffles: Number of shuffle stages materialized.
+        records_shuffled: Total records that crossed a shuffle boundary.
+        broadcasts: Number of broadcast variables created.
+        collects: Number of actions that returned data to the driver.
+        task_retries: Task attempts re-executed after a transient
+            :class:`~repro.exceptions.TaskFailure`.
+    """
+
+    tasks_executed: int = 0
+    shuffles: int = 0
+    records_shuffled: int = 0
+    broadcasts: int = 0
+    collects: int = 0
+    task_retries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_tasks(self, count: int) -> None:
+        with self._lock:
+            self.tasks_executed += count
+
+    def record_shuffle(self, records: int) -> None:
+        with self._lock:
+            self.shuffles += 1
+            self.records_shuffled += records
+
+    def record_broadcast(self) -> None:
+        with self._lock:
+            self.broadcasts += 1
+
+    def record_collect(self) -> None:
+        with self._lock:
+            self.collects += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.task_retries += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain-dict copy of all counters."""
+        with self._lock:
+            return {
+                "tasks_executed": self.tasks_executed,
+                "shuffles": self.shuffles,
+                "records_shuffled": self.records_shuffled,
+                "broadcasts": self.broadcasts,
+                "collects": self.collects,
+                "task_retries": self.task_retries,
+            }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self.tasks_executed = 0
+            self.shuffles = 0
+            self.records_shuffled = 0
+            self.broadcasts = 0
+            self.collects = 0
+            self.task_retries = 0

@@ -1,0 +1,44 @@
+"""Partitioners: deterministic assignment of keys to shuffle buckets."""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError, ShuffleError
+
+__all__ = ["HashPartitioner"]
+
+
+class HashPartitioner:
+    """Assign keys to ``num_partitions`` buckets by Python hash.
+
+    Equality of partitioners matters: two RDDs co-partitioned by equal
+    partitioners can be joined without re-shuffling one side.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ParameterError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.num_partitions = int(num_partitions)
+
+    def partition_for(self, key: object) -> int:
+        """Return the bucket index for ``key``."""
+        try:
+            return hash(key) % self.num_partitions
+        except TypeError as exc:
+            raise ShuffleError(
+                f"shuffle key {key!r} of type {type(key).__name__} "
+                "is not hashable"
+            ) from exc
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash(("HashPartitioner", self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner(num_partitions={self.num_partitions})"

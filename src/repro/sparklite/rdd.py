@@ -1,0 +1,720 @@
+"""Lazy, lineage-based RDDs with the Spark transformation vocabulary.
+
+An :class:`RDD` is an immutable description of a distributed dataset:
+narrow transformations (map, filter, flatMap, mapPartitions, union)
+chain lazily; wide transformations (reduceByKey, groupByKey, join,
+cogroup, partitionBy) introduce a hash shuffle that is materialized on
+first use and metered in the context's :class:`EngineMetrics`.
+
+Records of pair RDDs are ``(key, value)`` tuples.  All classes here are
+driver-side objects; partition data are plain Python lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.exceptions import ShuffleError, SparkLiteError, TaskFailure
+from repro.sparklite.partitioner import HashPartitioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparklite.context import Context
+
+__all__ = ["RDD"]
+
+
+def _as_pair(record: Any) -> tuple[Any, Any]:
+    """Validate that a record is a (key, value) pair."""
+    if not isinstance(record, tuple) or len(record) != 2:
+        raise ShuffleError(
+            f"pair-RDD operation on non-pair record {record!r}"
+        )
+    return record
+
+
+class RDD:
+    """Base class: a lazily evaluated, partitioned dataset.
+
+    Subclasses implement :meth:`_compute_partition`.  User code obtains
+    RDDs from :meth:`repro.sparklite.Context.parallelize` and chains
+    transformations; actions (``collect``, ``count``, ...) trigger
+    evaluation.
+    """
+
+    def __init__(
+        self,
+        context: "Context",
+        num_partitions: int,
+        partitioner: HashPartitioner | None = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise SparkLiteError(
+                f"an RDD needs at least one partition, got {num_partitions}"
+            )
+        self.context = context
+        self.num_partitions = int(num_partitions)
+        self.partitioner = partitioner
+        self._cache_enabled = False
+        self._cached: dict[int, list] | None = None
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Evaluation machinery
+    # ------------------------------------------------------------------
+
+    def _compute_partition(self, index: int) -> list:
+        raise NotImplementedError
+
+    def _get_partition(self, index: int) -> list:
+        """Return partition ``index``, honoring the cache.
+
+        Transient :class:`~repro.exceptions.TaskFailure` errors (e.g.
+        from an injected fault) are retried up to the context's
+        ``max_task_retries`` by recomputing from lineage, like Spark's
+        task re-execution.  Any other exception is deterministic user
+        error and propagates immediately.
+        """
+        if self._cache_enabled:
+            with self._cache_lock:
+                if self._cached is None:
+                    self._cached = {}
+                hit = self._cached.get(index)
+            if hit is not None:
+                return hit
+        attempts = 0
+        while True:
+            self.context.metrics.record_tasks(1)
+            try:
+                injector = self.context.failure_injector
+                if injector is not None:
+                    injector(self, index, attempts)
+                data = self._compute_partition(index)
+                break
+            except TaskFailure:
+                attempts += 1
+                self.context.metrics.record_retry()
+                if attempts > self.context.max_task_retries:
+                    raise
+        if self._cache_enabled:
+            with self._cache_lock:
+                self._cached[index] = data  # type: ignore[index]
+        return data
+
+    def cache(self) -> "RDD":
+        """Memoize computed partitions for reuse across actions."""
+        self._cache_enabled = True
+        return self
+
+    def unpersist(self) -> "RDD":
+        """Drop any cached partitions and stop caching."""
+        with self._cache_lock:
+            self._cache_enabled = False
+            self._cached = None
+        return self
+
+    def checkpoint(self) -> "RDD":
+        """Materialize now and sever the lineage (Spark checkpointing).
+
+        Returns a new leaf RDD holding the computed partitions: later
+        recomputations (and ``to_debug_string``) no longer reach the
+        ancestors, bounding lineage depth in iterative jobs.  Unlike
+        ``cache()``, which keeps the lineage for recovery, a checkpoint
+        *is* the recovery point.
+        """
+        partitions = self.context._compute_all(self)
+        leaf = _ParallelizedRDD(self.context, [list(p) for p in partitions])
+        leaf.partitioner = self.partitioner
+        return leaf
+
+    # ------------------------------------------------------------------
+    # Narrow transformations
+    # ------------------------------------------------------------------
+
+    def map_partitions_with_index(
+        self, func: Callable[[int, Iterator], Iterable]
+    ) -> "RDD":
+        """Apply ``func(partition_index, iterator)`` to each partition."""
+        return _MapPartitionsRDD(self, func)
+
+    def map_partitions(self, func: Callable[[Iterator], Iterable]) -> "RDD":
+        """Apply ``func(iterator)`` to each partition."""
+        return _MapPartitionsRDD(self, lambda _, it: func(it))
+
+    def map(self, func: Callable[[Any], Any]) -> "RDD":
+        """Element-wise transformation (Spark MAP)."""
+        return self.map_partitions(lambda it: (func(x) for x in it))
+
+    def flat_map(self, func: Callable[[Any], Iterable]) -> "RDD":
+        """One-to-many element transformation (Spark FLATMAP)."""
+        return self.map_partitions(
+            lambda it: itertools.chain.from_iterable(func(x) for x in it)
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        """Keep records for which ``predicate`` is true (Spark FILTER)."""
+        return self.map_partitions(
+            lambda it: (x for x in it if predicate(x))
+        )
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs (Spark UNION); partitions are appended."""
+        if other.context is not self.context:
+            raise SparkLiteError("cannot union RDDs from different contexts")
+        return _UnionRDD(self, other)
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Bernoulli-sample each record with probability ``fraction``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise SparkLiteError(f"fraction must be in [0, 1], got {fraction}")
+
+        def sample_partition(index: int, iterator: Iterator) -> Iterator:
+            rng = random.Random(seed * 1_000_003 + index)
+            return (x for x in iterator if rng.random() < fraction)
+
+        return self.map_partitions_with_index(sample_partition)
+
+    def distinct(self) -> "RDD":
+        """Deduplicate records (requires hashable records)."""
+        deduped = (
+            self.map(lambda x: (x, None))
+            .reduce_by_key(lambda a, _b: a)
+            .map(lambda kv: kv[0])
+        )
+        return deduped
+
+    def glom(self) -> "RDD":
+        """Turn each partition into a single list record."""
+        return self.map_partitions(lambda it: [list(it)])
+
+    # ------------------------------------------------------------------
+    # Pair-RDD (key/value) transformations
+    # ------------------------------------------------------------------
+
+    def keys(self) -> "RDD":
+        """Keys of a pair RDD."""
+        return self.map(lambda kv: _as_pair(kv)[0])
+
+    def values(self) -> "RDD":
+        """Values of a pair RDD."""
+        return self.map(lambda kv: _as_pair(kv)[1])
+
+    def map_values(self, func: Callable[[Any], Any]) -> "RDD":
+        """Transform values, keeping keys (and partitioning) intact."""
+        mapped = self.map_partitions(
+            lambda it: ((k, func(v)) for k, v in map(_as_pair, it))
+        )
+        mapped.partitioner = self.partitioner
+        return mapped
+
+    def flat_map_values(self, func: Callable[[Any], Iterable]) -> "RDD":
+        """Expand each value into several, keeping the key."""
+        mapped = self.map_partitions(
+            lambda it: (
+                (k, out)
+                for k, v in map(_as_pair, it)
+                for out in func(v)
+            )
+        )
+        mapped.partitioner = self.partitioner
+        return mapped
+
+    def partition_by(self, num_partitions: int | None = None) -> "RDD":
+        """Hash-partition a pair RDD by key (Spark partitionBy)."""
+        partitioner = HashPartitioner(
+            num_partitions or self.num_partitions
+        )
+        if self.partitioner == partitioner:
+            return self
+        return _ShuffledRDD(self, partitioner)
+
+    def combine_by_key(
+        self,
+        create_combiner: Callable[[Any], Any],
+        merge_value: Callable[[Any, Any], Any],
+        merge_combiners: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """General shuffle-with-aggregation (Spark combineByKey).
+
+        Performs a map-side combine in each input partition before the
+        shuffle, then merges combiners inside each output bucket — so
+        ``records_shuffled`` reflects the post-combine volume, exactly
+        as in Spark.
+        """
+
+        def map_side(iterator: Iterator) -> Iterator:
+            combined: dict[Any, Any] = {}
+            for key, value in map(_as_pair, iterator):
+                try:
+                    present = key in combined
+                except TypeError as exc:
+                    raise ShuffleError(
+                        f"shuffle key {key!r} of type "
+                        f"{type(key).__name__} is not hashable"
+                    ) from exc
+                if present:
+                    combined[key] = merge_value(combined[key], value)
+                else:
+                    combined[key] = create_combiner(value)
+            return iter(combined.items())
+
+        def reduce_side(iterator: Iterator) -> Iterator:
+            merged: dict[Any, Any] = {}
+            for key, combiner in iterator:
+                if key in merged:
+                    merged[key] = merge_combiners(merged[key], combiner)
+                else:
+                    merged[key] = combiner
+            return iter(merged.items())
+
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        shuffled = _ShuffledRDD(self.map_partitions(map_side), partitioner)
+        result = shuffled.map_partitions(reduce_side)
+        result.partitioner = partitioner
+        return result
+
+    def reduce_by_key(
+        self,
+        func: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """Merge values per key with an associative function."""
+        return self.combine_by_key(
+            create_combiner=lambda v: v,
+            merge_value=func,
+            merge_combiners=func,
+            num_partitions=num_partitions,
+        )
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """Group all values per key into a list (no map-side combine)."""
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        shuffled = (
+            self
+            if self.partitioner == partitioner
+            else _ShuffledRDD(self, partitioner)
+        )
+
+        def group(iterator: Iterator) -> Iterator:
+            groups: dict[Any, list] = defaultdict(list)
+            for key, value in map(_as_pair, iterator):
+                groups[key].append(value)
+            return iter(groups.items())
+
+        result = shuffled.map_partitions(group)
+        result.partitioner = partitioner
+        return result
+
+    def cogroup(
+        self, other: "RDD", num_partitions: int | None = None
+    ) -> "RDD":
+        """Group values of both RDDs per key: ``(k, (list_a, list_b))``."""
+        if other.context is not self.context:
+            raise SparkLiteError("cannot cogroup RDDs from different contexts")
+        partitioner = HashPartitioner(
+            num_partitions or max(self.num_partitions, other.num_partitions)
+        )
+        tagged = self.map_values(lambda v: (0, v)).union(
+            other.map_values(lambda v: (1, v))
+        )
+        shuffled = _ShuffledRDD(tagged, partitioner)
+
+        def split(iterator: Iterator) -> Iterator:
+            groups: dict[Any, tuple[list, list]] = defaultdict(
+                lambda: ([], [])
+            )
+            for key, (side, value) in iterator:
+                groups[key][side].append(value)
+            return iter(groups.items())
+
+        result = shuffled.map_partitions(split)
+        result.partitioner = partitioner
+        return result
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join on key: ``(k, (v, w))`` for every matching pair."""
+
+        def expand(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            return ((v, w) for v in left for w in right)
+
+        return self.cogroup(other, num_partitions).flat_map_values(expand)
+
+    def left_outer_join(
+        self, other: "RDD", num_partitions: int | None = None
+    ) -> "RDD":
+        """Left outer join: right side is ``None`` when unmatched."""
+
+        def expand(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            if not right:
+                return ((v, None) for v in left)
+            return ((v, w) for v in left for w in right)
+
+        return self.cogroup(other, num_partitions).flat_map_values(expand)
+
+    def full_outer_join(
+        self, other: "RDD", num_partitions: int | None = None
+    ) -> "RDD":
+        """Full outer join: unmatched sides become ``None``."""
+
+        def expand(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            if not left:
+                return ((None, w) for w in right)
+            if not right:
+                return ((v, None) for v in left)
+            return ((v, w) for v in left for w in right)
+
+        return self.cogroup(other, num_partitions).flat_map_values(expand)
+
+    def subtract_by_key(
+        self, other: "RDD", num_partitions: int | None = None
+    ) -> "RDD":
+        """Keep pairs whose key does not appear in ``other``."""
+
+        def keep(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            if right:
+                return iter(())
+            return iter(left)
+
+        return self.cogroup(other, num_partitions).flat_map_values(keep)
+
+    def aggregate_by_key(
+        self,
+        zero,
+        seq_func: Callable[[Any, Any], Any],
+        comb_func: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """Per-key aggregation with a zero value (Spark aggregateByKey).
+
+        ``seq_func`` folds a value into a per-partition accumulator,
+        ``comb_func`` merges accumulators across partitions.  ``zero``
+        must be immutable or treated as such (it is shared via a
+        factory copy per key).
+        """
+        import copy
+
+        return self.combine_by_key(
+            create_combiner=lambda v: seq_func(copy.deepcopy(zero), v),
+            merge_value=seq_func,
+            merge_combiners=comb_func,
+            num_partitions=num_partitions,
+        )
+
+    def fold_by_key(
+        self,
+        zero,
+        func: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """Per-key fold with a zero value (Spark foldByKey)."""
+        return self.aggregate_by_key(zero, func, func, num_partitions)
+
+    def sort_by(
+        self,
+        key_func: Callable[[Any], Any],
+        ascending: bool = True,
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """Globally sort records by ``key_func``.
+
+        Implemented as a total sort with range partitioning sampled
+        from the data (like Spark's sortBy): records are routed to
+        ordered buckets by sampled split points, then each bucket is
+        sorted locally, so the concatenation of partitions is sorted.
+        """
+        n_parts = num_partitions or self.num_partitions
+        sample = [
+            key_func(record)
+            for record in self.sample(min(1.0, 0.1 + 100.0 / 10_000)).collect()
+        ]
+        sample.sort()
+        if sample and n_parts > 1:
+            step = max(1, len(sample) // n_parts)
+            splits = sample[step::step][: n_parts - 1]
+        else:
+            splits = []
+
+        import bisect
+
+        def bucket_of(record) -> int:
+            key = key_func(record)
+            position = bisect.bisect_right(splits, key)
+            return position if ascending else len(splits) - position
+
+        routed = self.map(lambda record: (bucket_of(record), record))
+        # Bucket ids are 0..n_parts-1 and hash to themselves, so the
+        # hash partitioner realizes the range partitioning exactly.
+        shuffled = _ShuffledRDD(routed, HashPartitioner(max(n_parts, 1)))
+        return shuffled.map_partitions(
+            lambda it: sorted(
+                (record for _bucket, record in it),
+                key=key_func,
+                reverse=not ascending,
+            )
+        )
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each record with its global index (Spark zipWithIndex).
+
+        Requires one extra pass to size the partitions, as in Spark.
+        """
+        sizes = self.num_records_per_partition()
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+
+        def index_partition(index: int, iterator: Iterator) -> Iterator:
+            return (
+                (record, offsets[index] + position)
+                for position, record in enumerate(iterator)
+            )
+
+        return self.map_partitions_with_index(index_partition)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def collect(self) -> list:
+        """Return all records to the driver as a list."""
+        partitions = self.context._compute_all(self)
+        self.context.metrics.record_collect()
+        return [record for part in partitions for record in part]
+
+    def count(self) -> int:
+        """Number of records."""
+        partitions = self.context._compute_all(self)
+        self.context.metrics.record_collect()
+        return sum(len(part) for part in partitions)
+
+    def take(self, n: int) -> list:
+        """First ``n`` records in partition order (computes lazily)."""
+        taken: list = []
+        for index in range(self.num_partitions):
+            if len(taken) >= n:
+                break
+            taken.extend(self._get_partition(index)[: n - len(taken)])
+        self.context.metrics.record_collect()
+        return taken
+
+    def first(self) -> Any:
+        """The first record; raises if the RDD is empty."""
+        records = self.take(1)
+        if not records:
+            raise SparkLiteError("first() on an empty RDD")
+        return records[0]
+
+    def reduce(self, func: Callable[[Any, Any], Any]) -> Any:
+        """Fold all records with an associative binary function."""
+        partials = []
+        for part in self.context._compute_all(self):
+            iterator = iter(part)
+            try:
+                acc = next(iterator)
+            except StopIteration:
+                continue
+            for record in iterator:
+                acc = func(acc, record)
+            partials.append(acc)
+        self.context.metrics.record_collect()
+        if not partials:
+            raise SparkLiteError("reduce() on an empty RDD")
+        acc = partials[0]
+        for partial in partials[1:]:
+            acc = func(acc, partial)
+        return acc
+
+    def for_each(self, func: Callable[[Any], None]) -> None:
+        """Apply ``func`` to every record for side effects (Spark FOREACH)."""
+        for part in self.context._compute_all(self):
+            for record in part:
+                func(record)
+
+    def count_by_key(self) -> dict:
+        """Count records per key; returned as a driver-side dict."""
+        return dict(
+            self.map_values(lambda _v: 1).reduce_by_key(lambda a, b: a + b).collect()
+        )
+
+    def collect_as_map(self) -> dict:
+        """Collect a pair RDD into a dict (later duplicates win)."""
+        return dict(_as_pair(record) for record in self.collect())
+
+    def num_records_per_partition(self) -> list[int]:
+        """Diagnostic: record count of each partition."""
+        return [len(part) for part in self.context._compute_all(self)]
+
+    def top(self, n: int, key: Callable[[Any], Any] | None = None) -> list:
+        """The ``n`` largest records (Spark top): per-partition heaps
+        merged on the driver, so only O(n) records travel."""
+        import heapq
+
+        if n < 1:
+            raise SparkLiteError(f"n must be >= 1, got {n}")
+        partials = (
+            self.map_partitions(
+                lambda it: [heapq.nlargest(n, it, key=key)]
+            )
+            .collect()
+        )
+        merged = [record for chunk in partials for record in chunk]
+        return heapq.nlargest(n, merged, key=key)
+
+    def take_ordered(
+        self, n: int, key: Callable[[Any], Any] | None = None
+    ) -> list:
+        """The ``n`` smallest records (Spark takeOrdered)."""
+        import heapq
+
+        if n < 1:
+            raise SparkLiteError(f"n must be >= 1, got {n}")
+        partials = (
+            self.map_partitions(
+                lambda it: [heapq.nsmallest(n, it, key=key)]
+            )
+            .collect()
+        )
+        merged = [record for chunk in partials for record in chunk]
+        return heapq.nsmallest(n, merged, key=key)
+
+    # ------------------------------------------------------------------
+    # Lineage inspection
+    # ------------------------------------------------------------------
+
+    def _parents(self) -> list["RDD"]:
+        """Direct lineage parents (subclasses override)."""
+        return []
+
+    def _describe(self) -> str:
+        """One-line description of this lineage node."""
+        flags = []
+        if self._cache_enabled:
+            flags.append("cached")
+        if self.partitioner is not None:
+            flags.append(str(self.partitioner))
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"{type(self).__name__.lstrip('_')}"
+            f"({self.num_partitions} partitions){suffix}"
+        )
+
+    def to_debug_string(self) -> str:
+        """Render the lineage tree (like Spark's ``toDebugString``).
+
+        Each line is one RDD; children are indented under their
+        consumer, shuffle boundaries show their partitioner.
+        """
+        lines: list[str] = []
+
+        def walk(node: "RDD", depth: int) -> None:
+            lines.append("  " * depth + "+- " + node._describe())
+            for parent in node._parents():
+                walk(parent, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+
+class _ParallelizedRDD(RDD):
+    """Leaf RDD backed by driver-side data split into partitions."""
+
+    def __init__(
+        self, context: "Context", partitions: list[list]
+    ) -> None:
+        super().__init__(context, len(partitions))
+        self._data = partitions
+
+    def _compute_partition(self, index: int) -> list:
+        return self._data[index]
+
+
+class _MapPartitionsRDD(RDD):
+    """Narrow transformation: per-partition function over one parent."""
+
+    def __init__(
+        self, parent: RDD, func: Callable[[int, Iterator], Iterable]
+    ) -> None:
+        super().__init__(parent.context, parent.num_partitions)
+        self._parent = parent
+        self._func = func
+
+    def _compute_partition(self, index: int) -> list:
+        return list(self._func(index, iter(self._parent._get_partition(index))))
+
+    def _parents(self) -> list[RDD]:
+        return [self._parent]
+
+
+class _UnionRDD(RDD):
+    """Concatenation of the partitions of two parents."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(
+            left.context, left.num_partitions + right.num_partitions
+        )
+        self._left = left
+        self._right = right
+
+    def _compute_partition(self, index: int) -> list:
+        if index < self._left.num_partitions:
+            return self._left._get_partition(index)
+        return self._right._get_partition(index - self._left.num_partitions)
+
+    def _parents(self) -> list[RDD]:
+        return [self._left, self._right]
+
+
+class _ShuffledRDD(RDD):
+    """Wide transformation: hash-repartition a pair RDD by key.
+
+    The shuffle is materialized once (thread-safe) on first access:
+    every parent partition is computed, each record is routed to its
+    bucket, and the context metrics record the number of records moved.
+    """
+
+    def __init__(self, parent: RDD, partitioner: HashPartitioner) -> None:
+        super().__init__(
+            parent.context, partitioner.num_partitions, partitioner
+        )
+        self._parent = parent
+        self._buckets: list[list] | None = None
+        self._shuffle_lock = threading.Lock()
+
+    def _materialize_shuffle(self) -> list[list]:
+        with self._shuffle_lock:
+            if self._buckets is None:
+                buckets: list[list] = [
+                    [] for _ in range(self.num_partitions)
+                ]
+                total = 0
+                for part in self.context._compute_all(self._parent):
+                    for record in part:
+                        key, _ = _as_pair(record)
+                        buckets[self.partitioner.partition_for(key)].append(
+                            record
+                        )
+                        total += 1
+                self.context.metrics.record_shuffle(total)
+                memory_model = self.context.memory_model
+                if memory_model is not None:
+                    from repro.sparklite.cluster import estimate_size
+
+                    memory_model.charge_shuffle(
+                        [estimate_size(bucket) for bucket in buckets]
+                    )
+                self._buckets = buckets
+            return self._buckets
+
+    def _compute_partition(self, index: int) -> list:
+        return self._materialize_shuffle()[index]
+
+    def _parents(self) -> list[RDD]:
+        return [self._parent]

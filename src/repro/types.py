@@ -1,0 +1,103 @@
+"""Shared result types for the DBSCOUT reproduction library.
+
+The central type is :class:`DetectionResult`, returned by every outlier
+detector in the library (DBSCOUT itself and every baseline) so that the
+metrics and experiment harnesses can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "DetectionResult",
+    "TimingBreakdown",
+]
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Wall-clock timing of each named phase of a detector run.
+
+    Attributes:
+        phases: Mapping from phase name (e.g. ``"grid"``,
+            ``"core_points"``) to elapsed seconds.
+    """
+
+    phases: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total elapsed seconds across all phases."""
+        return float(sum(self.phases.values()))
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in self.phases.items())
+        return f"TimingBreakdown({parts}, total={self.total:.4f}s)"
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """The outcome of running an outlier detector on a dataset.
+
+    Attributes:
+        n_points: Number of input points.
+        outlier_mask: Boolean array of shape ``(n_points,)``; ``True``
+            marks an outlier.
+        core_mask: Boolean array of shape ``(n_points,)`` marking core
+            points, when the detector defines them (density-based
+            detectors); otherwise ``None``.
+        scores: Optional per-point anomaly scores (higher = more
+            anomalous) for score-based detectors such as LOF/IF/OC-SVM.
+        timings: Optional per-phase wall-clock breakdown.
+        stats: Free-form detector statistics (cell counts, shuffle
+            volumes, ...), useful for experiments and debugging.
+    """
+
+    n_points: int
+    outlier_mask: np.ndarray
+    core_mask: np.ndarray | None = None
+    scores: np.ndarray | None = None
+    timings: TimingBreakdown | None = None
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.outlier_mask, dtype=bool)
+        if mask.shape != (self.n_points,):
+            raise ValueError(
+                f"outlier_mask has shape {mask.shape}, "
+                f"expected ({self.n_points},)"
+            )
+        object.__setattr__(self, "outlier_mask", mask)
+        if self.core_mask is not None:
+            core = np.asarray(self.core_mask, dtype=bool)
+            if core.shape != (self.n_points,):
+                raise ValueError(
+                    f"core_mask has shape {core.shape}, "
+                    f"expected ({self.n_points},)"
+                )
+            object.__setattr__(self, "core_mask", core)
+
+    @property
+    def outlier_indices(self) -> np.ndarray:
+        """Indices of the detected outliers, ascending."""
+        return np.flatnonzero(self.outlier_mask)
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of detected outliers."""
+        return int(self.outlier_mask.sum())
+
+    @property
+    def n_core_points(self) -> int:
+        """Number of core points (0 if the detector has no such notion)."""
+        if self.core_mask is None:
+            return 0
+        return int(self.core_mask.sum())
+
+    def labels(self) -> np.ndarray:
+        """Return sklearn-style labels: 1 for outliers, 0 for inliers."""
+        return self.outlier_mask.astype(np.int64)

@@ -1,0 +1,114 @@
+"""Tests for the exact DBSCAN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dbscan import NOISE, DBSCAN, dbscan_labels
+from repro.core.reference import brute_force_core_mask, brute_force_detect
+from repro.exceptions import ParameterError
+
+
+class TestClustering:
+    def test_two_well_separated_clusters(self, rng):
+        a = rng.normal(0.0, 0.3, size=(80, 2))
+        b = rng.normal(10.0, 0.3, size=(80, 2))
+        result = DBSCAN(1.0, 5).fit(np.vstack([a, b]))
+        assert result.n_clusters == 2
+        labels_a = set(result.labels[:80]) - {NOISE}
+        labels_b = set(result.labels[80:]) - {NOISE}
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_core_mask_matches_definition(self, clustered_2d):
+        result = DBSCAN(0.8, 8).fit(clustered_2d)
+        expected = brute_force_core_mask(clustered_2d, 0.8, 8)
+        assert np.array_equal(result.core_mask, expected)
+
+    def test_noise_equals_definition3_outliers(self, clustered_2d):
+        # The bridge to DBSCOUT: DBSCAN noise is exactly the set of
+        # points not within eps of any core point.
+        result = DBSCAN(0.8, 8).fit(clustered_2d)
+        expected = brute_force_detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(result.noise_mask, expected.outlier_mask)
+
+    def test_brute_and_kdtree_agree(self, clustered_2d):
+        kdtree = DBSCAN(0.8, 8, algorithm="kdtree").fit(clustered_2d)
+        brute = DBSCAN(0.8, 8, algorithm="brute").fit(clustered_2d)
+        assert np.array_equal(kdtree.noise_mask, brute.noise_mask)
+        assert np.array_equal(kdtree.core_mask, brute.core_mask)
+        assert kdtree.n_clusters == brute.n_clusters
+
+    def test_every_core_point_is_clustered(self, clustered_2d):
+        result = DBSCAN(0.8, 8).fit(clustered_2d)
+        assert (result.labels[result.core_mask] != NOISE).all()
+
+    def test_border_points_join_some_cluster(self, clustered_2d):
+        result = DBSCAN(0.8, 8).fit(clustered_2d)
+        border = ~result.core_mask & ~result.noise_mask
+        assert (result.labels[border] >= 0).all()
+
+    def test_clusters_are_eps_connected_through_cores(self, rng):
+        # Two clusters bridged by a chain of core points must merge.
+        left = rng.normal(0.0, 0.2, size=(50, 2))
+        right = rng.normal(0.0, 0.2, size=(50, 2)) + [4.0, 0.0]
+        bridge = np.column_stack(
+            [np.linspace(0, 4, 80), np.zeros(80)]
+        ) + rng.normal(0, 0.02, (80, 2))
+        result = DBSCAN(0.5, 4).fit(np.vstack([left, right, bridge]))
+        non_noise = result.labels[result.labels != NOISE]
+        assert len(set(non_noise)) == 1
+
+    def test_single_cluster_all_duplicates(self):
+        points = np.tile([[1.0, 1.0]], (10, 1))
+        result = DBSCAN(0.5, 5).fit(points)
+        assert result.n_clusters == 1
+        assert not result.noise_mask.any()
+
+    def test_empty_input(self):
+        result = DBSCAN(1.0, 3).fit(np.zeros((0, 2)))
+        assert result.n_clusters == 0
+        assert result.labels.shape == (0,)
+
+    def test_all_noise(self, rng):
+        points = rng.uniform(-100, 100, size=(20, 2))
+        result = DBSCAN(0.01, 3).fit(points)
+        assert result.noise_mask.all()
+        assert result.n_clusters == 0
+
+    def test_repr(self, clustered_2d):
+        assert "n_clusters" in repr(DBSCAN(0.8, 8).fit(clustered_2d))
+
+
+class TestDetectorFacade:
+    def test_detect_matches_dbscout(self, clustered_2d):
+        from repro import detect_outliers
+
+        baseline = DBSCAN(0.8, 8).detect(clustered_2d)
+        dbscout = detect_outliers(clustered_2d, 0.8, 8)
+        assert np.array_equal(baseline.outlier_mask, dbscout.outlier_mask)
+
+    def test_detect_with_overrides(self, clustered_2d):
+        baseline = DBSCAN(99.0, 1).detect(clustered_2d, eps=0.8, min_pts=8)
+        expected = DBSCAN(0.8, 8).detect(clustered_2d)
+        assert np.array_equal(baseline.outlier_mask, expected.outlier_mask)
+
+    def test_stats(self, clustered_2d):
+        result = DBSCAN(0.8, 8).detect(clustered_2d)
+        assert result.stats["algorithm"] == "dbscan"
+        assert result.stats["n_clusters"] >= 1
+
+
+class TestValidation:
+    def test_invalid_algorithm(self):
+        with pytest.raises(ParameterError):
+            DBSCAN(1.0, 3, algorithm="ball_tree")
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            DBSCAN(-1.0, 3)
+        with pytest.raises(ParameterError):
+            DBSCAN(1.0, 0)
+
+    def test_labels_helper(self, clustered_2d):
+        labels = dbscan_labels(clustered_2d, 0.8, 8)
+        assert labels.shape == (clustered_2d.shape[0],)

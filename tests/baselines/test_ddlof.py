@@ -1,0 +1,134 @@
+"""Tests for the DDLOF distributed LOF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ddlof import DDLOF
+from repro.baselines.lof import lof_scores
+from repro.exceptions import ParameterError
+
+
+class TestExactness:
+    def test_scores_match_centralized_lof(self, rng):
+        points = np.vstack(
+            [rng.normal(0, 0.5, (300, 2)), rng.uniform(-5, 5, (40, 2))]
+        )
+        distributed = DDLOF(k=6, points_per_block=60).detect(points)
+        assert np.allclose(distributed.scores, lof_scores(points, 6))
+
+    def test_scores_match_in_3d(self, rng):
+        points = rng.normal(size=(250, 3))
+        distributed = DDLOF(k=5, points_per_block=50).detect(points)
+        assert np.allclose(distributed.scores, lof_scores(points, 5))
+
+    def test_small_blocks_force_corrections(self, rng):
+        points = rng.normal(size=(200, 2))
+        result = DDLOF(
+            k=8, points_per_block=10, support_factor=0.05, max_rounds=1
+        ).detect(points)
+        # Tiny blocks with a thin margin cannot resolve everything in
+        # one round; the global fallback must kick in — and the final
+        # scores are still exact.
+        assert result.stats["n_unresolved"] > 0
+        assert np.allclose(result.scores, lof_scores(points, 8))
+
+    def test_multi_round_expansion_resolves_more(self, rng):
+        points = rng.normal(size=(300, 2))
+        kwargs = dict(k=8, points_per_block=12, support_factor=0.05)
+        one_round = DDLOF(max_rounds=1, **kwargs).detect(points)
+        many_rounds = DDLOF(max_rounds=4, **kwargs).detect(points)
+        # Extra rounds shrink what the global fallback must handle,
+        # without changing the (exact) scores.
+        assert (
+            many_rounds.stats["n_unresolved"]
+            < one_round.stats["n_unresolved"]
+        )
+        assert len(many_rounds.stats["rounds"]) > 1
+        assert np.allclose(many_rounds.scores, one_round.scores)
+        assert np.allclose(many_rounds.scores, lof_scores(points, 8))
+
+    def test_round_log_margins_double(self, rng):
+        points = rng.normal(size=(250, 2))
+        result = DDLOF(
+            k=8, points_per_block=10, support_factor=0.05, max_rounds=3
+        ).detect(points)
+        margins = [entry["margin"] for entry in result.stats["rounds"]]
+        for previous, current in zip(margins, margins[1:]):
+            assert current == pytest.approx(2 * previous)
+
+    def test_block_count_does_not_change_scores(self, rng):
+        points = rng.normal(size=(200, 2))
+        small_blocks = DDLOF(k=6, points_per_block=20).detect(points)
+        big_blocks = DDLOF(k=6, points_per_block=200).detect(points)
+        assert np.allclose(small_blocks.scores, big_blocks.scores)
+
+
+class TestSkewBehaviour:
+    def test_memory_valve_triggers_on_skew(self, rng):
+        # 90% of the mass in one tiny hotspot: the hottest block blows
+        # past the cap, emulating the paper's DDLOF OOM/DNF on Geolife.
+        hotspot = rng.normal(0.0, 0.01, size=(900, 2))
+        spread = rng.uniform(-100, 100, size=(100, 2))
+        points = np.vstack([hotspot, spread])
+        detector = DDLOF(
+            k=6, points_per_block=50, max_block_population=500
+        )
+        with pytest.raises(MemoryError):
+            detector.detect(points)
+
+    def test_no_valve_completes_on_skew(self, rng):
+        hotspot = rng.normal(0.0, 0.01, size=(300, 2))
+        spread = rng.uniform(-100, 100, size=(50, 2))
+        points = np.vstack([hotspot, spread])
+        result = DDLOF(k=6, points_per_block=50).detect(points)
+        assert result.n_points == 350
+
+    def test_max_block_population_reported(self, rng):
+        points = rng.normal(size=(100, 2))
+        result = DDLOF(k=5, points_per_block=25).detect(points)
+        assert result.stats["max_block_population"] >= 1
+
+
+class TestDetector:
+    def test_contamination_fraction(self, rng):
+        points = rng.normal(size=(200, 2))
+        result = DDLOF(k=6, contamination=0.1, points_per_block=50).detect(
+            points
+        )
+        assert result.n_outliers == pytest.approx(20, abs=3)
+
+    def test_finds_planted_outlier(self, rng):
+        cluster = rng.normal(0.0, 0.4, size=(150, 2))
+        points = np.vstack([cluster, [[9.0, 9.0]]])
+        result = DDLOF(k=6, contamination=0.01, points_per_block=40).detect(
+            points
+        )
+        assert result.outlier_mask[-1]
+
+    def test_timings_phases(self, rng):
+        points = rng.normal(size=(120, 2))
+        result = DDLOF(k=5, points_per_block=30).detect(points)
+        assert set(result.timings.phases) == {
+            "partition",
+            "k_distance",
+            "correction",
+            "lrd",
+            "lof",
+        }
+
+    def test_needs_more_points_than_k(self):
+        with pytest.raises(ParameterError):
+            DDLOF(k=6).detect(np.zeros((5, 2)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"contamination": 0.0},
+            {"points_per_block": 0},
+            {"support_factor": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            DDLOF(**kwargs)

@@ -1,0 +1,97 @@
+"""Tests for the HBOS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hbos import HBOS
+from repro.exceptions import NotFittedError, ParameterError
+
+
+class TestScores:
+    def test_isolated_point_scores_highest(self, rng):
+        cluster = rng.normal(0.0, 0.5, size=(500, 2))
+        points = np.vstack([cluster, [[15.0, 15.0]]])
+        detector = HBOS(contamination=0.01)
+        result = detector.detect(points)
+        assert result.scores.argmax() == 500
+        assert result.outlier_mask[-1]
+
+    def test_scores_additive_over_dimensions(self, rng):
+        points = rng.normal(size=(300, 2))
+        model = HBOS().fit(points)
+        full = model.score(points)
+        model_x = HBOS().fit(points[:, :1])
+        model_y = HBOS().fit(points[:, 1:])
+        # With the same auto bin count, the joint score is the sum of
+        # the per-dimension scores.
+        assert np.allclose(
+            full, model_x.score(points[:, :1]) + model_y.score(points[:, 1:])
+        )
+
+    def test_out_of_range_points_clamped(self, rng):
+        train = rng.normal(size=(200, 2))
+        model = HBOS().fit(train)
+        far = model.score(np.array([[1e6, -1e6]]))
+        near = model.score(np.array([[0.0, 0.0]]))
+        assert far[0] >= near[0]
+
+    def test_uniform_data_scores_flat(self, rng):
+        points = rng.uniform(0, 1, size=(5000, 2))
+        scores = HBOS(n_bins=10).fit(points).score(points)
+        assert scores.std() < 0.5
+
+    def test_axis_blindness(self, rng):
+        # The known weakness: a point anomalous only in combination
+        # (marginals normal) is invisible to HBOS — while DBSCOUT,
+        # being density-based, flags it.
+        from repro import detect_outliers
+
+        n = 600
+        x = rng.normal(0.0, 1.0, n)
+        diag = np.column_stack([x, x + rng.normal(0, 0.05, n)])
+        off_diagonal = np.array([[1.5, -1.5]])  # normal marginals!
+        points = np.vstack([diag, off_diagonal])
+        hbos_rank = (
+            HBOS(n_bins=20).fit(points).score(points).argsort().argsort()
+        )
+        scout = detect_outliers(points, eps=0.4, min_pts=5)
+        assert scout.outlier_mask[-1]
+        assert hbos_rank[-1] < n  # not the top-scored point
+
+
+class TestDetector:
+    def test_contamination_fraction(self, rng):
+        points = rng.normal(size=(400, 2))
+        result = HBOS(contamination=0.1).detect(points)
+        assert result.n_outliers == pytest.approx(40, abs=6)
+
+    def test_auto_bins_recorded(self, rng):
+        points = rng.normal(size=(400, 2))
+        result = HBOS().detect(points)
+        assert result.stats["n_bins"] == 20  # sqrt(400)
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            HBOS().score(rng.normal(size=(5, 2)))
+
+    def test_dimension_mismatch(self, rng):
+        model = HBOS().fit(rng.normal(size=(50, 2)))
+        with pytest.raises(ParameterError):
+            model.score(rng.normal(size=(5, 3)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_bins": 1},
+            {"n_bins": "many"},
+            {"contamination": 0.0},
+            {"contamination": 0.9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            HBOS(**kwargs)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ParameterError):
+            HBOS().fit(np.array([[1.0, 2.0]]))

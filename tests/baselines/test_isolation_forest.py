@@ -1,0 +1,101 @@
+"""Tests for the Isolation Forest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.isolation_forest import (
+    IsolationForest,
+    average_path_length,
+)
+from repro.exceptions import NotFittedError, ParameterError
+
+
+class TestAveragePathLength:
+    def test_known_values(self):
+        # c(1) = 0, c(2) = 1 by definition.
+        assert average_path_length(np.array([1.0]))[0] == 0.0
+        assert average_path_length(np.array([2.0]))[0] == 1.0
+
+    def test_monotone_increasing(self):
+        values = average_path_length(np.array([2.0, 10.0, 100.0, 1000.0]))
+        assert (np.diff(values) > 0).all()
+
+    def test_logarithmic_growth(self):
+        # c(n) ~ 2 ln(n); doubling n adds roughly 2 ln 2.
+        big = average_path_length(np.array([2048.0]))[0]
+        half = average_path_length(np.array([1024.0]))[0]
+        assert big - half == pytest.approx(2 * np.log(2), abs=0.01)
+
+
+class TestDetector:
+    def test_isolated_point_scores_highest(self, rng):
+        cluster = rng.normal(0.0, 0.5, size=(300, 2))
+        points = np.vstack([cluster, [[15.0, 15.0]]])
+        forest = IsolationForest(n_trees=100, contamination=0.01, seed=1)
+        result = forest.detect(points)
+        assert result.scores is not None
+        assert result.scores[-1] == result.scores.max()
+        assert result.outlier_mask[-1]
+
+    def test_scores_in_unit_interval(self, rng):
+        points = rng.normal(size=(200, 2))
+        scores = IsolationForest(n_trees=30, seed=2).fit(points).score(points)
+        assert (scores > 0).all() and (scores < 1).all()
+
+    def test_deterministic_with_seed(self, rng):
+        points = rng.normal(size=(100, 2))
+        a = IsolationForest(n_trees=20, seed=5).detect(points)
+        b = IsolationForest(n_trees=20, seed=5).detect(points)
+        assert np.array_equal(a.outlier_mask, b.outlier_mask)
+        assert np.allclose(a.scores, b.scores)
+
+    def test_different_seeds_differ(self, rng):
+        points = rng.normal(size=(100, 2))
+        a = IsolationForest(n_trees=5, seed=1).detect(points)
+        b = IsolationForest(n_trees=5, seed=2).detect(points)
+        assert not np.allclose(a.scores, b.scores)
+
+    def test_contamination_controls_count(self, rng):
+        points = rng.normal(size=(200, 2))
+        result = IsolationForest(contamination=0.1, seed=0).detect(points)
+        assert result.n_outliers == pytest.approx(20, abs=3)
+
+    def test_score_unseen_points(self, rng):
+        train = rng.normal(size=(200, 2))
+        forest = IsolationForest(n_trees=50, seed=0).fit(train)
+        inlier_score = forest.score(np.array([[0.0, 0.0]]))[0]
+        outlier_score = forest.score(np.array([[30.0, 30.0]]))[0]
+        assert outlier_score > inlier_score
+
+    def test_subsample_larger_than_data(self, rng):
+        points = rng.normal(size=(50, 2))
+        result = IsolationForest(
+            n_trees=10, subsample_size=256, seed=0
+        ).detect(points)
+        assert result.stats["subsample_size"] == 50
+
+    def test_duplicates_handled(self):
+        points = np.vstack(
+            [np.tile([[1.0, 1.0]], (40, 1)), [[9.0, 9.0]]]
+        )
+        result = IsolationForest(n_trees=20, contamination=0.05, seed=0).detect(
+            points
+        )
+        assert result.outlier_mask[-1]
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            IsolationForest().score(rng.normal(size=(5, 2)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_trees": 0},
+            {"subsample_size": 1},
+            {"contamination": 0.0},
+            {"contamination": 0.9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            IsolationForest(**kwargs)

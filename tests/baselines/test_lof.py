@@ -1,0 +1,94 @@
+"""Tests for the Local Outlier Factor baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lof import LocalOutlierFactor, lof_scores
+from repro.exceptions import ParameterError
+
+
+def brute_lof(points: np.ndarray, k: int) -> np.ndarray:
+    """Direct transcription of the LOF definition for small inputs."""
+    n = points.shape[0]
+    dists = np.sqrt(
+        ((points[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    )
+    np.fill_diagonal(dists, np.inf)
+    neighbor_idx = np.argsort(dists, axis=1)[:, :k]
+    neighbor_dist = np.take_along_axis(dists, neighbor_idx, axis=1)
+    k_dist = neighbor_dist[:, -1]
+    reach = np.maximum(k_dist[neighbor_idx], neighbor_dist)
+    lrd = 1.0 / np.maximum(reach.mean(axis=1), np.finfo(float).tiny)
+    return lrd[neighbor_idx].mean(axis=1) / lrd
+
+
+class TestScores:
+    def test_matches_brute_force(self, rng):
+        points = rng.normal(size=(80, 2))
+        assert np.allclose(lof_scores(points, 5), brute_lof(points, 5))
+
+    def test_matches_brute_force_3d(self, rng):
+        points = rng.normal(size=(60, 3))
+        assert np.allclose(lof_scores(points, 7), brute_lof(points, 7))
+
+    def test_uniform_data_scores_near_one(self, rng):
+        points = rng.uniform(0, 1, size=(500, 2))
+        scores = lof_scores(points, 10)
+        # Interior points of homogeneous data have LOF ~ 1.
+        assert np.median(scores) == pytest.approx(1.0, abs=0.15)
+
+    def test_isolated_point_scores_high(self, rng):
+        cluster = rng.normal(0.0, 0.3, size=(100, 2))
+        points = np.vstack([cluster, [[10.0, 10.0]]])
+        scores = lof_scores(points, 5)
+        assert scores[-1] > 5.0
+        assert scores[-1] == scores.max()
+
+    def test_duplicate_points_do_not_crash(self):
+        points = np.vstack([np.tile([[0.0, 0.0]], (10, 1)), [[5.0, 5.0]]])
+        scores = lof_scores(points, 3)
+        assert np.isfinite(scores).all()
+
+    def test_k_validation(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ParameterError):
+            lof_scores(points, 0)
+        with pytest.raises(ParameterError):
+            lof_scores(points, 10)
+
+
+class TestDetector:
+    def test_flags_requested_fraction(self, rng):
+        points = rng.normal(size=(200, 2))
+        result = LocalOutlierFactor(k=10, contamination=0.1).detect(points)
+        assert result.n_outliers == pytest.approx(20, abs=3)
+
+    def test_finds_planted_outliers(self, rng):
+        cluster = rng.normal(0.0, 0.3, size=(195, 2))
+        planted = rng.uniform(5.0, 10.0, size=(5, 2))
+        points = np.vstack([cluster, planted])
+        result = LocalOutlierFactor(k=10, contamination=0.025).detect(points)
+        assert result.outlier_mask[-5:].all()
+
+    def test_scores_attached(self, rng):
+        points = rng.normal(size=(50, 2))
+        result = LocalOutlierFactor(k=5, contamination=0.1).detect(points)
+        assert result.scores is not None
+        assert result.scores.shape == (50,)
+        # Flagged points carry the largest scores.
+        flagged_min = result.scores[result.outlier_mask].min()
+        unflagged_max = (
+            result.scores[~result.outlier_mask].max()
+            if (~result.outlier_mask).any()
+            else -np.inf
+        )
+        assert flagged_min >= unflagged_max
+
+    def test_contamination_validation(self):
+        with pytest.raises(ParameterError):
+            LocalOutlierFactor(contamination=0.0)
+        with pytest.raises(ParameterError):
+            LocalOutlierFactor(contamination=0.7)
+
+    def test_repr(self):
+        assert "k=10" in repr(LocalOutlierFactor(k=10))

@@ -1,0 +1,72 @@
+"""Tests for the One-Class SVM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ocsvm import OneClassSVM
+from repro.exceptions import NotFittedError, ParameterError
+
+
+class TestDetector:
+    def test_isolated_point_flagged(self, rng):
+        cluster = rng.normal(0.0, 0.5, size=(300, 2))
+        points = np.vstack([cluster, [[12.0, 12.0]]])
+        result = OneClassSVM(nu=0.01, n_epochs=10, seed=0).detect(points)
+        assert result.outlier_mask[-1]
+
+    def test_decision_lower_for_outliers(self, rng):
+        cluster = rng.normal(0.0, 0.5, size=(300, 2))
+        model = OneClassSVM(nu=0.05, n_epochs=10, seed=0).fit(cluster)
+        inside = model.decision_function(np.array([[0.0, 0.0]]))[0]
+        outside = model.decision_function(np.array([[20.0, 20.0]]))[0]
+        assert inside > outside
+
+    def test_nu_controls_flagged_fraction(self, rng):
+        points = rng.normal(size=(400, 2))
+        result = OneClassSVM(nu=0.1, n_epochs=5, seed=0).detect(points)
+        assert result.n_outliers == pytest.approx(40, abs=5)
+
+    def test_deterministic(self, rng):
+        points = rng.normal(size=(100, 2))
+        a = OneClassSVM(nu=0.05, n_epochs=5, seed=9).detect(points)
+        b = OneClassSVM(nu=0.05, n_epochs=5, seed=9).detect(points)
+        assert np.array_equal(a.outlier_mask, b.outlier_mask)
+
+    def test_gamma_scale_default(self, rng):
+        points = rng.normal(size=(100, 2)) * 100.0  # large scale
+        result = OneClassSVM(nu=0.05, n_epochs=5, seed=0).detect(points)
+        assert result.n_points == 100  # just exercises the scale path
+
+    def test_explicit_gamma(self, rng):
+        points = rng.normal(size=(100, 2))
+        result = OneClassSVM(nu=0.05, gamma=0.5, n_epochs=5, seed=0).detect(
+            points
+        )
+        assert result.scores is not None
+
+    def test_constant_data_does_not_crash(self):
+        points = np.tile([[3.0, 3.0]], (50, 1))
+        result = OneClassSVM(nu=0.1, n_epochs=3, seed=0).detect(points)
+        assert result.n_points == 50
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            OneClassSVM().decision_function(rng.normal(size=(5, 2)))
+
+    def test_needs_two_points(self):
+        with pytest.raises(ParameterError):
+            OneClassSVM().fit(np.array([[0.0, 0.0]]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nu": 0.0},
+            {"nu": 0.8},
+            {"gamma": -1.0},
+            {"gamma": "auto"},
+            {"n_features": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            OneClassSVM(**kwargs)

@@ -1,0 +1,141 @@
+"""Tests for the RP-DBSCAN baseline (approximated parallel DBSCAN)."""
+
+import numpy as np
+import pytest
+
+from repro import detect_outliers
+from repro.baselines.rp_dbscan import DisjointSet, RPDBSCAN
+from repro.exceptions import ParameterError
+from repro.metrics import compare_outlier_sets
+
+
+class TestDisjointSet:
+    def test_initially_singletons(self):
+        forest = DisjointSet()
+        assert forest.find("a") == "a"
+        assert forest.find("b") == "b"
+
+    def test_union_merges(self):
+        forest = DisjointSet()
+        forest.union("a", "b")
+        forest.union("b", "c")
+        assert forest.find("a") == forest.find("c")
+        assert forest.find("a") != forest.find("d")
+
+    def test_groups(self):
+        forest = DisjointSet()
+        forest.union(1, 2)
+        forest.union(3, 4)
+        forest.find(5)
+        groups = forest.groups()
+        assert sorted(sorted(g) for g in groups.values()) == [
+            [1, 2],
+            [3, 4],
+            [5],
+        ]
+
+    def test_idempotent_union(self):
+        forest = DisjointSet()
+        forest.union("x", "y")
+        forest.union("x", "y")
+        assert len(forest.groups()) == 1
+
+    def test_len(self):
+        forest = DisjointSet()
+        forest.union(1, 2)
+        assert len(forest) == 2
+
+
+class TestApproximation:
+    def test_superset_of_exact_outliers_up_to_rare_fns(self, clustered_2d):
+        exact = detect_outliers(clustered_2d, 0.8, 8)
+        approx = RPDBSCAN(0.8, 8, rho=0.05, num_partitions=4).detect(
+            clustered_2d
+        )
+        comparison = compare_outlier_sets(exact.outlier_mask, approx.outlier_mask)
+        # The conservative core test only ever adds outliers; the
+        # liberal coverage test can only absorb points within rho*eps
+        # of a core sub-cell, so FNs stay a tiny fraction.
+        assert comparison.n_approx >= comparison.n_exact - comparison.false_negatives
+        assert comparison.false_negative_rate <= 0.05
+
+    def test_approx_cores_subset_of_exact_cores(self, clustered_2d):
+        exact = detect_outliers(clustered_2d, 0.8, 8)
+        approx = RPDBSCAN(0.8, 8, rho=0.05, num_partitions=4).fit(clustered_2d)
+        assert not (approx.core_mask & ~exact.core_mask).any()
+
+    def test_smaller_rho_converges_to_exact(self, rng):
+        points = np.vstack(
+            [rng.normal(0, 0.4, (200, 2)), rng.uniform(-6, 6, (25, 2))]
+        )
+        exact = detect_outliers(points, 0.6, 8)
+        errors = []
+        for rho in (0.5, 0.1, 0.01):
+            approx = RPDBSCAN(0.6, 8, rho=rho, num_partitions=3).detect(points)
+            comparison = compare_outlier_sets(
+                exact.outlier_mask, approx.outlier_mask
+            )
+            errors.append(
+                comparison.false_positives + comparison.false_negatives
+            )
+        assert errors[0] >= errors[-1]
+        assert errors[-1] <= max(1, int(0.02 * points.shape[0]))
+
+    def test_partition_count_does_not_change_result(self, clustered_2d):
+        masks = []
+        for num_partitions in (1, 3, 8):
+            approx = RPDBSCAN(
+                0.8, 8, rho=0.05, num_partitions=num_partitions, seed=0
+            ).detect(clustered_2d)
+            masks.append(approx.outlier_mask)
+        assert np.array_equal(masks[0], masks[1])
+        assert np.array_equal(masks[1], masks[2])
+
+
+class TestClustering:
+    def test_two_separated_clusters_found(self, rng):
+        a = rng.normal(0.0, 0.3, size=(100, 2))
+        b = rng.normal(10.0, 0.3, size=(100, 2))
+        result = RPDBSCAN(1.0, 5, rho=0.05, num_partitions=4).fit(
+            np.vstack([a, b])
+        )
+        labels_a = set(result.labels[:100]) - {-1}
+        labels_b = set(result.labels[100:]) - {-1}
+        assert labels_a and labels_b and labels_a.isdisjoint(labels_b)
+
+    def test_core_points_always_labelled(self, clustered_2d):
+        result = RPDBSCAN(0.8, 8, rho=0.05, num_partitions=4).fit(clustered_2d)
+        assert (result.labels[result.core_mask] >= 0).all()
+
+    def test_outliers_are_unlabelled(self, clustered_2d):
+        result = RPDBSCAN(0.8, 8, rho=0.05, num_partitions=4).fit(clustered_2d)
+        assert np.array_equal(result.outlier_mask, result.labels < 0)
+
+    def test_timings_and_stats(self, clustered_2d):
+        result = RPDBSCAN(0.8, 8, num_partitions=3).fit(clustered_2d)
+        assert result.timings is not None
+        assert set(result.timings.phases) == {
+            "partition_dictionary",
+            "core_marking",
+            "coverage",
+            "cluster_merge",
+        }
+        assert result.stats["num_partitions"] == 3
+
+    def test_empty_input(self):
+        result = RPDBSCAN(1.0, 5).fit(np.zeros((0, 2)))
+        assert result.n_clusters == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rho": 0.0},
+            {"rho": 1.5},
+            {"num_partitions": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            RPDBSCAN(1.0, 5, **kwargs)

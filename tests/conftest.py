@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def clustered_2d(rng: np.random.Generator) -> np.ndarray:
+    """Two Gaussian clusters plus uniform scatter (2-D, 330 points)."""
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.4, size=(150, 2)),
+            rng.normal(6.0, 0.5, size=(150, 2)),
+            rng.uniform(-10.0, 16.0, size=(30, 2)),
+        ]
+    )
+
+
+@pytest.fixture
+def clustered_3d(rng: np.random.Generator) -> np.ndarray:
+    """One Gaussian cluster plus uniform scatter (3-D, 220 points)."""
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.5, size=(200, 3)),
+            rng.uniform(-8.0, 8.0, size=(20, 3)),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_toy_dataset() -> np.ndarray:
+    """A small 2-D dataset in the spirit of the paper's Fig. 2 example,
+    including the four named example points p1..p4."""
+    cluster = np.array(
+        [
+            [0.2, 0.3],
+            [0.5, 0.6],
+            [0.7, 0.2],
+            [0.3, 0.8],
+            [0.8, 0.7],
+            [0.6, 0.4],
+        ]
+    )
+    sparse = np.array(
+        [
+            [1.1, -0.3],  # p1 in the paper: core via neighborhood
+            [1.9, -0.9],  # p2: not core
+            [0.7, -1.5],  # p3: covered by a core point
+            [0.3, -1.8],  # p4: outlier
+            [1.4, 0.3],
+            [1.2, 0.8],
+        ]
+    )
+    return np.vstack([cluster, sparse])

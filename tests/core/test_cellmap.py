@@ -1,0 +1,119 @@
+"""Tests for repro.core.cellmap: dense/core/other classification."""
+
+import pytest
+
+from repro.core.cellmap import CellMap, CellType
+from repro.core.neighbors import NeighborStencil
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def simple_map() -> CellMap:
+    cell_map = CellMap(2)
+    cell_map.set_type((0, 0), CellType.DENSE)
+    cell_map.set_type((1, 0), CellType.OTHER)
+    cell_map.set_type((5, 5), CellType.OTHER)
+    return cell_map
+
+
+class TestCellType:
+    def test_dense_is_core(self):
+        assert CellType.DENSE.is_core
+
+    def test_core_is_core(self):
+        assert CellType.CORE.is_core
+
+    def test_other_is_not_core(self):
+        assert not CellType.OTHER.is_core
+
+
+class TestFromCounts:
+    def test_thresholding(self):
+        cell_map = CellMap.from_counts({(0, 0): 10, (1, 1): 3}, min_pts=5)
+        assert cell_map.cell_type((0, 0)) is CellType.DENSE
+        assert cell_map.cell_type((1, 1)) is CellType.OTHER
+
+    def test_exact_threshold_is_dense(self):
+        cell_map = CellMap.from_counts({(0, 0): 5}, min_pts=5)
+        assert cell_map.cell_type((0, 0)) is CellType.DENSE
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            CellMap.from_counts({}, min_pts=5)
+
+    def test_invalid_min_pts(self):
+        with pytest.raises(ParameterError):
+            CellMap.from_counts({(0, 0): 1}, min_pts=0)
+
+    def test_infers_dimensionality(self):
+        cell_map = CellMap.from_counts({(0, 0, 0): 1}, min_pts=1)
+        assert cell_map.n_dims == 3
+
+
+class TestQueries:
+    def test_unknown_cell_is_none(self, simple_map):
+        assert simple_map.cell_type((9, 9)) is None
+
+    def test_contains(self, simple_map):
+        assert (0, 0) in simple_map
+        assert (9, 9) not in simple_map
+
+    def test_len(self, simple_map):
+        assert len(simple_map) == 3
+
+    def test_wrong_dimensionality_rejected(self, simple_map):
+        with pytest.raises(ParameterError):
+            simple_map.set_type((0, 0, 0), CellType.OTHER)
+
+    def test_numpy_integers_are_normalized(self, simple_map):
+        import numpy as np
+
+        assert simple_map.cell_type((np.int64(0), np.int64(0))) is CellType.DENSE
+
+    def test_cells_of_type(self, simple_map):
+        assert set(simple_map.cells_of_type(CellType.DENSE)) == {(0, 0)}
+        assert set(simple_map.cells_of_type(CellType.OTHER)) == {(1, 0), (5, 5)}
+
+
+class TestMarkCore:
+    def test_upgrades_other(self, simple_map):
+        simple_map.mark_core((1, 0))
+        assert simple_map.cell_type((1, 0)) is CellType.CORE
+
+    def test_dense_stays_dense(self, simple_map):
+        simple_map.mark_core((0, 0))
+        assert simple_map.cell_type((0, 0)) is CellType.DENSE
+
+    def test_is_core_cell(self, simple_map):
+        simple_map.mark_core((1, 0))
+        assert simple_map.is_core_cell((0, 0))  # dense
+        assert simple_map.is_core_cell((1, 0))  # marked
+        assert not simple_map.is_core_cell((5, 5))
+        assert not simple_map.is_core_cell((9, 9))  # empty
+
+
+class TestNeighbors:
+    def test_neighbors_only_non_empty(self, simple_map):
+        neighbors = simple_map.neighbors((0, 0))
+        assert set(neighbors) == {(0, 0), (1, 0)}  # (5,5) is too far
+
+    def test_core_neighbors(self, simple_map):
+        assert simple_map.core_neighbors((1, 0)) == [(0, 0)]
+        simple_map.mark_core((1, 0))
+        assert set(simple_map.core_neighbors((0, 0))) == {(0, 0), (1, 0)}
+
+    def test_isolated_cell_neighbors_itself_only(self, simple_map):
+        assert simple_map.neighbors((5, 5)) == [(5, 5)]
+
+    def test_core_neighbors_empty_for_isolated_other(self, simple_map):
+        assert simple_map.core_neighbors((5, 5)) == []
+
+    def test_shared_stencil(self):
+        stencil = NeighborStencil(2)
+        cell_map = CellMap(2, stencil=stencil)
+        assert cell_map.stencil is stencil
+
+    def test_repr(self, simple_map):
+        simple_map.mark_core((1, 0))
+        text = repr(simple_map)
+        assert "dense=1" in text and "core=1" in text

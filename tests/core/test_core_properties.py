@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the DBSCOUT core.
+
+These check the central exactness claim — both engines agree with the
+brute-force transcription of Definitions 2/3 on arbitrary inputs — and
+the geometric invariants behind Lemmas 1 and 2.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distributed import DistributedEngine
+from repro.core.grid import Grid
+from repro.core.reference import brute_force_detect
+from repro.core.vectorized import detect as vectorized_detect
+
+# Coordinates live on the dyadic lattice k/8 with |k| <= 400, and eps is
+# k/8 with 1 <= k <= 160.  All squared distances and eps**2 are then
+# exactly representable (multiples of 1/64 far below 2**53), so every
+# "distance <= eps" comparison is exact: engine-vs-reference parity can
+# be asserted bit-for-bit with no float-boundary flakiness, while ties
+# at exactly eps (which hypothesis loves to build) are still exercised.
+finite_coord = st.integers(min_value=-400, max_value=400).map(
+    lambda k: k / 8.0
+)
+
+
+def point_arrays(max_points: int = 60, dims: tuple[int, ...] = (1, 2, 3)):
+    return st.integers(min_value=1, max_value=max_points).flatmap(
+        lambda n: st.sampled_from(dims).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=finite_coord)
+        )
+    )
+
+
+params = st.tuples(
+    st.integers(min_value=1, max_value=160).map(lambda k: k / 8.0),
+    st.integers(min_value=1, max_value=8),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_arrays(), eps_minpts=params)
+def test_vectorized_matches_brute_force(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    expected = brute_force_detect(points, eps, min_pts)
+    actual = vectorized_detect(points, eps, min_pts)
+    assert np.array_equal(actual.core_mask, expected.core_mask)
+    assert np.array_equal(actual.outlier_mask, expected.outlier_mask)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    points=point_arrays(max_points=30, dims=(2,)),
+    eps_minpts=params,
+    num_partitions=st.integers(min_value=1, max_value=5),
+)
+def test_distributed_matches_brute_force(points, eps_minpts, num_partitions):
+    eps, min_pts = eps_minpts
+    expected = brute_force_detect(points, eps, min_pts)
+    engine = DistributedEngine(num_partitions=num_partitions)
+    actual = engine.detect(points, eps, min_pts)
+    assert np.array_equal(actual.core_mask, expected.core_mask)
+    assert np.array_equal(actual.outlier_mask, expected.outlier_mask)
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_arrays(), eps_minpts=params)
+def test_core_points_never_outliers(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    result = vectorized_detect(points, eps, min_pts)
+    assert not (result.core_mask & result.outlier_mask).any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_arrays(), eps_minpts=params)
+def test_lemma1_dense_cells_all_core(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    result = vectorized_detect(points, eps, min_pts)
+    grid = Grid(points, eps)
+    for cell_index in np.flatnonzero(grid.counts >= min_pts):
+        assert result.core_mask[grid.cell_members(cell_index)].all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_arrays(), eps_minpts=params)
+def test_lemma2_core_cells_have_no_outliers(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    result = vectorized_detect(points, eps, min_pts)
+    grid = Grid(points, eps)
+    for cell_index in range(grid.n_cells):
+        members = grid.cell_members(cell_index)
+        if result.core_mask[members].any():
+            assert not result.outlier_mask[members].any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_arrays(max_points=40), eps_minpts=params)
+def test_grid_partition_complete_and_disjoint(points, eps_minpts):
+    eps, _ = eps_minpts
+    grid = Grid(points, eps)
+    seen = np.zeros(grid.n_points, dtype=int)
+    for cell_index in range(grid.n_cells):
+        seen[grid.cell_members(cell_index)] += 1
+    assert (seen == 1).all()
+    assert grid.counts.sum() == grid.n_points
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=point_arrays(max_points=40, dims=(2,)),
+    eps_minpts=params,
+    shift=st.integers(min_value=-4096, max_value=4096).map(lambda k: k / 4.0),
+)
+def test_translation_invariance(points, eps_minpts, shift):
+    # Outlier decisions depend only on pairwise distances; translating
+    # the whole dataset (which changes all cell coordinates) must not
+    # change the result.
+    eps, min_pts = eps_minpts
+    base = vectorized_detect(points, eps, min_pts)
+    moved = vectorized_detect(points + shift, eps, min_pts)
+    assert np.array_equal(base.outlier_mask, moved.outlier_mask)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_arrays(max_points=40), eps_minpts=params)
+def test_permutation_equivariance(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    rng = np.random.default_rng(0)
+    order = rng.permutation(points.shape[0])
+    base = vectorized_detect(points, eps, min_pts)
+    shuffled = vectorized_detect(points[order], eps, min_pts)
+    assert np.array_equal(base.outlier_mask[order], shuffled.outlier_mask)
+    assert np.array_equal(base.core_mask[order], shuffled.core_mask)

@@ -1,0 +1,135 @@
+"""Tests for the distributed DBSCOUT engine (Algorithms 1-5 on SparkLite)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import JOIN_STRATEGIES, DistributedEngine
+from repro.core.reference import brute_force_detect
+from repro.core.vectorized import detect as vectorized_detect
+from repro.exceptions import ParameterError
+from repro.sparklite import Context
+
+
+class TestParity:
+    @pytest.mark.parametrize("strategy", JOIN_STRATEGIES)
+    def test_matches_brute_force_2d(self, clustered_2d, strategy):
+        engine = DistributedEngine(num_partitions=4, join_strategy=strategy)
+        expected = brute_force_detect(clustered_2d, 0.8, 8)
+        actual = engine.detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(actual.outlier_mask, expected.outlier_mask)
+        assert np.array_equal(actual.core_mask, expected.core_mask)
+
+    @pytest.mark.parametrize("strategy", JOIN_STRATEGIES)
+    def test_matches_vectorized_3d(self, clustered_3d, strategy):
+        engine = DistributedEngine(num_partitions=3, join_strategy=strategy)
+        expected = vectorized_detect(clustered_3d, 1.0, 10)
+        actual = engine.detect(clustered_3d, 1.0, 10)
+        assert np.array_equal(actual.outlier_mask, expected.outlier_mask)
+        assert np.array_equal(actual.core_mask, expected.core_mask)
+
+    @pytest.mark.parametrize("num_partitions", [1, 2, 7, 16])
+    def test_partition_count_does_not_change_result(
+        self, clustered_2d, num_partitions
+    ):
+        engine = DistributedEngine(num_partitions=num_partitions)
+        expected = vectorized_detect(clustered_2d, 0.6, 6)
+        actual = engine.detect(clustered_2d, 0.6, 6)
+        assert np.array_equal(actual.outlier_mask, expected.outlier_mask)
+
+    def test_threaded_executors_same_result(self, clustered_2d):
+        sequential = DistributedEngine(num_partitions=4, max_workers=1)
+        threaded = DistributedEngine(num_partitions=4, max_workers=4)
+        a = sequential.detect(clustered_2d, 0.8, 8)
+        b = threaded.detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(a.outlier_mask, b.outlier_mask)
+        assert np.array_equal(a.core_mask, b.core_mask)
+
+
+class TestPaperExample:
+    """The worked example of Section III (Figs. 4-8), eps=sqrt(2), minPts=5."""
+
+    def test_p1_is_core_p2_is_not(self, paper_toy_dataset):
+        import math
+
+        engine = DistributedEngine(num_partitions=2)
+        result = engine.detect(paper_toy_dataset, math.sqrt(2.0), 5)
+        reference = brute_force_detect(paper_toy_dataset, math.sqrt(2.0), 5)
+        assert np.array_equal(result.core_mask, reference.core_mask)
+        assert np.array_equal(result.outlier_mask, reference.outlier_mask)
+
+
+class TestConfiguration:
+    def test_invalid_strategy(self):
+        with pytest.raises(ParameterError):
+            DistributedEngine(join_strategy="hash")
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ParameterError):
+            DistributedEngine(num_partitions=0)
+
+    def test_external_context_metrics_shared(self, clustered_2d):
+        context = Context(default_parallelism=4)
+        engine = DistributedEngine(num_partitions=4, context=context)
+        engine.detect(clustered_2d, 0.8, 8)
+        assert context.metrics.shuffles > 0
+        assert context.metrics.records_shuffled > 0
+        assert context.metrics.broadcasts >= 2  # two cell-map broadcasts
+
+    def test_stats_reported(self, clustered_2d):
+        engine = DistributedEngine(num_partitions=4, join_strategy="group")
+        result = engine.detect(clustered_2d, 0.8, 8)
+        assert result.stats["engine"] == "distributed"
+        assert result.stats["join_strategy"] == "group"
+        assert result.stats["num_partitions"] == 4
+        assert result.stats["n_cells"] > 0
+        assert result.timings is not None
+        assert set(result.timings.phases) == {
+            "grid",
+            "dense_cell_map",
+            "core_points",
+            "core_cell_map",
+            "outliers",
+        }
+
+    def test_broadcast_join_fewer_shuffled_records(self, clustered_2d):
+        ctx_plain = Context(default_parallelism=4)
+        DistributedEngine(
+            num_partitions=4, join_strategy="plain", context=ctx_plain
+        ).detect(clustered_2d, 0.6, 8)
+        ctx_broadcast = Context(default_parallelism=4)
+        DistributedEngine(
+            num_partitions=4, join_strategy="broadcast", context=ctx_broadcast
+        ).detect(clustered_2d, 0.6, 8)
+        # The broadcast join eliminates the join shuffles of the grid
+        # and the points-to-check, so fewer records cross the network.
+        assert (
+            ctx_broadcast.metrics.records_shuffled
+            < ctx_plain.metrics.records_shuffled
+        )
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        result = DistributedEngine(num_partitions=2).detect(
+            np.zeros((0, 2)), 1.0, 5
+        )
+        assert result.n_points == 0
+
+    def test_more_partitions_than_points(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        result = DistributedEngine(num_partitions=8).detect(points, 1.0, 2)
+        assert result.outlier_mask.all()
+
+    def test_all_points_in_one_dense_cell(self):
+        points = np.tile([[1.0, 1.0]], (20, 1)) + np.linspace(
+            0, 1e-6, 20
+        ).reshape(-1, 1)
+        result = DistributedEngine(num_partitions=3).detect(points, 1.0, 5)
+        assert result.core_mask.all()
+        assert not result.outlier_mask.any()
+
+    def test_no_core_points_everything_outlier(self, rng):
+        points = rng.uniform(-100, 100, size=(30, 2))
+        result = DistributedEngine(num_partitions=3).detect(points, 0.01, 5)
+        assert result.outlier_mask.all()
+        assert not result.core_mask.any()

@@ -1,0 +1,95 @@
+"""Tests for the geographic (lat/lon) convenience wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.geographic import detect_geographic
+from repro.exceptions import DataValidationError
+
+
+class TestDetectGeographic:
+    def test_finds_stray_fixes(self, rng):
+        city = np.column_stack(
+            [rng.normal(48.85, 0.005, 400), rng.normal(2.35, 0.005, 400)]
+        )
+        strays = np.array([[49.8, 3.5], [47.9, 1.1]])
+        latlon = np.vstack([city, strays])
+        result = detect_geographic(latlon, eps_meters=800.0, min_pts=10)
+        assert result.outlier_mask[-2:].all()
+        assert result.outlier_mask[:-2].mean() < 0.05
+
+    def test_eps_is_in_meters(self, rng):
+        # Two tight clusters ~2 km apart: with eps = 500 m they stay
+        # separate communities but no outliers; a point 10 km out is one.
+        base = np.array([48.85, 2.35])
+        cluster_a = base + rng.normal(0, 0.0005, size=(100, 2))
+        cluster_b = base + [0.018, 0.0] + rng.normal(0, 0.0005, size=(100, 2))
+        stray = base + [0.09, 0.0]
+        latlon = np.vstack([cluster_a, cluster_b, [stray]])
+        result = detect_geographic(latlon, eps_meters=500.0, min_pts=10)
+        assert result.outlier_mask[-1]
+        assert not result.outlier_mask[:-1].any()
+
+    def test_origin_recorded_in_stats(self, rng):
+        latlon = np.column_stack(
+            [rng.normal(10.0, 0.01, 50), rng.normal(20.0, 0.01, 50)]
+        )
+        result = detect_geographic(latlon, eps_meters=5_000.0, min_pts=3)
+        lat0, lon0 = result.stats["projection_origin"]
+        assert lat0 == pytest.approx(10.0, abs=0.1)
+        assert lon0 == pytest.approx(20.0, abs=0.1)
+        assert result.stats["eps_meters"] == 5_000.0
+
+    def test_custom_origin(self, rng):
+        latlon = np.column_stack(
+            [rng.normal(10.0, 0.01, 50), rng.normal(20.0, 0.01, 50)]
+        )
+        result = detect_geographic(
+            latlon, eps_meters=5_000.0, min_pts=3, origin=(10.0, 20.0)
+        )
+        assert result.stats["projection_origin"] == (10.0, 20.0)
+
+    def test_distributed_engine_forwarded(self, rng):
+        latlon = np.column_stack(
+            [rng.normal(0.0, 0.01, 80), rng.normal(0.0, 0.01, 80)]
+        )
+        vec = detect_geographic(latlon, eps_meters=2_000.0, min_pts=5)
+        dist = detect_geographic(
+            latlon,
+            eps_meters=2_000.0,
+            min_pts=5,
+            engine="distributed",
+            num_partitions=3,
+        )
+        assert np.array_equal(vec.outlier_mask, dist.outlier_mask)
+
+    def test_invalid_latitudes_rejected(self):
+        with pytest.raises(DataValidationError):
+            detect_geographic(
+                np.array([[100.0, 0.0]]), eps_meters=100.0, min_pts=2
+            )
+
+
+class TestDDLOFTopN:
+    def test_top_n_flags_exact_count(self, rng):
+        from repro.baselines import DDLOF
+
+        points = rng.normal(size=(200, 2))
+        result = DDLOF(k=6, top_n=9, points_per_block=50).detect(points)
+        assert result.n_outliers == 9
+
+    def test_top_n_are_the_highest_scores(self, rng):
+        from repro.baselines import DDLOF
+        from repro.baselines.lof import lof_scores
+
+        points = rng.normal(size=(150, 2))
+        result = DDLOF(k=6, top_n=5, points_per_block=40).detect(points)
+        expected = np.argsort(-lof_scores(points, 6))[:5]
+        assert set(result.outlier_indices) == set(int(i) for i in expected)
+
+    def test_top_n_validation(self):
+        from repro.baselines import DDLOF
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            DDLOF(top_n=0)

@@ -1,0 +1,163 @@
+"""Tests for repro.core.grid: cell geometry and point-cell indexing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grid import (
+    Grid,
+    cell_coordinates,
+    cell_side_length,
+    validate_points,
+)
+from repro.exceptions import DataValidationError, ParameterError
+
+
+class TestCellSideLength:
+    def test_diagonal_equals_eps(self):
+        # A hypercube of side l = eps/sqrt(d) has diagonal exactly eps.
+        for n_dims in (1, 2, 3, 5, 9):
+            side = cell_side_length(2.0, n_dims)
+            assert math.isclose(side * math.sqrt(n_dims), 2.0)
+
+    def test_two_dims_matches_paper_example(self):
+        # Paper: eps = sqrt(2), d = 2 -> side length 1.
+        assert math.isclose(cell_side_length(math.sqrt(2.0), 2), 1.0)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_eps_rejected(self, eps):
+        with pytest.raises(ParameterError):
+            cell_side_length(eps, 2)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ParameterError):
+            cell_side_length(1.0, 0)
+
+
+class TestValidatePoints:
+    def test_accepts_lists(self):
+        out = validate_points([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            validate_points(np.zeros(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataValidationError):
+            validate_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError):
+            validate_points([[0.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError):
+            validate_points([[0.0, float("inf")]])
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(DataValidationError):
+            validate_points(np.zeros((3, 0)))
+
+    def test_empty_rows_allowed(self):
+        out = validate_points(np.zeros((0, 2)))
+        assert out.shape == (0, 2)
+
+
+class TestCellCoordinates:
+    def test_paper_example_assignment(self):
+        # eps = sqrt(2) in 2-D -> unit cells; floor of the coordinates.
+        points = np.array([[1.1, -0.3], [1.9, -0.9], [0.7, -1.5], [0.3, -1.8]])
+        coords = cell_coordinates(points, math.sqrt(2.0))
+        assert coords.tolist() == [[1, -1], [1, -1], [0, -2], [0, -2]]
+
+    def test_negative_coordinates_floor(self):
+        coords = cell_coordinates(np.array([[-0.1, -1.0]]), math.sqrt(2.0))
+        assert coords.tolist() == [[-1, -1]]
+
+    def test_scaling_with_eps(self):
+        point = np.array([[10.0, 10.0]])
+        small = cell_coordinates(point, 0.1)
+        large = cell_coordinates(point, 100.0)
+        assert (np.abs(small) > np.abs(large)).all()
+
+
+class TestGrid:
+    def test_partition_is_complete(self, clustered_2d):
+        grid = Grid(clustered_2d, eps=0.8)
+        assert grid.counts.sum() == grid.n_points == clustered_2d.shape[0]
+
+    def test_partition_is_non_overlapping(self, clustered_2d):
+        grid = Grid(clustered_2d, eps=0.8)
+        seen = np.zeros(grid.n_points, dtype=int)
+        for cell_index in range(grid.n_cells):
+            seen[grid.cell_members(cell_index)] += 1
+        assert (seen == 1).all()
+
+    def test_members_have_matching_coords(self, clustered_2d):
+        grid = Grid(clustered_2d, eps=0.8)
+        for cell_index in range(grid.n_cells):
+            members = grid.cell_members(cell_index)
+            assert (grid.coords[members] == grid.cells[cell_index]).all()
+
+    def test_same_cell_points_within_eps(self, clustered_2d):
+        # Geometric guarantee behind Lemma 1.
+        eps = 0.8
+        grid = Grid(clustered_2d, eps=eps)
+        for cell_index in range(grid.n_cells):
+            members = grid.cell_members(cell_index)
+            pts = clustered_2d[members]
+            diffs = pts[:, None, :] - pts[None, :, :]
+            dists = np.sqrt((diffs**2).sum(axis=2))
+            assert (dists <= eps + 1e-9).all()
+
+    def test_point_cell_consistency(self, clustered_2d):
+        grid = Grid(clustered_2d, eps=0.8)
+        for point_index in range(0, grid.n_points, 17):
+            cell_index = grid.cell_of_point(point_index)
+            assert point_index in grid.cell_members(cell_index)
+
+    def test_cell_index_lookup(self, clustered_2d):
+        grid = Grid(clustered_2d, eps=0.8)
+        for cell_index in range(grid.n_cells):
+            cell = tuple(int(c) for c in grid.cells[cell_index])
+            assert grid.cell_index(cell) == cell_index
+        assert grid.cell_index((10**6, 10**6)) is None
+
+    def test_wide_range_fallback(self):
+        # Coordinate spans too wide to pack into 63 bits.
+        points = np.array([[0.0, 0.0], [1e15, 1e15], [-1e15, 1e15]])
+        grid = Grid(points, eps=0.5)
+        assert grid.n_cells == 3
+        assert grid.counts.sum() == 3
+
+    def test_single_point(self):
+        grid = Grid(np.array([[1.0, 2.0]]), eps=1.0)
+        assert grid.n_cells == 1
+        assert grid.cell_members(0).tolist() == [0]
+
+    def test_duplicate_points_share_cell(self):
+        points = np.array([[1.0, 1.0]] * 5)
+        grid = Grid(points, eps=1.0)
+        assert grid.n_cells == 1
+        assert grid.counts.tolist() == [5]
+
+    def test_stats(self, clustered_2d):
+        grid = Grid(clustered_2d, eps=0.8)
+        stats = grid.stats()
+        assert stats.n_points == clustered_2d.shape[0]
+        assert stats.n_cells == grid.n_cells
+        assert stats.max_cell_population == grid.counts.max()
+        assert stats.mean_cell_population == pytest.approx(grid.counts.mean())
+
+    def test_empty_grid_stats(self):
+        grid = Grid(np.zeros((0, 2)), eps=1.0)
+        stats = grid.stats()
+        assert stats.n_points == 0
+        assert stats.n_cells == 0
+
+    def test_repr(self, clustered_2d):
+        text = repr(Grid(clustered_2d, eps=0.8))
+        assert "Grid(" in text and "n_cells=" in text

@@ -1,0 +1,78 @@
+"""Tests for IncrementalDBSCOUT checkpointing (save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalDBSCOUT
+from repro.core.vectorized import detect as batch_detect
+from repro.exceptions import DataValidationError, ParameterError
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_result(self, clustered_2d, tmp_path):
+        detector = IncrementalDBSCOUT(0.8, 8)
+        detector.insert(clustered_2d)
+        original = detector.detect()
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        restored = IncrementalDBSCOUT.load(path)
+        result = restored.detect()
+        assert np.array_equal(result.outlier_mask, original.outlier_mask)
+        assert np.array_equal(result.core_mask, original.core_mask)
+
+    def test_restored_detector_accepts_inserts(self, clustered_2d, tmp_path):
+        detector = IncrementalDBSCOUT(0.8, 8)
+        detector.insert(clustered_2d[:200])
+        detector.detect()
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        restored = IncrementalDBSCOUT.load(path)
+        restored.insert(clustered_2d[200:])
+        result = restored.detect()
+        expected = batch_detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(result.outlier_mask, expected.outlier_mask)
+
+    def test_pending_dirty_state_survives(self, clustered_2d, tmp_path):
+        detector = IncrementalDBSCOUT(0.8, 8)
+        detector.insert(clustered_2d[:200])
+        detector.detect()
+        detector.insert(clustered_2d[200:])  # dirty, not yet detected
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        restored = IncrementalDBSCOUT.load(path)
+        result = restored.detect()
+        expected = batch_detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(result.outlier_mask, expected.outlier_mask)
+
+    def test_removals_survive(self, clustered_2d, tmp_path):
+        detector = IncrementalDBSCOUT(0.8, 8)
+        detector.insert(clustered_2d)
+        detector.remove(np.arange(50))
+        detector.detect()
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        restored = IncrementalDBSCOUT.load(path)
+        assert not restored.active_mask[:50].any()
+        result = restored.detect()
+        expected = batch_detect(clustered_2d[50:], 0.8, 8)
+        assert np.array_equal(
+            result.outlier_mask[50:], expected.outlier_mask
+        )
+
+    def test_parameters_restored(self, clustered_2d, tmp_path):
+        detector = IncrementalDBSCOUT(0.37, 7)
+        detector.insert(clustered_2d)
+        path = tmp_path / "state.npz"
+        detector.save(path)
+        restored = IncrementalDBSCOUT.load(path)
+        assert restored.eps == 0.37
+        assert restored.min_pts == 7
+        assert restored.n_points == clustered_2d.shape[0]
+
+    def test_empty_detector_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            IncrementalDBSCOUT(1.0, 3).save(tmp_path / "state.npz")
+
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            IncrementalDBSCOUT.load(tmp_path / "nope.npz")

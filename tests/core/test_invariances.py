@@ -1,0 +1,102 @@
+"""Invariance property tests: unit coherence of the detectors.
+
+Outlier decisions depend only on the ratios of distances to eps, so
+uniformly rescaling the coordinates *and* eps must not change the
+result; likewise for rigid motions (rotations).  These properties
+catch unit-handling bugs (e.g. a forgotten sqrt(d)) that the oracles
+cannot, because the oracle would make the same mistake symmetrically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.vectorized import detect
+
+coords = st.integers(min_value=-200, max_value=200).map(lambda k: k / 8.0)
+points_2d = st.integers(min_value=2, max_value=50).flatmap(
+    lambda n: arrays(np.float64, (n, 2), elements=coords)
+)
+params = st.tuples(
+    st.integers(min_value=1, max_value=120).map(lambda k: k / 8.0),
+    st.integers(min_value=1, max_value=6),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    points=points_2d,
+    eps_minpts=params,
+    scale_exp=st.integers(min_value=-3, max_value=6),
+)
+def test_scaling_invariance(points, eps_minpts, scale_exp):
+    # Powers of two keep every coordinate and eps exactly representable,
+    # so the rescaled run sees bit-identical distance ratios.
+    eps, min_pts = eps_minpts
+    scale = 2.0**scale_exp
+    base = detect(points, eps, min_pts)
+    scaled = detect(points * scale, eps * scale, min_pts)
+    assert np.array_equal(base.outlier_mask, scaled.outlier_mask)
+    assert np.array_equal(base.core_mask, scaled.core_mask)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_2d, eps_minpts=params)
+def test_axis_swap_invariance(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    base = detect(points, eps, min_pts)
+    swapped = detect(points[:, ::-1], eps, min_pts)
+    assert np.array_equal(base.outlier_mask, swapped.outlier_mask)
+    assert np.array_equal(base.core_mask, swapped.core_mask)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=points_2d, eps_minpts=params)
+def test_reflection_invariance(points, eps_minpts):
+    eps, min_pts = eps_minpts
+    base = detect(points, eps, min_pts)
+    mirrored = detect(points * np.array([-1.0, 1.0]), eps, min_pts)
+    assert np.array_equal(base.outlier_mask, mirrored.outlier_mask)
+
+
+class TestRotationInvariance:
+    """Rotations are not float-exact, so use configurations with slack:
+    no pairwise distance within 1e-9 of eps."""
+
+    @pytest.mark.parametrize("angle_deg", [30.0, 45.0, 90.0, 137.0])
+    def test_rotated_cluster(self, rng, angle_deg):
+        points = np.vstack(
+            [rng.normal(0, 0.5, (200, 2)), rng.uniform(-8, 8, (25, 2))]
+        )
+        eps, min_pts = 0.7, 6
+        # Verify the slack assumption, then rotate.
+        diffs = points[:, None, :] - points[None, :, :]
+        dists = np.sqrt((diffs**2).sum(axis=2))
+        assert np.abs(dists - eps).min() > 1e-9
+        theta = np.radians(angle_deg)
+        rotation = np.array(
+            [
+                [np.cos(theta), -np.sin(theta)],
+                [np.sin(theta), np.cos(theta)],
+            ]
+        )
+        base = detect(points, eps, min_pts)
+        rotated = detect(points @ rotation.T, eps, min_pts)
+        assert np.array_equal(base.outlier_mask, rotated.outlier_mask)
+        assert np.array_equal(base.core_mask, rotated.core_mask)
+
+
+@settings(max_examples=30, deadline=None)
+@given(points=points_2d, eps_minpts=params)
+def test_duplicating_dataset_never_creates_outliers_for_minpts2(
+    points, eps_minpts
+):
+    # Doubling every point gives everyone an exact-duplicate neighbor,
+    # so with min_pts <= 2 all points become core.
+    eps, _ = eps_minpts
+    doubled = np.vstack([points, points])
+    result = detect(doubled, eps, 2)
+    assert result.core_mask.all()
+    assert not result.outlier_mask.any()

@@ -1,0 +1,70 @@
+"""Empirical linearity checks (Lemma 6 / Lemma 8).
+
+The paper proves that DBSCOUT performs at most a constant number of
+operations per tuple.  With the engine's distance-computation counters
+we can verify the claim empirically: the number of pairwise distance
+evaluations per input point must stay bounded as n grows, for a fixed
+data distribution and parameters.
+"""
+
+import numpy as np
+
+from repro.core.vectorized import detect
+
+
+def uniform_workload(n_points: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Fixed density: the domain grows with n so that the points-per-cell
+    # distribution is n-independent.
+    side = np.sqrt(n_points)
+    return rng.uniform(0.0, side, size=(n_points, 2))
+
+
+class TestDistanceBudget:
+    def test_counter_present(self, clustered_2d):
+        result = detect(clustered_2d, 0.8, 8)
+        assert "distance_computations" in result.stats
+        assert result.stats["distance_computations"] >= 0
+
+    def test_ops_per_point_bounded_as_n_grows(self):
+        eps, min_pts = 1.0, 4
+        ratios = []
+        for n_points in (2_000, 8_000, 32_000):
+            result = detect(uniform_workload(n_points), eps, min_pts)
+            ratios.append(
+                result.stats["distance_computations"] / n_points
+            )
+        # Linearity: per-point work must not grow with n.  Allow slack
+        # for the random draw; quadratic growth would multiply the
+        # ratio by ~16 across this sweep.
+        assert ratios[-1] < 2.0 * ratios[0] + 1.0
+
+    def test_ops_bounded_by_stencil_budget(self):
+        # Hard bound from Lemma 6: every point is compared at most
+        # against the points of its k_d neighboring cells, and only
+        # points of non-dense (< min_pts) cells are ever compared.
+        eps, min_pts = 1.0, 4
+        n_points = 10_000
+        points = uniform_workload(n_points, seed=3)
+        result = detect(points, eps, min_pts)
+        k_d = result.stats["k_d"]
+        max_pop = result.stats["max_cell_population"]
+        budget = 2 * n_points * k_d * min(max_pop, n_points)
+        assert result.stats["distance_computations"] <= budget
+
+    def test_pruning_counter(self):
+        # A very sparse workload: almost every cell is pruned without a
+        # single distance computation (the Section III-G2 effect).
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0.0, 1e7, size=(3_000, 2))
+        result = detect(points, 1.0, 5)
+        assert result.stats["pruned_cells"] > 2_500
+        assert result.stats["distance_computations"] == 0
+
+    def test_dense_data_needs_no_distances(self):
+        # All points in dense cells: Lemma 1 answers everything and the
+        # outlier phase has no non-core cells to scan.
+        points = np.tile([[0.5, 0.5]], (500, 1))
+        result = detect(points, 1.0, 10)
+        assert result.stats["distance_computations"] == 0
+        assert result.core_mask.all()

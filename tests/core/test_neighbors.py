@@ -1,0 +1,169 @@
+"""Tests for repro.core.neighbors: stencils, k_d counts, Table I."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.grid import cell_side_length
+from repro.core.neighbors import (
+    MAX_ENUMERATION_DIMS,
+    NeighborStencil,
+    count_neighbor_offsets,
+    kd_upper_bound,
+    min_cell_gap_squared,
+    neighbor_offsets,
+)
+from repro.exceptions import ParameterError
+
+#: The exact Table I of the paper: d -> (upper bound, actual k_d).
+TABLE_I = {
+    2: (25, 21),
+    3: (125, 117),
+    4: (625, 609),
+    5: (16807, 3903),
+    6: (117649, 28197),
+    7: (823543, 197067),
+    8: (5764801, 1278129),
+    9: (40353607, 8077671),
+}
+
+
+class TestTableI:
+    @pytest.mark.parametrize("n_dims", sorted(TABLE_I))
+    def test_upper_bound_matches_paper(self, n_dims):
+        assert kd_upper_bound(n_dims) == TABLE_I[n_dims][0]
+
+    @pytest.mark.parametrize("n_dims", sorted(TABLE_I))
+    def test_actual_kd_matches_paper(self, n_dims):
+        assert count_neighbor_offsets(n_dims) == TABLE_I[n_dims][1]
+
+    @pytest.mark.parametrize("n_dims", [2, 3, 4, 5])
+    def test_enumeration_agrees_with_count(self, n_dims):
+        assert neighbor_offsets(n_dims).shape == (
+            count_neighbor_offsets(n_dims),
+            n_dims,
+        )
+
+    def test_count_below_bound(self):
+        for n_dims in range(1, 12):
+            assert count_neighbor_offsets(n_dims) <= kd_upper_bound(n_dims)
+
+
+class TestOffsets:
+    def test_zero_offset_included(self):
+        # Each cell is a neighbor of itself (Definition 8).
+        offsets = neighbor_offsets(3)
+        assert any((row == 0).all() for row in offsets)
+
+    def test_symmetry(self):
+        # Neighborship is symmetric: -offset is an offset.
+        offsets = {tuple(row) for row in neighbor_offsets(3)}
+        assert all(tuple(-x for x in off) in offsets for off in offsets)
+
+    def test_2d_excludes_far_corners(self):
+        # In 2-D the four (+-2, +-2) corners are NOT neighbors: their
+        # minimum gap is sqrt(2) * l = eps, not strictly less.
+        offsets = {tuple(row) for row in neighbor_offsets(2)}
+        assert (2, 2) not in offsets
+        assert (2, -2) not in offsets
+        assert (2, 1) in offsets
+        assert (2, 0) in offsets
+
+    def test_min_gap_squared(self):
+        assert min_cell_gap_squared((0, 0)) == 0
+        assert min_cell_gap_squared((1, 1)) == 0
+        assert min_cell_gap_squared((2, 0)) == 1
+        assert min_cell_gap_squared((2, 2)) == 2
+        assert min_cell_gap_squared((-3, 2)) == 5
+
+    def test_geometric_validity_of_stencil(self):
+        # Every claimed neighbor offset must allow a point pair at
+        # distance < eps; every non-neighbor in the candidate box must
+        # keep all pairs at distance > eps (half-open cells).
+        eps = 1.0
+        n_dims = 2
+        side = cell_side_length(eps, n_dims)
+        offsets = {tuple(row) for row in neighbor_offsets(n_dims)}
+        reach = math.isqrt(n_dims - 1) + 1
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                gap_sq = min_cell_gap_squared((dx, dy))
+                min_dist = math.sqrt(gap_sq) * side
+                if (dx, dy) in offsets:
+                    assert min_dist < eps
+                else:
+                    assert min_dist >= eps - 1e-12
+
+    def test_enumeration_dim_guard(self):
+        with pytest.raises(ParameterError):
+            neighbor_offsets(MAX_ENUMERATION_DIMS + 1)
+
+    def test_counting_works_beyond_guard(self):
+        assert count_neighbor_offsets(MAX_ENUMERATION_DIMS + 1) > 0
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "2"])
+    def test_invalid_dims(self, bad):
+        with pytest.raises(ParameterError):
+            count_neighbor_offsets(bad)
+
+    def test_one_dimension(self):
+        # d=1: offsets -1, 0, 1 (gap 0) and +-2 excluded? gap (2-1)^2=1,
+        # not < 1, so excluded: k_1 = 3.
+        assert count_neighbor_offsets(1) == 3
+        assert sorted(neighbor_offsets(1).ravel().tolist()) == [-1, 0, 1]
+
+    def test_offsets_copy_is_safe(self):
+        first = neighbor_offsets(2)
+        first[0, 0] = 99
+        second = neighbor_offsets(2)
+        assert second[0, 0] != 99
+
+
+class TestNeighborStencil:
+    def test_kd_property(self):
+        stencil = NeighborStencil(2)
+        assert stencil.k_d == 21
+
+    def test_neighbors_of_translation(self):
+        stencil = NeighborStencil(2)
+        at_origin = set(stencil.neighbors_of((0, 0)))
+        shifted = set(stencil.neighbors_of((5, -3)))
+        assert {(x + 5, y - 3) for x, y in at_origin} == shifted
+
+    def test_cell_is_own_neighbor(self):
+        stencil = NeighborStencil(3)
+        assert (1, 2, 3) in stencil.neighbors_of((1, 2, 3))
+
+    def test_mismatched_dims_rejected_by_cellmap(self):
+        from repro.core.cellmap import CellMap
+
+        with pytest.raises(ParameterError):
+            CellMap(3, stencil=NeighborStencil(2))
+
+    def test_offset_tuples_cached(self):
+        stencil = NeighborStencil(2)
+        assert stencil.offset_tuples() is stencil.offset_tuples()
+
+    def test_repr(self):
+        assert "k_d=21" in repr(NeighborStencil(2))
+
+
+class TestPairCoverage:
+    """Any two points within eps must live in stencil-neighboring cells."""
+
+    @pytest.mark.parametrize("n_dims", [1, 2, 3])
+    def test_random_pairs_within_eps_are_neighbors(self, n_dims):
+        rng = np.random.default_rng(7)
+        eps = 1.0
+        side = cell_side_length(eps, n_dims)
+        offsets = {tuple(row) for row in neighbor_offsets(n_dims)}
+        base = rng.uniform(-5, 5, size=(500, n_dims))
+        direction = rng.normal(size=(500, n_dims))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        radius = rng.uniform(0, eps, size=(500, 1))
+        other = base + direction * radius
+        cell_a = np.floor(base / side).astype(int)
+        cell_b = np.floor(other / side).astype(int)
+        for a, b in zip(cell_a, cell_b):
+            assert tuple((b - a).tolist()) in offsets

@@ -1,0 +1,113 @@
+"""Tests for the k-distance graph and eps elbow estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import estimate_eps, k_distance_graph
+from repro.exceptions import ParameterError
+
+
+class TestKDistanceGraph:
+    def test_descending(self, clustered_2d):
+        curve = k_distance_graph(clustered_2d, k=5)
+        assert (np.diff(curve) <= 0).all()
+
+    def test_length(self, clustered_2d):
+        curve = k_distance_graph(clustered_2d, k=5)
+        assert curve.shape == (clustered_2d.shape[0],)
+
+    def test_matches_brute_force(self, rng):
+        points = rng.normal(size=(60, 2))
+        k = 4
+        curve = k_distance_graph(points, k=k)
+        diffs = points[:, None, :] - points[None, :, :]
+        dists = np.sqrt((diffs**2).sum(axis=2))
+        expected = np.sort(np.sort(dists, axis=1)[:, k])[::-1]
+        assert np.allclose(curve, expected)
+
+    def test_k_must_be_positive(self, clustered_2d):
+        with pytest.raises(ParameterError):
+            k_distance_graph(clustered_2d, k=0)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ParameterError):
+            k_distance_graph(np.zeros((3, 2)), k=5)
+
+    def test_outliers_dominate_curve_head(self, clustered_2d):
+        # The scattered points have the largest k-distances, so the
+        # head of the curve is far above the tail.
+        curve = k_distance_graph(clustered_2d, k=5)
+        assert curve[0] > 5 * curve[-1]
+
+
+class TestEstimateEps:
+    def test_positive(self, clustered_2d):
+        assert estimate_eps(clustered_2d, min_pts=5) > 0
+
+    def test_separates_cluster_scale_from_outlier_scale(self, rng):
+        cluster = rng.normal(0.0, 0.3, size=(300, 2))
+        scatter = rng.uniform(50.0, 100.0, size=(10, 2))
+        points = np.vstack([cluster, scatter])
+        eps = estimate_eps(points, min_pts=5)
+        # The elbow must sit well below the outlier distances (~50+)
+        # and above the typical intra-cluster 5-NN distance.
+        assert eps < 25.0
+        curve = k_distance_graph(points, 5)
+        assert eps >= curve[-1]
+
+    def test_detection_with_estimated_eps_finds_planted_outliers(self, rng):
+        from repro import DBSCOUT
+
+        cluster = rng.normal(0.0, 0.3, size=(400, 2))
+        planted = np.array([[30.0, 30.0], [-40.0, 10.0]])
+        points = np.vstack([cluster, planted])
+        eps = estimate_eps(points, min_pts=5)
+        result = DBSCOUT(eps=eps, min_pts=5).fit(points)
+        assert result.outlier_mask[-2:].all()
+        # The dense cluster stays mostly inliers.
+        assert result.outlier_mask[:-2].mean() < 0.2
+
+    def test_uniform_data_returns_positive_eps(self, rng):
+        points = rng.uniform(0, 1, size=(200, 2))
+        assert estimate_eps(points, min_pts=4) > 0
+
+    def test_sampled_estimate_close_to_full(self, rng):
+        cluster = rng.normal(0.0, 0.3, size=(3000, 2))
+        scatter = rng.uniform(30.0, 60.0, size=(30, 2))
+        points = np.vstack([cluster, scatter])
+        full = estimate_eps(points, min_pts=5)
+        sampled = estimate_eps(points, min_pts=5, sample_size=600, seed=1)
+        # Sampling thins the density, so the sampled k-distances sit a
+        # bit higher; both must stay on the cluster scale, far below
+        # the outlier scale (~30+).
+        assert 0.5 * full <= sampled <= 5.0 * full
+        assert sampled < 10.0
+
+    def test_sample_larger_than_data_is_full(self, rng):
+        points = rng.normal(size=(100, 2))
+        assert estimate_eps(
+            points, min_pts=4, sample_size=10_000
+        ) == estimate_eps(points, min_pts=4)
+
+    def test_sample_deterministic_per_seed(self, rng):
+        points = rng.normal(size=(500, 2))
+        a = estimate_eps(points, min_pts=4, sample_size=100, seed=7)
+        b = estimate_eps(points, min_pts=4, sample_size=100, seed=7)
+        assert a == b
+
+    def test_sample_size_validation(self, rng):
+        points = rng.normal(size=(100, 2))
+        with pytest.raises(ParameterError):
+            estimate_eps(points, min_pts=5, sample_size=5)
+
+    def test_invalid_upper(self, rng):
+        points = rng.normal(size=(50, 2))
+        with pytest.raises(ParameterError):
+            estimate_eps(points, min_pts=4, upper=0.0)
+
+    def test_duplicate_heavy_data(self):
+        points = np.vstack(
+            [np.tile([[0.0, 0.0]], (50, 1)), [[5.0, 5.0]], [[9.0, 1.0]]]
+        )
+        eps = estimate_eps(points, min_pts=3)
+        assert eps > 0

@@ -1,0 +1,80 @@
+"""Tests for the brute-force reference implementation itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import brute_force_core_mask, brute_force_detect
+from repro.exceptions import ParameterError
+
+
+class TestCoreMask:
+    def test_counts_include_self(self):
+        # A single point with min_pts=1 is core (it neighbors itself).
+        assert brute_force_core_mask(np.array([[0.0, 0.0]]), 1.0, 1).all()
+
+    def test_hand_computed_line(self):
+        # Points on a line at unit spacing; eps=1, min_pts=3.
+        # Interior points have 3 neighbors (self + 2), endpoints only 2.
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        mask = brute_force_core_mask(points, 1.0, 3)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_boundary_inclusive(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert brute_force_core_mask(points, 1.0, 2).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            brute_force_core_mask(np.zeros((2, 2)), 0.0, 1)
+
+
+class TestDetect:
+    def test_outlier_needs_no_core_within_eps(self):
+        # Dense quad + a border point within eps of two cores (but with
+        # only 3 eps-neighbors itself) + one far point.
+        points = np.array(
+            [
+                [0.0, 0.0],
+                [0.1, 0.0],
+                [0.0, 0.1],
+                [0.1, 0.1],  # dense quad: all core with min_pts=4
+                [1.05, 0.0],  # 3 neighbors only: border, not outlier
+                [5.0, 5.0],  # far: outlier
+            ]
+        )
+        result = brute_force_detect(points, 1.0, 4)
+        assert result.core_mask.tolist() == [
+            True,
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+        assert result.outlier_mask.tolist() == [
+            False,
+            False,
+            False,
+            False,
+            False,
+            True,
+        ]
+
+    def test_border_point_at_exactly_eps_not_outlier(self):
+        # Definition 3: outlier iff dist > eps from ALL cores, so a
+        # point at exactly eps of a core point is not an outlier.
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [1.0, 0.0]]
+        )
+        result = brute_force_detect(points, 1.0, 3)
+        assert result.core_mask[0]
+        assert not result.outlier_mask[3]
+
+    def test_no_cores_all_outliers(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        result = brute_force_detect(points, 1.0, 2)
+        assert result.outlier_mask.all()
+
+    def test_empty(self):
+        result = brute_force_detect(np.zeros((0, 3)), 1.0, 2)
+        assert result.n_points == 0

@@ -1,0 +1,68 @@
+"""Tests for the CLUTO/CURE-style shape dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cluto import (
+    make_cluto_t4,
+    make_cluto_t5,
+    make_cluto_t7,
+    make_cluto_t8,
+    make_cure_t2,
+)
+
+#: maker -> (default size, paper contamination rate nu)
+EXPECTED = {
+    make_cluto_t4: (8000, 0.10),
+    make_cluto_t5: (8000, 0.15),
+    make_cluto_t7: (10000, 0.08),
+    make_cluto_t8: (8000, 0.04),
+    make_cure_t2: (4000, 0.05),
+}
+
+
+class TestContract:
+    @pytest.mark.parametrize("maker", list(EXPECTED))
+    def test_default_sizes(self, maker):
+        size, _nu = EXPECTED[maker]
+        ds = maker()
+        assert abs(ds.n_points - size) <= size * 0.02
+
+    @pytest.mark.parametrize("maker", list(EXPECTED))
+    def test_contamination_matches_paper(self, maker):
+        _size, nu = EXPECTED[maker]
+        ds = maker()
+        assert ds.contamination == pytest.approx(nu, rel=0.1)
+
+    @pytest.mark.parametrize("maker", list(EXPECTED))
+    def test_two_dimensional(self, maker):
+        assert maker().points.shape[1] == 2
+
+    @pytest.mark.parametrize("maker", list(EXPECTED))
+    def test_deterministic(self, maker):
+        assert np.array_equal(maker().points, maker().points)
+
+    @pytest.mark.parametrize("maker", list(EXPECTED))
+    def test_noise_is_sparse(self, maker):
+        # Density-based separability: the labelled noise must have a
+        # larger 5-NN distance than the structured inliers, otherwise
+        # the Table III ground truth would be unusable.
+        from scipy.spatial import cKDTree
+
+        ds = maker()
+        tree = cKDTree(ds.points)
+        gaps = tree.query(ds.points, k=6)[0][:, 5]
+        noise_gap = np.median(gaps[ds.outlier_labels == 1])
+        inlier_gap = np.median(gaps[ds.outlier_labels == 0])
+        assert noise_gap > 2 * inlier_gap
+
+
+class TestDetectability:
+    def test_dbscout_separates_t4_noise_well(self):
+        from repro import DBSCOUT, estimate_eps
+        from repro.metrics import f1_score
+
+        ds = make_cluto_t4(n_points=3000, seed=4)
+        eps = estimate_eps(ds.points, 10)
+        result = DBSCOUT(eps=eps, min_pts=10).fit(ds.points)
+        assert f1_score(ds.outlier_labels, result.outlier_mask) > 0.6

@@ -1,0 +1,172 @@
+"""Tests for the geospatial simulators and the scaling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid
+from repro.datasets.geospatial import (
+    enlarge_with_jitter,
+    make_geolife_like,
+    make_openstreetmap_like,
+    sample_fraction,
+)
+from repro.exceptions import ParameterError
+
+
+class TestGeolifeLike:
+    def test_shape(self):
+        points = make_geolife_like(5000, seed=0)
+        assert points.shape == (5000, 3)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            make_geolife_like(1000, seed=7), make_geolife_like(1000, seed=7)
+        )
+
+    def test_heavy_skew_like_the_paper(self):
+        # The paper reports that with eps = 200, ~40% of Geolife's
+        # points land in the single most populous cell.  Depending on
+        # how the grid happens to cut the downtown core, the top cell
+        # holds 10-40% here; either way the skew is extreme (uniform
+        # data would put ~0.01% in the top cell) and the top handful
+        # of cells dominate.
+        points = make_geolife_like(30000, seed=1)
+        grid = Grid(points, eps=200.0)
+        top_share = grid.counts.max() / grid.n_points
+        assert 0.05 < top_share < 0.70
+        top10_share = np.sort(grid.counts)[-10:].sum() / grid.n_points
+        assert top10_share > 0.30
+
+    def test_has_worldwide_scatter(self):
+        points = make_geolife_like(20000, seed=2)
+        spread = np.abs(points[:, :2]).max()
+        assert spread > 1.0e5  # far beyond the hotspot
+
+    def test_fraction_validation(self):
+        with pytest.raises(ParameterError):
+            make_geolife_like(100, hotspot_fraction=1.5)
+        with pytest.raises(ParameterError):
+            make_geolife_like(100, hotspot_fraction=0.9, track_fraction=0.5)
+
+
+class TestOpenStreetMapLike:
+    def test_shape(self):
+        points = make_openstreetmap_like(5000, seed=0)
+        assert points.shape == (5000, 2)
+
+    def test_world_bounds(self):
+        points = make_openstreetmap_like(20000, seed=1)
+        # Scaled-degree units: almost everything within the world box
+        # (city Gaussian tails may poke slightly past the coastline).
+        assert np.percentile(np.abs(points[:, 0]), 99) <= 1.9e9
+        assert np.percentile(np.abs(points[:, 1]), 99) <= 0.95e9
+
+    def test_city_structure_dominates(self):
+        points = make_openstreetmap_like(
+            20000, seed=2, background_fraction=0.01
+        )
+        grid = Grid(points, eps=1.0e6)
+        # City clustering concentrates mass: uniform world-scale data
+        # would land almost every point in its own cell, while cities
+        # pack many points per cell and skew the population heavily.
+        assert grid.n_cells < 0.5 * points.shape[0]
+        assert grid.counts.max() > 10 * np.median(grid.counts)
+
+    def test_background_fraction_zero(self):
+        points = make_openstreetmap_like(
+            2000, seed=3, background_fraction=0.0
+        )
+        assert points.shape == (2000, 2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_openstreetmap_like(100, n_cities=0)
+        with pytest.raises(ParameterError):
+            make_openstreetmap_like(100, background_fraction=2.0)
+
+
+class TestGeolifeLabeled:
+    def test_shapes_and_labels(self):
+        from repro.datasets import make_geolife_like_labeled
+
+        ds = make_geolife_like_labeled(5000, anomaly_fraction=0.02, seed=4)
+        assert ds.points.shape == (5000, 3)
+        assert ds.n_outliers == 100
+        assert ds.contamination == pytest.approx(0.02)
+
+    def test_anomalies_respect_clearance(self):
+        from scipy.spatial import cKDTree
+
+        from repro.datasets import make_geolife_like_labeled
+
+        ds = make_geolife_like_labeled(4000, seed=5)
+        inliers = ds.points[ds.outlier_labels == 0]
+        anomalies = ds.points[ds.outlier_labels == 1]
+        gaps = cKDTree(inliers).query(anomalies, k=1)[0]
+        assert gaps.min() >= 5_000.0
+
+    def test_invalid_fraction(self):
+        from repro.datasets import make_geolife_like_labeled
+
+        with pytest.raises(ParameterError):
+            make_geolife_like_labeled(100, anomaly_fraction=0.9)
+
+    def test_detectable_by_dbscout(self):
+        from repro import DBSCOUT, estimate_eps
+        from repro.datasets import make_geolife_like_labeled
+        from repro.metrics import f1_score
+
+        ds = make_geolife_like_labeled(6000, seed=2)
+        eps = estimate_eps(ds.points, 10, sample_size=2000)
+        result = DBSCOUT(eps=eps, min_pts=10).fit(ds.points)
+        assert f1_score(ds.outlier_labels, result.outlier_mask) > 0.6
+
+
+class TestScalingUtilities:
+    def test_enlarge_size(self, rng):
+        base = rng.normal(size=(100, 2))
+        big = enlarge_with_jitter(base, 5, noise_scale=0.01, seed=0)
+        assert big.shape == (500, 2)
+
+    def test_enlarge_first_block_is_original(self, rng):
+        base = rng.normal(size=(50, 2))
+        big = enlarge_with_jitter(base, 3, noise_scale=0.01, seed=0)
+        assert np.array_equal(big[:50], base)
+
+    def test_enlarge_replicas_are_jittered(self, rng):
+        base = rng.normal(size=(50, 2))
+        big = enlarge_with_jitter(base, 2, noise_scale=0.01, seed=0)
+        assert not np.array_equal(big[50:], base)
+        assert np.abs(big[50:] - base).max() < 0.1
+
+    def test_enlarge_factor_one_copies(self, rng):
+        base = rng.normal(size=(10, 2))
+        out = enlarge_with_jitter(base, 1, noise_scale=0.1)
+        assert np.array_equal(out, base)
+        assert out is not base
+
+    def test_enlarge_validation(self, rng):
+        with pytest.raises(ParameterError):
+            enlarge_with_jitter(rng.normal(size=(5, 2)), 0, 0.1)
+
+    def test_sample_size(self, rng):
+        base = rng.normal(size=(1000, 2))
+        out = sample_fraction(base, 0.25, seed=0)
+        assert out.shape == (250, 2)
+
+    def test_sample_rows_come_from_base(self, rng):
+        base = rng.normal(size=(200, 2))
+        out = sample_fraction(base, 0.1, seed=0)
+        base_rows = {tuple(row) for row in base}
+        assert all(tuple(row) in base_rows for row in out)
+
+    def test_sample_no_duplicates(self, rng):
+        base = rng.normal(size=(100, 2))
+        out = sample_fraction(base, 0.5, seed=1)
+        assert len({tuple(row) for row in out}) == out.shape[0]
+
+    def test_sample_validation(self, rng):
+        with pytest.raises(ParameterError):
+            sample_fraction(rng.normal(size=(5, 2)), 0.0)
+        with pytest.raises(ParameterError):
+            sample_fraction(rng.normal(size=(5, 2)), 1.5)

@@ -1,0 +1,69 @@
+"""Tests for dataset file I/O helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_points, save_outliers, save_points
+from repro.exceptions import DataValidationError
+
+
+class TestRoundTrips:
+    def test_csv_roundtrip(self, tmp_path, rng):
+        points = rng.normal(size=(20, 3))
+        path = tmp_path / "points.csv"
+        save_points(points, path)
+        loaded = load_points(path)
+        assert np.allclose(loaded, points)
+
+    def test_npy_roundtrip(self, tmp_path, rng):
+        points = rng.normal(size=(15, 2))
+        path = tmp_path / "points.npy"
+        save_points(points, path)
+        loaded = load_points(path)
+        assert np.array_equal(loaded, points)
+
+    def test_csv_with_header_skipped(self, tmp_path):
+        path = tmp_path / "points.csv"
+        path.write_text("x,y\n1.0,2.0\n3.0,4.0\n")
+        loaded = load_points(path)
+        assert loaded.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_csv_without_header(self, tmp_path):
+        path = tmp_path / "points.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        assert load_points(path).shape == (2, 2)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "points.tsv"
+        path.write_text("1.0\t2.0\n3.0\t4.0\n")
+        assert load_points(path, delimiter="\t").shape == (2, 2)
+
+    def test_single_row(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("1.5,2.5\n")
+        assert load_points(path).shape == (1, 2)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_points(tmp_path / "nope.csv")
+
+    def test_garbage_content(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\nhello,world\n")
+        with pytest.raises(DataValidationError):
+            load_points(path)
+
+    def test_nan_rejected(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("1.0,nan\n")
+        with pytest.raises(DataValidationError):
+            load_points(path)
+
+
+class TestSaveOutliers:
+    def test_indices_one_per_line(self, tmp_path):
+        path = tmp_path / "outliers.txt"
+        save_outliers(np.array([3, 7, 11]), path)
+        assert path.read_text().split() == ["3", "7", "11"]

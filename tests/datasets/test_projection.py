@@ -1,0 +1,123 @@
+"""Tests for the geographic projection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.projection import (
+    EARTH_RADIUS_METERS,
+    haversine_distance,
+    project_to_meters,
+    unproject_to_degrees,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestProjection:
+    def test_roundtrip(self, rng):
+        latlon = np.column_stack(
+            [rng.uniform(39.5, 40.5, 50), rng.uniform(116.0, 117.0, 50)]
+        )
+        xy, origin = project_to_meters(latlon)
+        back = unproject_to_degrees(xy, origin)
+        assert np.allclose(back, latlon, atol=1e-9)
+
+    def test_origin_maps_to_zero(self):
+        xy, origin = project_to_meters(
+            np.array([[40.0, 116.0]]), origin=(40.0, 116.0)
+        )
+        assert np.allclose(xy, 0.0)
+
+    def test_one_degree_latitude_is_111km(self):
+        xy, _ = project_to_meters(
+            np.array([[40.0, 116.0], [41.0, 116.0]]), origin=(40.0, 116.0)
+        )
+        assert xy[1, 1] == pytest.approx(
+            EARTH_RADIUS_METERS * np.pi / 180.0, rel=1e-9
+        )
+        assert 110_000 < xy[1, 1] < 112_000
+
+    def test_longitude_shrinks_with_latitude(self):
+        equator, _ = project_to_meters(
+            np.array([[0.0, 0.0], [0.0, 1.0]]), origin=(0.0, 0.0)
+        )
+        arctic, _ = project_to_meters(
+            np.array([[60.0, 0.0], [60.0, 1.0]]), origin=(60.0, 0.0)
+        )
+        assert arctic[1, 0] == pytest.approx(equator[1, 0] * 0.5, rel=1e-6)
+
+    def test_projection_error_small_at_city_scale(self, rng):
+        # Within ~50 km of the origin, projected Euclidean distances
+        # match great-circle distances to well under 1%.
+        origin = (39.9, 116.4)
+        lat = rng.uniform(39.7, 40.1, 200)
+        lon = rng.uniform(116.2, 116.6, 200)
+        latlon = np.column_stack([lat, lon])
+        xy, _ = project_to_meters(latlon, origin=origin)
+        a, b = latlon[:100], latlon[100:]
+        true = haversine_distance(a, b)
+        projected = np.linalg.norm(xy[:100] - xy[100:], axis=1)
+        mask = true > 100.0  # skip near-zero distances
+        rel_err = np.abs(projected[mask] - true[mask]) / true[mask]
+        assert rel_err.max() < 0.01
+
+    def test_validation(self):
+        with pytest.raises(DataValidationError):
+            project_to_meters(np.array([[95.0, 0.0]]))
+        with pytest.raises(DataValidationError):
+            project_to_meters(np.array([[0.0, 190.0]]))
+        with pytest.raises(DataValidationError):
+            project_to_meters(np.zeros((2, 3)))
+        with pytest.raises(DataValidationError):
+            project_to_meters(np.zeros((0, 2)))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        point = np.array([[10.0, 20.0]])
+        assert haversine_distance(point, point)[0] == 0.0
+
+    def test_quarter_meridian(self):
+        # Pole to equator along a meridian = quarter circumference.
+        d = haversine_distance(
+            np.array([[0.0, 0.0]]), np.array([[90.0, 0.0]])
+        )[0]
+        assert d == pytest.approx(
+            EARTH_RADIUS_METERS * np.pi / 2.0, rel=1e-12
+        )
+
+    def test_symmetry(self, rng):
+        a = np.column_stack(
+            [rng.uniform(-80, 80, 20), rng.uniform(-170, 170, 20)]
+        )
+        b = np.column_stack(
+            [rng.uniform(-80, 80, 20), rng.uniform(-170, 170, 20)]
+        )
+        assert np.allclose(
+            haversine_distance(a, b), haversine_distance(b, a)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataValidationError):
+            haversine_distance(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestEndToEnd:
+    def test_detect_on_projected_gps(self, rng):
+        # A city cluster plus two far-away fixes, in degrees; project,
+        # detect with a meter-scale eps, map the outliers back.
+        from repro import DBSCOUT
+
+        city = np.column_stack(
+            [rng.normal(39.9, 0.01, 300), rng.normal(116.4, 0.01, 300)]
+        )
+        strays = np.array([[41.5, 118.0], [38.0, 114.0]])
+        latlon = np.vstack([city, strays])
+        xy, origin = project_to_meters(latlon)
+        result = DBSCOUT(eps=1_000.0, min_pts=10).fit(xy)
+        assert result.outlier_mask[-2:].all()
+        assert result.outlier_mask[:-2].mean() < 0.05
+        recovered = unproject_to_degrees(xy[result.outlier_indices], origin)
+        # The two strays' coordinates round-trip through the pipeline.
+        for stray in strays:
+            gaps = np.abs(recovered - stray).sum(axis=1)
+            assert gaps.min() < 1e-6

@@ -1,0 +1,124 @@
+"""Tests for the labelled synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    make_blobs,
+    make_blobs_varying_density,
+    make_circles,
+    make_moons,
+    scatter_outliers,
+)
+from repro.exceptions import ParameterError
+
+ALL_MAKERS = [make_blobs, make_blobs_varying_density, make_circles, make_moons]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_shapes_and_labels(self, maker):
+        ds = maker(n_inliers=200, n_outliers=8, seed=1)
+        assert ds.points.shape == (208, 2)
+        assert ds.outlier_labels.shape == (208,)
+        assert ds.n_outliers == 8
+        assert set(np.unique(ds.outlier_labels)) <= {0, 1}
+
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_deterministic(self, maker):
+        a = maker(seed=42)
+        b = maker(seed=42)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.outlier_labels, b.outlier_labels)
+
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_seed_changes_data(self, maker):
+        a = maker(seed=1)
+        b = maker(seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_outliers_are_isolated(self, maker):
+        # Every labelled outlier must be measurably farther from the
+        # inlier structure than typical inlier spacing.
+        from scipy.spatial import cKDTree
+
+        ds = maker(n_inliers=500, n_outliers=10, seed=3)
+        inliers = ds.points[ds.outlier_labels == 0]
+        outliers = ds.points[ds.outlier_labels == 1]
+        tree = cKDTree(inliers)
+        outlier_gap = tree.query(outliers, k=1)[0].min()
+        inlier_gap = np.median(tree.query(inliers, k=2)[0][:, 1])
+        assert outlier_gap > 3 * inlier_gap
+
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_shuffled_not_sorted_by_label(self, maker):
+        ds = maker(seed=0)
+        labels = ds.outlier_labels
+        # If shuffling works, outliers are not all at the end.
+        assert labels[-ds.n_outliers :].sum() < ds.n_outliers
+
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_contamination_property(self, maker):
+        ds = maker(n_inliers=99, n_outliers=1, seed=0)
+        assert ds.contamination == pytest.approx(0.01)
+
+    def test_zero_outliers(self):
+        ds = make_blobs(n_inliers=50, n_outliers=0, seed=0)
+        assert ds.n_outliers == 0
+        assert ds.points.shape == (50, 2)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ParameterError):
+            make_blobs(n_inliers=0)
+        with pytest.raises(ParameterError):
+            make_blobs(n_outliers=-1)
+
+
+class TestShapes:
+    def test_circles_radii(self):
+        ds = make_circles(n_inliers=400, n_outliers=0, factor=0.5, seed=0)
+        radii = np.linalg.norm(ds.points, axis=1)
+        # Two modes: near 0.5 and near 1.0.
+        near_inner = np.abs(radii - 0.5) < 0.15
+        near_outer = np.abs(radii - 1.0) < 0.15
+        assert (near_inner | near_outer).mean() > 0.95
+
+    def test_moons_two_lobes(self):
+        ds = make_moons(n_inliers=400, n_outliers=0, seed=0)
+        assert ds.points[:, 1].max() > 0.8
+        assert ds.points[:, 1].min() < -0.3
+
+    def test_blobs_vd_requires_stds(self):
+        with pytest.raises(ParameterError):
+            make_blobs_varying_density(cluster_stds=())
+
+    def test_blobs_vd_has_density_contrast(self):
+        from scipy.spatial import cKDTree
+
+        ds = make_blobs_varying_density(
+            n_inliers=900, n_outliers=0, cluster_stds=(0.1, 1.5), seed=5
+        )
+        tree = cKDTree(ds.points)
+        gaps = tree.query(ds.points, k=2)[0][:, 1]
+        # Mixed densities: wide spread between tight and loose regions.
+        assert np.percentile(gaps, 90) > 5 * np.percentile(gaps, 10)
+
+
+class TestScatterOutliers:
+    def test_respects_clearance(self, rng):
+        inliers = rng.normal(size=(200, 2))
+        outliers = scatter_outliers(inliers, 20, rng, clearance=1.0)
+        from scipy.spatial import cKDTree
+
+        gaps = cKDTree(inliers).query(outliers, k=1)[0]
+        assert (gaps >= 1.0).all()
+
+    def test_impossible_clearance_raises(self, rng):
+        inliers = rng.normal(size=(500, 2))
+        with pytest.raises(ParameterError):
+            scatter_outliers(inliers, 10, rng, clearance=100.0)
+
+    def test_zero_requested(self, rng):
+        out = scatter_outliers(rng.normal(size=(10, 2)), 0, rng, clearance=1.0)
+        assert out.shape == (0, 2)

@@ -1,0 +1,84 @@
+"""Tests for the experiment runner and table renderers."""
+
+import time
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    Measurement,
+    format_series,
+    format_table,
+    run_timed,
+    time_callable,
+)
+
+
+class TestRunner:
+    def test_time_callable_returns_value(self):
+        elapsed, value = time_callable(lambda: 41 + 1)
+        assert value == 42
+        assert elapsed >= 0
+
+    def test_run_timed_repeats(self):
+        calls = []
+        measurement = run_timed("x", lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert len(measurement.seconds) == 4
+
+    def test_measurement_stats(self):
+        measurement = Measurement("m", (1.0, 2.0, 3.0))
+        assert measurement.mean == pytest.approx(2.0)
+        assert measurement.std == pytest.approx((2 / 3) ** 0.5)
+        assert measurement.best == 1.0
+
+    def test_measures_actual_time(self):
+        measurement = run_timed("sleep", lambda: time.sleep(0.01), repeats=1)
+        assert measurement.mean >= 0.009
+
+    def test_payload_is_last_result(self):
+        results = iter([1, 2, 3])
+        measurement = run_timed("payload", lambda: next(results), repeats=3)
+        assert measurement.payload == 3
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ParameterError):
+            run_timed("x", lambda: None, repeats=0)
+
+    def test_str(self):
+        assert "±" in str(Measurement("m", (1.0, 1.0)))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_format_table_large_floats_scientific(self):
+        text = format_table(["x"], [[2.5e9]])
+        assert "e+09" in text
+
+    def test_format_series_missing_values(self):
+        text = format_series(
+            "n",
+            {
+                "fast": {10: 1.0, 20: 2.0},
+                "slow": {10: 5.0},  # DNF at 20
+            },
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["n", "fast", "slow"]
+        assert "-" in lines[-1]
+
+    def test_format_series_row_order_follows_insertion(self):
+        text = format_series("n", {"a": {3: 1.0, 1: 2.0}})
+        rows = [line.split()[0] for line in text.splitlines()[2:]]
+        assert rows == ["3", "1"]

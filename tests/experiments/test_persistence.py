@@ -1,0 +1,71 @@
+"""Tests for experiment result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.experiments import Measurement
+from repro.experiments.persistence import (
+    load_experiment,
+    measurement_to_dict,
+    save_experiment,
+)
+
+
+class TestMeasurementToDict:
+    def test_fields(self):
+        record = measurement_to_dict(Measurement("m", (1.0, 3.0)))
+        assert record == {
+            "label": "m",
+            "seconds": [1.0, 3.0],
+            "mean": 2.0,
+            "std": 1.0,
+            "best": 1.0,
+        }
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        payload = {"rows": [[1, 2.5], [3, 4.5]], "note": "hello"}
+        save_experiment("t1", payload, directory=tmp_path)
+        assert load_experiment("t1", directory=tmp_path) == payload
+
+    def test_numpy_values_converted(self, tmp_path):
+        payload = {
+            "array": np.array([1.0, 2.0]),
+            "scalar": np.int64(7),
+            "nested": {"x": np.float64(0.5)},
+        }
+        save_experiment("t2", payload, directory=tmp_path)
+        loaded = load_experiment("t2", directory=tmp_path)
+        assert loaded == {
+            "array": [1.0, 2.0],
+            "scalar": 7,
+            "nested": {"x": 0.5},
+        }
+
+    def test_measurements_converted(self, tmp_path):
+        payload = {"timing": Measurement("run", (0.5, 1.5))}
+        save_experiment("t3", payload, directory=tmp_path)
+        loaded = load_experiment("t3", directory=tmp_path)
+        assert loaded["timing"]["mean"] == 1.0
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "results"
+        path = save_experiment("t4", {"a": 1}, directory=target)
+        assert path.exists()
+
+    def test_invalid_name(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            save_experiment("../escape", {}, directory=tmp_path)
+        with pytest.raises(DataValidationError):
+            save_experiment("", {}, directory=tmp_path)
+
+    def test_missing_load(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_experiment("nope", directory=tmp_path)
+
+    def test_overwrite(self, tmp_path):
+        save_experiment("t5", {"v": 1}, directory=tmp_path)
+        save_experiment("t5", {"v": 2}, directory=tmp_path)
+        assert load_experiment("t5", directory=tmp_path) == {"v": 2}

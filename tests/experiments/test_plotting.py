@@ -1,0 +1,107 @@
+"""Tests for the ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.plotting import ascii_curve, ascii_loglog, ascii_scatter
+
+
+class TestScatter:
+    def test_renders_framed_canvas(self, rng):
+        points = rng.normal(size=(50, 2))
+        plot = ascii_scatter(points, width=40, height=10)
+        lines = plot.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+        assert lines[0].startswith("+--")
+
+    def test_masked_points_use_loud_marker(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        mask = np.array([False, True])
+        plot = ascii_scatter(points, mask, width=20, height=8)
+        assert "X" in plot
+        assert "." in plot
+
+    def test_masked_marker_wins_collisions(self):
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        mask = np.array([False, True, False])
+        plot = ascii_scatter(points, mask, width=20, height=8)
+        assert plot.count("X") == 1
+
+    def test_corner_points_inside_frame(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        plot = ascii_scatter(points, width=10, height=5)
+        rows = plot.splitlines()[1:-1]
+        assert rows[0][-2] == "."  # top-right
+        assert rows[-1][1] == "."  # bottom-left
+
+    def test_empty_points_ok(self):
+        plot = ascii_scatter(np.zeros((0, 2)), width=10, height=5)
+        assert "." not in plot
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_scatter(np.zeros((3, 3)))
+
+    def test_tiny_canvas_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            ascii_scatter(rng.normal(size=(5, 2)), width=2, height=2)
+
+
+class TestCurve:
+    def test_descending_curve_shape(self):
+        plot = ascii_curve(np.linspace(10, 0, 100), width=20, height=8)
+        lines = plot.splitlines()
+        assert len(lines) == 8
+        # Highest level line holds the leftmost star.
+        assert "*" in lines[0]
+        assert lines[0].index("*") < lines[-1].rindex("*")
+
+    def test_mark_label_present(self):
+        plot = ascii_curve(
+            np.linspace(10, 0, 100), mark_value=5.0, mark_label="<- eps"
+        )
+        assert "<- eps" in plot
+
+    def test_constant_curve(self):
+        plot = ascii_curve([3.0, 3.0, 3.0], width=10, height=4)
+        assert "*" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_curve([])
+
+
+class TestLogLog:
+    def test_two_series_rendered_with_legend(self):
+        plot = ascii_loglog(
+            {
+                "dbscout": {10: 1.0, 100: 10.0, 1000: 100.0},
+                "rp": {10: 2.0, 100: 40.0, 1000: 900.0},
+            },
+            width=30,
+            height=10,
+        )
+        assert "D = dbscout" in plot
+        assert "R = rp" in plot
+        assert "D" in plot.splitlines()[1:-2][-1] + plot
+
+    def test_linear_series_is_diagonal(self):
+        plot = ascii_loglog(
+            {"lin": {1: 1.0, 10: 10.0, 100: 100.0}}, width=21, height=11
+        )
+        rows = plot.splitlines()[1:-2]
+        # Marks appear on a descending diagonal: first row holds the
+        # rightmost mark, last row the leftmost.
+        first = next(row for row in rows if "L" in row)
+        last = next(row for row in reversed(rows) if "L" in row)
+        assert first.index("L") > last.index("L")
+
+    def test_requires_positive_values(self):
+        with pytest.raises(ParameterError):
+            ascii_loglog({"s": {0: 0.0}})
+
+    def test_requires_series(self):
+        with pytest.raises(ParameterError):
+            ascii_loglog({})

@@ -1,0 +1,110 @@
+"""Tests for the parameter-sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.sweeps import stability_report, sweep_grid
+
+
+@pytest.fixture
+def sweep_points(rng):
+    return np.vstack(
+        [rng.normal(0, 0.4, (200, 2)), rng.uniform(-8, 8, (20, 2))]
+    )
+
+
+class TestSweepGrid:
+    def test_covers_full_grid(self, sweep_points):
+        sweep = sweep_grid(sweep_points, [0.5, 1.0], [3, 5, 8])
+        assert len(sweep.cells) == 6
+        eps_values, min_pts_values, matrix = sweep.outlier_matrix()
+        assert eps_values == [0.5, 1.0]
+        assert min_pts_values == [3, 5, 8]
+        assert (matrix >= 0).all()
+
+    def test_monotone_in_eps(self, sweep_points):
+        sweep = sweep_grid(sweep_points, [0.25, 0.5, 1.0, 2.0], [5])
+        _, _, matrix = sweep.outlier_matrix()
+        row = matrix[0].tolist()
+        assert row == sorted(row, reverse=True)
+
+    def test_monotone_in_min_pts(self, sweep_points):
+        sweep = sweep_grid(sweep_points, [0.6], [2, 4, 8, 16])
+        _, _, matrix = sweep.outlier_matrix()
+        column = matrix[:, 0].tolist()
+        assert column == sorted(column)
+
+    def test_counts_match_direct_run(self, sweep_points):
+        from repro import detect_outliers
+
+        sweep = sweep_grid(sweep_points, [0.7], [6])
+        cell = sweep.at(0.7, 6)
+        assert cell.n_outliers == detect_outliers(
+            sweep_points, 0.7, 6
+        ).n_outliers
+        assert cell.outlier_fraction == pytest.approx(
+            cell.n_outliers / sweep_points.shape[0]
+        )
+
+    def test_missing_lookup(self, sweep_points):
+        sweep = sweep_grid(sweep_points, [0.7], [6])
+        with pytest.raises(ParameterError):
+            sweep.at(0.9, 6)
+
+    def test_empty_axes_rejected(self, sweep_points):
+        with pytest.raises(ParameterError):
+            sweep_grid(sweep_points, [], [5])
+        with pytest.raises(ParameterError):
+            sweep_grid(sweep_points, [0.5], [])
+
+
+class TestStabilityReport:
+    def test_plateau_found_on_well_separated_data(self, rng):
+        # Clear structure: a tight cluster plus 10 distant strays.
+        points = np.vstack(
+            [rng.normal(0, 0.2, (300, 2)), rng.uniform(50, 90, (10, 2))]
+        )
+        sweep = sweep_grid(points, [1.0, 2.0, 4.0, 8.0], [3, 5, 8])
+        stable = stability_report(sweep, tolerance=0.2)
+        assert stable, "expected a stable plateau"
+        # The plateau sits at the true outlier count.
+        assert stable[0].n_outliers == 10
+
+    def test_zero_cells_excluded(self, rng):
+        points = rng.normal(0, 0.1, size=(100, 2))
+        sweep = sweep_grid(points, [5.0, 10.0], [2, 3])
+        stable = stability_report(sweep)
+        assert all(cell.n_outliers > 0 for cell in stable)
+
+    def test_sorted_by_stability(self, sweep_points):
+        sweep = sweep_grid(
+            sweep_points, [0.4, 0.8, 1.6], [3, 6, 12]
+        )
+        stable = stability_report(sweep, tolerance=1.0)
+        # Re-derive the stability score and check the ordering.
+        eps_values, min_pts_values, matrix = sweep.outlier_matrix()
+
+        def worst_change(cell):
+            row = min_pts_values.index(cell.min_pts)
+            col = eps_values.index(cell.eps)
+            worst = 0.0
+            for d_row, d_col in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                n_row, n_col = row + d_row, col + d_col
+                if 0 <= n_row < len(min_pts_values) and 0 <= n_col < len(
+                    eps_values
+                ):
+                    worst = max(
+                        worst,
+                        abs(matrix[n_row, n_col] - cell.n_outliers)
+                        / max(cell.n_outliers, 1),
+                    )
+            return worst
+
+        scores = [worst_change(cell) for cell in stable]
+        assert scores == sorted(scores)
+
+    def test_invalid_tolerance(self, sweep_points):
+        sweep = sweep_grid(sweep_points, [0.5], [5])
+        with pytest.raises(ParameterError):
+            stability_report(sweep, tolerance=0.0)

@@ -1,0 +1,96 @@
+"""Tests for the outlier-class classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataValidationError
+from repro.metrics import (
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusion:
+    def test_hand_example(self):
+        y_true = [1, 1, 0, 0, 1, 0]
+        y_pred = [1, 0, 1, 0, 1, 0]
+        assert confusion_counts(y_true, y_pred) == (2, 1, 1, 2)
+
+    def test_bool_arrays(self):
+        y_true = np.array([True, False])
+        y_pred = np.array([True, True])
+        assert confusion_counts(y_true, y_pred) == (1, 1, 0, 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataValidationError):
+            confusion_counts([1, 0], [1])
+
+    def test_empty(self):
+        assert confusion_counts([], []) == (0, 0, 0, 0)
+
+
+class TestScores:
+    def test_perfect(self):
+        y = [1, 0, 1, 0]
+        assert f1_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y_true = [1, 0]
+        y_pred = [0, 1]
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_no_predictions(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+        assert recall_score([1, 1], [0, 0]) == 0.0
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_no_positives_at_all(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+        assert recall_score([0, 0], [0, 0]) == 0.0
+
+    def test_known_value(self):
+        # precision 2/3, recall 2/4 -> F1 = 2*(2/3*1/2)/(2/3+1/2) = 4/7.
+        y_true = [1, 1, 1, 1, 0, 0, 0]
+        y_pred = [1, 1, 0, 0, 1, 0, 0]
+        assert f1_score(y_true, y_pred) == pytest.approx(4 / 7)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        labels=st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60
+        )
+    )
+    def test_f1_is_harmonic_mean(self, labels):
+        y_true = [a for a, _ in labels]
+        y_pred = [b for _, b in labels]
+        f1 = f1_score(y_true, y_pred)
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        if precision + recall == 0:
+            assert f1 == 0.0
+        else:
+            assert f1 == pytest.approx(
+                2 * precision * recall / (precision + recall)
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        labels=st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60
+        )
+    )
+    def test_scores_bounded(self, labels):
+        y_true = [a for a, _ in labels]
+        y_pred = [b for _, b in labels]
+        for score in (
+            f1_score(y_true, y_pred),
+            precision_score(y_true, y_pred),
+            recall_score(y_true, y_pred),
+        ):
+            assert 0.0 <= score <= 1.0

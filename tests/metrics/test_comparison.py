@@ -1,0 +1,59 @@
+"""Tests for exact-vs-approximate outlier set comparison (Tables IV/V)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import compare_outlier_sets
+
+
+class TestCompareOutlierSets:
+    def test_identical_sets(self):
+        mask = np.array([True, False, True, False])
+        comparison = compare_outlier_sets(mask, mask)
+        assert comparison.as_row() == (2, 2, 2, 0, 0)
+        assert comparison.is_superset
+
+    def test_superset_with_false_positives(self):
+        exact = np.array([True, False, False, False])
+        approx = np.array([True, True, True, False])
+        comparison = compare_outlier_sets(exact, approx)
+        assert comparison.true_positives == 1
+        assert comparison.false_positives == 2
+        assert comparison.false_negatives == 0
+        assert comparison.is_superset
+        assert comparison.false_positive_rate_of_output == pytest.approx(2 / 3)
+
+    def test_false_negatives(self):
+        exact = np.array([True, True, False])
+        approx = np.array([True, False, False])
+        comparison = compare_outlier_sets(exact, approx)
+        assert comparison.false_negatives == 1
+        assert not comparison.is_superset
+        assert comparison.false_negative_rate == pytest.approx(0.5)
+
+    def test_empty_exact_set(self):
+        exact = np.zeros(5, dtype=bool)
+        approx = np.array([True, False, False, False, False])
+        comparison = compare_outlier_sets(exact, approx)
+        assert comparison.n_exact == 0
+        assert comparison.false_negative_rate == 0.0
+
+    def test_empty_approx_set(self):
+        exact = np.array([True, False])
+        approx = np.zeros(2, dtype=bool)
+        comparison = compare_outlier_sets(exact, approx)
+        assert comparison.false_positive_rate_of_output == 0.0
+        assert comparison.n_approx == 0
+
+    def test_counts_consistent(self, rng):
+        exact = rng.random(200) < 0.1
+        approx = rng.random(200) < 0.15
+        comparison = compare_outlier_sets(exact, approx)
+        assert (
+            comparison.true_positives + comparison.false_negatives
+            == comparison.n_exact
+        )
+        assert (
+            comparison.true_positives + comparison.false_positives
+            == comparison.n_approx
+        )

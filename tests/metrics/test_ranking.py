@@ -1,0 +1,142 @@
+"""Tests for the ranking metrics (ROC-AUC, AP, precision@n)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataValidationError, ParameterError
+from repro.metrics.ranking import (
+    average_precision_score,
+    precision_at_n,
+    roc_auc_score,
+)
+
+
+def brute_auc(y_true, scores) -> float:
+    """Pairwise definition: P(score_pos > score_neg) + 0.5 P(tie)."""
+    y = np.asarray(y_true, dtype=bool)
+    s = np.asarray(scores, dtype=float)
+    pos = s[y]
+    neg = s[~y]
+    wins = (pos[:, None] > neg[None, :]).sum()
+    ties = (pos[:, None] == neg[None, :]).sum()
+    return (wins + 0.5 * ties) / (len(pos) * len(neg))
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_ranking_half(self):
+        # All scores equal: AUC must be exactly 0.5 by tie handling.
+        assert roc_auc_score([0, 1, 0, 1], [5.0, 5.0, 5.0, 5.0]) == 0.5
+
+    def test_hand_computed(self):
+        # pos scores {3, 1}, neg scores {2, 0}: pairs (3>2, 3>0, 1<2,
+        # 1>0) -> 3/4.
+        assert roc_auc_score([1, 0, 1, 0], [3.0, 2.0, 1.0, 0.0]) == 0.75
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataValidationError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataValidationError):
+            roc_auc_score([0, 1], [0.0, float("nan")])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.booleans(), st.integers(min_value=-20, max_value=20)
+            ),
+            min_size=2,
+            max_size=60,
+        ).filter(
+            lambda rows: any(label for label, _ in rows)
+            and any(not label for label, _ in rows)
+        )
+    )
+    def test_matches_pairwise_definition(self, data):
+        y = [label for label, _ in data]
+        s = [float(score) for _, score in data]
+        assert roc_auc_score(y, s) == pytest.approx(brute_auc(y, s))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.booleans(), st.integers(min_value=-20, max_value=20)
+            ),
+            min_size=2,
+            max_size=40,
+        ).filter(
+            lambda rows: any(label for label, _ in rows)
+            and any(not label for label, _ in rows)
+        )
+    )
+    def test_complement_symmetry(self, data):
+        y = [label for label, _ in data]
+        s = [float(score) for _, score in data]
+        auc = roc_auc_score(y, s)
+        flipped = roc_auc_score(y, [-v for v in s])
+        assert auc + flipped == pytest.approx(1.0)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision_score([1, 1, 0, 0], [4, 3, 2, 1]) == 1.0
+
+    def test_hand_computed(self):
+        # Ranking: pos, neg, pos, neg -> AP = (1/1 + 2/3) / 2 = 5/6.
+        ap = average_precision_score([1, 0, 1, 0], [4, 3, 2, 1])
+        assert ap == pytest.approx(5 / 6)
+
+    def test_worst_case(self):
+        # Single positive ranked last of 4: AP = 1/4.
+        ap = average_precision_score([0, 0, 0, 1], [4, 3, 2, 1])
+        assert ap == pytest.approx(0.25)
+
+    def test_needs_positive(self):
+        with pytest.raises(DataValidationError):
+            average_precision_score([0, 0], [1, 2])
+
+    def test_bounded(self, rng):
+        y = rng.random(50) < 0.2
+        y[0] = True
+        s = rng.random(50)
+        assert 0.0 < average_precision_score(y, s) <= 1.0
+
+
+class TestPrecisionAtN:
+    def test_default_n_is_outlier_count(self):
+        y = [1, 1, 0, 0, 0]
+        s = [5, 4, 3, 2, 1]
+        assert precision_at_n(y, s) == 1.0
+
+    def test_explicit_n(self):
+        y = [1, 0, 1, 0]
+        s = [4, 3, 2, 1]
+        assert precision_at_n(y, s, n=1) == 1.0
+        assert precision_at_n(y, s, n=2) == 0.5
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            precision_at_n([1, 0], [1, 2], n=0)
+        with pytest.raises(ParameterError):
+            precision_at_n([1, 0], [1, 2], n=3)
+
+    def test_detector_integration(self, rng):
+        from repro.baselines import LocalOutlierFactor
+
+        cluster = rng.normal(0.0, 0.3, size=(200, 2))
+        planted = rng.uniform(6.0, 9.0, size=(8, 2))
+        points = np.vstack([cluster, planted])
+        labels = np.concatenate([np.zeros(200), np.ones(8)])
+        result = LocalOutlierFactor(k=10, contamination=0.05).detect(points)
+        assert precision_at_n(labels, result.scores) == 1.0
+        assert roc_auc_score(labels, result.scores) > 0.99

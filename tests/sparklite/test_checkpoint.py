@@ -1,0 +1,58 @@
+"""Tests for RDD checkpointing (lineage truncation)."""
+
+import pytest
+
+from repro.sparklite import Context
+
+
+@pytest.fixture
+def ctx() -> Context:
+    return Context(default_parallelism=3)
+
+
+class TestCheckpoint:
+    def test_data_preserved(self, ctx):
+        rdd = ctx.parallelize(range(20)).map(lambda x: x * 2)
+        checkpointed = rdd.checkpoint()
+        assert checkpointed.collect() == rdd.collect()
+
+    def test_lineage_severed(self, ctx):
+        deep = ctx.parallelize(range(10))
+        for _ in range(5):
+            deep = deep.map(lambda x: x + 1)
+        assert len(deep.to_debug_string().splitlines()) == 6
+        flat = deep.checkpoint()
+        assert len(flat.to_debug_string().splitlines()) == 1
+
+    def test_no_recompute_after_checkpoint(self, ctx):
+        calls = []
+
+        def trace(x):
+            calls.append(x)
+            return x
+
+        checkpointed = ctx.parallelize(range(5), 1).map(trace).checkpoint()
+        n_calls = len(calls)
+        checkpointed.collect()
+        checkpointed.collect()
+        assert len(calls) == n_calls  # ancestors never re-run
+
+    def test_partitioner_preserved(self, ctx):
+        shuffled = ctx.parallelize([("a", 1), ("b", 2)]).partition_by(4)
+        checkpointed = shuffled.checkpoint()
+        assert checkpointed.partitioner == shuffled.partitioner
+        # Co-partitioned join elision still applies.
+        assert checkpointed.partition_by(4) is checkpointed
+
+    def test_downstream_transformations_work(self, ctx):
+        base = ctx.parallelize(range(10)).map(lambda x: (x % 3, x))
+        counts = dict(
+            base.checkpoint()
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert counts == {0: 18, 1: 12, 2: 15}
+
+    def test_partition_count_preserved(self, ctx):
+        rdd = ctx.parallelize(range(10), 5)
+        assert rdd.checkpoint().num_partitions == 5

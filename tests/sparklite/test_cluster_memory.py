@@ -1,0 +1,208 @@
+"""Tests for the cluster memory model (simulated executor OOMs)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutorMemoryError, ParameterError
+from repro.sparklite import Context
+from repro.sparklite.cluster import (
+    CONFIGURATION_1,
+    CONFIGURATION_2,
+    ClusterConfig,
+    MemoryModel,
+    estimate_size,
+)
+
+
+class TestEstimateSize:
+    def test_numpy_array_buffer(self):
+        array = np.zeros(1000, dtype=np.float64)
+        assert estimate_size(array) == pytest.approx(8000, abs=200)
+
+    def test_list_extrapolation(self):
+        small = estimate_size(list(range(100)))
+        large = estimate_size(list(range(10_000)))
+        assert large == pytest.approx(100 * small, rel=0.3)
+
+    def test_dict_scales_with_entries(self):
+        small = estimate_size({i: float(i) for i in range(100)})
+        large = estimate_size({i: float(i) for i in range(5000)})
+        assert large > 10 * small
+
+    def test_nested_structures(self):
+        nested = [[float(i)] * 10 for i in range(100)]
+        assert estimate_size(nested) > estimate_size([0.0] * 100)
+
+    def test_custom_object_attributes_counted(self):
+        class Holder:
+            def __init__(self):
+                self.payload = np.zeros(100_000)
+
+        assert estimate_size(Holder()) > 700_000
+
+    def test_empty_containers(self):
+        assert estimate_size([]) > 0
+        assert estimate_size({}) > 0
+
+
+class TestClusterConfig:
+    def test_totals(self):
+        assert CONFIGURATION_1.total_cores == 100
+        assert CONFIGURATION_2.total_cores == 100
+        assert (
+            CONFIGURATION_1.total_memory == CONFIGURATION_2.total_memory
+        )  # same pool, different layout (Section IV-A3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_executors": 0, "cores_per_executor": 1, "memory_per_executor": 1},
+            {"n_executors": 1, "cores_per_executor": 0, "memory_per_executor": 1},
+            {"n_executors": 1, "cores_per_executor": 1, "memory_per_executor": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            ClusterConfig(**kwargs)
+
+
+class TestMemoryModel:
+    def test_broadcast_charged_to_every_executor(self):
+        model = MemoryModel(ClusterConfig(4, 1, 1000, name="t"))
+        model.charge_broadcast(600)
+        with pytest.raises(ExecutorMemoryError):
+            model.charge_broadcast(600)
+
+    def test_release_credits_back(self):
+        model = MemoryModel(ClusterConfig(4, 1, 1000, name="t"))
+        model.charge_broadcast(800)
+        model.release_broadcast(800)
+        model.charge_broadcast(900)  # fits again
+
+    def test_shuffle_charged_per_owner(self):
+        model = MemoryModel(ClusterConfig(2, 1, 1000, name="t"))
+        # Bucket 0 -> executor 0, bucket 1 -> executor 1, bucket 2 -> 0.
+        model.charge_shuffle([400, 100, 500])
+        assert model.peak_executor_bytes == 900
+
+    def test_shuffles_do_not_accumulate(self):
+        model = MemoryModel(ClusterConfig(1, 1, 1000, name="t"))
+        model.charge_shuffle([800])
+        model.charge_shuffle([800])  # previous shuffle spilled
+
+    def test_shuffle_plus_broadcast_overflow(self):
+        model = MemoryModel(ClusterConfig(1, 1, 1000, name="t"))
+        model.charge_broadcast(600)
+        with pytest.raises(ExecutorMemoryError):
+            model.charge_shuffle([600])
+
+    def test_repr(self):
+        model = MemoryModel(ClusterConfig(1, 1, 1000, name="t"))
+        assert "budget=1000B" in repr(model)
+
+
+class TestEngineUnderBudgets:
+    def test_context_without_cluster_is_unbounded(self):
+        ctx = Context(default_parallelism=2)
+        ctx.broadcast(list(range(100_000)))  # no model, no limit
+        assert ctx.memory_model is None
+
+    def test_oom_propagates_from_broadcast(self):
+        ctx = Context(
+            default_parallelism=2,
+            cluster=ClusterConfig(2, 1, 5_000, name="tiny"),
+        )
+        with pytest.raises(ExecutorMemoryError):
+            ctx.broadcast(list(range(10_000)))
+
+    def test_oom_propagates_from_shuffle(self):
+        ctx = Context(
+            default_parallelism=2,
+            cluster=ClusterConfig(2, 1, 20_000, name="tiny"),
+        )
+        pairs = [(i % 2, float(i)) for i in range(5_000)]
+        with pytest.raises(ExecutorMemoryError):
+            ctx.parallelize(pairs).group_by_key().collect()
+
+    def test_dbscout_runs_within_generous_budget(self, clustered_2d):
+        from repro.core.distributed import DistributedEngine
+        from repro.core.vectorized import detect as batch_detect
+
+        ctx = Context(
+            default_parallelism=4,
+            cluster=ClusterConfig(4, 1, 64 * 1024 * 1024, name="wide"),
+        )
+        engine = DistributedEngine(num_partitions=4, context=ctx)
+        result = engine.detect(clustered_2d, 0.8, 8)
+        expected = batch_detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(result.outlier_mask, expected.outlier_mask)
+        assert ctx.memory_model.peak_executor_bytes > 0
+
+    def test_broadcast_join_needs_more_memory_than_group_join(self):
+        """Section III-G1's warning, measured: the broadcast join ships
+        the whole points-to-check table to every executor, so its peak
+        per-executor footprint exceeds the grouped join's."""
+        from repro.core.distributed import DistributedEngine
+        from repro.datasets import make_openstreetmap_like
+
+        points = make_openstreetmap_like(4_000, seed=2)
+        unbounded = ClusterConfig(8, 1, 10**12, name="unbounded")
+        peaks = {}
+        for strategy in ("group", "broadcast"):
+            ctx = Context(default_parallelism=8, cluster=unbounded)
+            engine = DistributedEngine(
+                num_partitions=8, join_strategy=strategy, context=ctx
+            )
+            engine.detect(points, 2.5e5, 10)
+            peaks[strategy] = ctx.memory_model.peak_executor_bytes
+        assert peaks["broadcast"] > peaks["group"]
+
+    def test_dbscout_consistent_across_paper_configurations(self):
+        """Section IV-A3's DBSCOUT claim: identical results under both
+        cluster layouts (the scaled configuration presets), with the
+        per-executor footprint within both budgets at this scale."""
+        from repro.core.distributed import DistributedEngine
+        from repro.datasets import make_openstreetmap_like
+
+        points = make_openstreetmap_like(2_000, seed=9)
+        masks = []
+        for config in (CONFIGURATION_1, CONFIGURATION_2):
+            ctx = Context(default_parallelism=8, cluster=config)
+            result = DistributedEngine(
+                num_partitions=8, context=ctx
+            ).detect(points, 1.0e6, 10)
+            masks.append(result.outlier_mask)
+            assert (
+                ctx.memory_model.peak_executor_bytes
+                <= config.memory_per_executor
+            )
+        assert np.array_equal(masks[0], masks[1])
+
+    def test_broadcast_join_ooms_where_group_survives(self):
+        """A budget between the two strategies' peaks reproduces the
+        paper's 'broadcast join may generate out-of-memory errors'."""
+        from repro.core.distributed import DistributedEngine
+        from repro.datasets import make_openstreetmap_like
+
+        points = make_openstreetmap_like(4_000, seed=2)
+        unbounded = ClusterConfig(8, 1, 10**12, name="unbounded")
+        peaks = {}
+        for strategy in ("group", "broadcast"):
+            ctx = Context(default_parallelism=8, cluster=unbounded)
+            DistributedEngine(
+                num_partitions=8, join_strategy=strategy, context=ctx
+            ).detect(points, 2.5e5, 10)
+            peaks[strategy] = ctx.memory_model.peak_executor_bytes
+        budget = (peaks["group"] + peaks["broadcast"]) // 2
+        tight = ClusterConfig(8, 1, budget, name="tight")
+
+        ctx = Context(default_parallelism=8, cluster=tight)
+        DistributedEngine(
+            num_partitions=8, join_strategy="group", context=ctx
+        ).detect(points, 2.5e5, 10)  # completes
+
+        ctx = Context(default_parallelism=8, cluster=tight)
+        with pytest.raises(ExecutorMemoryError):
+            DistributedEngine(
+                num_partitions=8, join_strategy="broadcast", context=ctx
+            ).detect(points, 2.5e5, 10)

@@ -1,0 +1,190 @@
+"""Tests for Context scheduling, broadcasts, accumulators, and metrics."""
+
+import pytest
+
+from repro.exceptions import BroadcastError, SparkLiteError
+from repro.sparklite import Context, HashPartitioner
+
+
+class TestContext:
+    def test_invalid_parallelism(self):
+        with pytest.raises(SparkLiteError):
+            Context(default_parallelism=0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(SparkLiteError):
+            Context(max_workers=0)
+
+    def test_default_parallelism_used(self):
+        ctx = Context(default_parallelism=6)
+        assert ctx.parallelize(range(12)).num_partitions == 6
+
+    def test_threaded_matches_sequential(self):
+        data = list(range(1000))
+        sequential = (
+            Context(default_parallelism=8, max_workers=1)
+            .parallelize(data)
+            .map(lambda x: x * x)
+            .collect()
+        )
+        threaded = (
+            Context(default_parallelism=8, max_workers=4)
+            .parallelize(data)
+            .map(lambda x: x * x)
+            .collect()
+        )
+        assert sequential == threaded
+
+    def test_threaded_shuffle_correct(self):
+        ctx = Context(default_parallelism=8, max_workers=4)
+        pairs = [(i % 10, 1) for i in range(500)]
+        counts = dict(
+            ctx.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert counts == {k: 50 for k in range(10)}
+
+    def test_repr(self):
+        assert "max_workers=2" in repr(Context(max_workers=2))
+
+
+class TestBroadcast:
+    def test_value_accessible(self):
+        ctx = Context()
+        broadcast = ctx.broadcast({"a": 1})
+        assert broadcast.value == {"a": 1}
+
+    def test_destroy(self):
+        ctx = Context()
+        broadcast = ctx.broadcast([1, 2, 3])
+        broadcast.destroy()
+        with pytest.raises(BroadcastError):
+            _ = broadcast.value
+
+    def test_unique_ids(self):
+        ctx = Context()
+        assert ctx.broadcast(1).id != ctx.broadcast(2).id
+
+    def test_used_inside_tasks(self):
+        ctx = Context(default_parallelism=3)
+        lookup = ctx.broadcast({1: "one", 2: "two"})
+        result = (
+            ctx.parallelize([1, 2, 1])
+            .map(lambda x: lookup.value[x])
+            .collect()
+        )
+        assert result == ["one", "two", "one"]
+
+    def test_metrics_counted(self):
+        ctx = Context()
+        ctx.broadcast(1)
+        ctx.broadcast(2)
+        assert ctx.metrics.broadcasts == 2
+
+    def test_repr(self):
+        ctx = Context()
+        broadcast = ctx.broadcast(1)
+        assert "live" in repr(broadcast)
+        broadcast.destroy()
+        assert "destroyed" in repr(broadcast)
+
+
+class TestAccumulator:
+    def test_sum_accumulator(self):
+        ctx = Context(default_parallelism=4)
+        acc = ctx.accumulator(0)
+        ctx.parallelize(range(10)).for_each(acc.add)
+        assert acc.value == 45
+
+    def test_custom_combine(self):
+        ctx = Context()
+        acc = ctx.accumulator(0, combine=max)
+        for value in (3, 9, 1):
+            acc.add(value)
+        assert acc.value == 9
+
+    def test_thread_safety(self):
+        import threading
+
+        ctx = Context()
+        acc = ctx.accumulator(0)
+
+        def worker():
+            for _ in range(1000):
+                acc.add(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert acc.value == 8000
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        partitioner = HashPartitioner(4)
+        assert partitioner.partition_for("key") == partitioner.partition_for(
+            "key"
+        )
+
+    def test_in_range(self):
+        partitioner = HashPartitioner(7)
+        assert all(
+            0 <= partitioner.partition_for(k) < 7 for k in range(1000)
+        )
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+        assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+    def test_invalid(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            HashPartitioner(0)
+
+
+class TestMetrics:
+    def test_shuffle_volume_counted(self):
+        ctx = Context(default_parallelism=4)
+        pairs = [(i % 3, i) for i in range(30)]
+        ctx.parallelize(pairs).group_by_key().collect()
+        assert ctx.metrics.shuffles == 1
+        assert ctx.metrics.records_shuffled == 30
+
+    def test_map_side_combine_reduces_volume(self):
+        # reduce_by_key combines before the shuffle; group_by_key does
+        # not.  With few keys, far fewer records cross the boundary.
+        pairs = [(i % 3, 1) for i in range(300)]
+        ctx_reduce = Context(default_parallelism=4)
+        ctx_reduce.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect()
+        ctx_group = Context(default_parallelism=4)
+        ctx_group.parallelize(pairs).group_by_key().collect()
+        assert (
+            ctx_reduce.metrics.records_shuffled
+            < ctx_group.metrics.records_shuffled
+        )
+        assert ctx_reduce.metrics.records_shuffled <= 3 * 4
+
+    def test_tasks_counted(self):
+        ctx = Context(default_parallelism=4)
+        ctx.parallelize(range(8)).map(lambda x: x).collect()
+        assert ctx.metrics.tasks_executed > 0
+
+    def test_snapshot_and_reset(self):
+        ctx = Context(default_parallelism=2)
+        ctx.parallelize([1]).collect()
+        snap = ctx.metrics.snapshot()
+        assert snap["collects"] == 1
+        ctx.metrics.reset()
+        assert ctx.metrics.snapshot()["collects"] == 0
+
+    def test_cache_hits_do_not_count_tasks(self):
+        ctx = Context(default_parallelism=2)
+        rdd = ctx.parallelize(range(10)).map(lambda x: x).cache()
+        rdd.collect()
+        first = ctx.metrics.tasks_executed
+        rdd.collect()
+        # Only the leaf recompute may add tasks; cached map layer not.
+        assert ctx.metrics.tasks_executed == first

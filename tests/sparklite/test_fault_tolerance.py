@@ -1,0 +1,151 @@
+"""Failure-injection tests: SparkLite's lineage-based task retry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, SparkLiteError, TaskFailure
+from repro.sparklite import Context
+from repro.sparklite.failures import FailFirstAttempts, RandomFailures
+
+
+class TestRetrySemantics:
+    def test_every_task_fails_once_and_recovers(self):
+        injector = FailFirstAttempts(1)
+        ctx = Context(default_parallelism=4, failure_injector=injector)
+        result = ctx.parallelize(range(100)).map(lambda x: x * 2).collect()
+        assert result == [x * 2 for x in range(100)]
+        assert injector.injected > 0
+        assert ctx.metrics.task_retries == injector.injected
+
+    def test_shuffle_pipeline_survives_failures(self):
+        injector = FailFirstAttempts(1)
+        ctx = Context(default_parallelism=3, failure_injector=injector)
+        pairs = [(i % 5, 1) for i in range(200)]
+        counts = dict(
+            ctx.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert counts == {k: 40 for k in range(5)}
+
+    def test_join_survives_failures(self):
+        injector = FailFirstAttempts(1)
+        ctx = Context(default_parallelism=3, failure_injector=injector)
+        left = ctx.parallelize([("a", 1), ("b", 2)])
+        right = ctx.parallelize([("a", "x")])
+        assert dict(left.join(right).collect()) == {"a": (1, "x")}
+
+    def test_exhausted_retries_raise(self):
+        injector = FailFirstAttempts(10)  # more than the retry budget
+        ctx = Context(
+            default_parallelism=2,
+            failure_injector=injector,
+            max_task_retries=2,
+        )
+        with pytest.raises(TaskFailure):
+            ctx.parallelize([1, 2, 3]).collect()
+
+    def test_zero_retries_budget(self):
+        ctx = Context(
+            default_parallelism=2,
+            failure_injector=FailFirstAttempts(1),
+            max_task_retries=0,
+        )
+        with pytest.raises(TaskFailure):
+            ctx.parallelize([1]).collect()
+
+    def test_user_errors_are_not_retried(self):
+        ctx = Context(default_parallelism=1)
+        calls = []
+
+        def boom(x):
+            calls.append(x)
+            raise ValueError("deterministic bug")
+
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).map(boom).collect()
+        assert len(calls) == 1  # no retry for non-TaskFailure errors
+
+    def test_random_failures_recovered(self):
+        injector = RandomFailures(rate=0.3, seed=42)
+        ctx = Context(
+            default_parallelism=4,
+            failure_injector=injector,
+            max_task_retries=50,
+        )
+        data = list(range(500))
+        result = (
+            ctx.parallelize(data)
+            .map(lambda x: (x % 7, x))
+            .group_by_key()
+            .map_values(sorted)
+            .collect()
+        )
+        grouped = dict(result)
+        assert sorted(grouped) == list(range(7))
+        assert all(
+            grouped[k] == [x for x in data if x % 7 == k] for k in grouped
+        )
+        assert injector.injected > 0
+
+    def test_threaded_executors_with_failures(self):
+        injector = FailFirstAttempts(1)
+        ctx = Context(
+            default_parallelism=6,
+            max_workers=3,
+            failure_injector=injector,
+        )
+        assert ctx.parallelize(range(60)).count() == 60
+
+    def test_invalid_retry_budget(self):
+        with pytest.raises(SparkLiteError):
+            Context(max_task_retries=-1)
+
+
+class TestDistributedEngineUnderFailures:
+    def test_dbscout_exact_despite_injected_failures(self, clustered_2d):
+        from repro.core.distributed import DistributedEngine
+        from repro.core.vectorized import detect as batch_detect
+
+        injector = FailFirstAttempts(1)
+        ctx = Context(
+            default_parallelism=4,
+            failure_injector=injector,
+            max_task_retries=3,
+        )
+        engine = DistributedEngine(num_partitions=4, context=ctx)
+        result = engine.detect(clustered_2d, 0.8, 8)
+        expected = batch_detect(clustered_2d, 0.8, 8)
+        assert np.array_equal(result.outlier_mask, expected.outlier_mask)
+        assert np.array_equal(result.core_mask, expected.core_mask)
+        assert ctx.metrics.task_retries > 0
+
+
+class TestInjectors:
+    def test_fail_first_attempts_validation(self):
+        with pytest.raises(ParameterError):
+            FailFirstAttempts(-1)
+
+    def test_fail_first_zero_is_noop(self):
+        ctx = Context(
+            default_parallelism=2, failure_injector=FailFirstAttempts(0)
+        )
+        assert ctx.parallelize([1, 2]).collect() == [1, 2]
+        assert ctx.metrics.task_retries == 0
+
+    def test_random_rate_validation(self):
+        with pytest.raises(ParameterError):
+            RandomFailures(rate=1.0)
+        with pytest.raises(ParameterError):
+            RandomFailures(rate=-0.1)
+
+    def test_random_is_deterministic_given_seed(self):
+        def run(seed):
+            injector = RandomFailures(rate=0.5, seed=seed)
+            ctx = Context(
+                default_parallelism=3,
+                failure_injector=injector,
+                max_task_retries=100,
+            )
+            ctx.parallelize(range(30)).collect()
+            return injector.injected
+
+        assert run(7) == run(7)

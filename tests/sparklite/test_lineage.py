@@ -1,0 +1,47 @@
+"""Tests for RDD lineage inspection (to_debug_string)."""
+
+import pytest
+
+from repro.sparklite import Context
+
+
+@pytest.fixture
+def ctx() -> Context:
+    return Context(default_parallelism=3)
+
+
+class TestDebugString:
+    def test_leaf(self, ctx):
+        text = ctx.parallelize([1, 2, 3]).to_debug_string()
+        assert text == "+- ParallelizedRDD(3 partitions)"
+
+    def test_narrow_chain_depth(self, ctx):
+        rdd = ctx.parallelize([1]).map(lambda x: x).filter(bool)
+        lines = rdd.to_debug_string().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("+-")
+        assert lines[-1].lstrip().startswith("+- ParallelizedRDD")
+
+    def test_shuffle_boundary_shows_partitioner(self, ctx):
+        rdd = ctx.parallelize([("a", 1)]).reduce_by_key(lambda a, b: a + b)
+        text = rdd.to_debug_string()
+        assert "ShuffledRDD" in text
+        assert "HashPartitioner" in text
+
+    def test_union_shows_both_branches(self, ctx):
+        left = ctx.parallelize([1])
+        right = ctx.parallelize([2]).map(lambda x: x)
+        text = left.union(right).to_debug_string()
+        assert text.count("ParallelizedRDD") == 2
+        assert "UnionRDD" in text
+
+    def test_cached_flag(self, ctx):
+        rdd = ctx.parallelize([1]).map(lambda x: x).cache()
+        assert "[cached]" in rdd.to_debug_string().splitlines()[0]
+
+    def test_join_lineage_includes_cogroup_shuffle(self, ctx):
+        left = ctx.parallelize([("a", 1)])
+        right = ctx.parallelize([("a", 2)])
+        text = left.join(right).to_debug_string()
+        assert "ShuffledRDD" in text
+        assert text.count("ParallelizedRDD") == 2

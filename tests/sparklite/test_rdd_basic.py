@@ -1,0 +1,189 @@
+"""Tests for SparkLite narrow transformations and actions."""
+
+import pytest
+
+from repro.exceptions import SparkLiteError
+from repro.sparklite import Context
+
+
+@pytest.fixture
+def ctx() -> Context:
+    return Context(default_parallelism=4)
+
+
+class TestParallelize:
+    def test_roundtrip(self, ctx):
+        data = list(range(10))
+        assert ctx.parallelize(data).collect() == data
+
+    def test_partition_count(self, ctx):
+        rdd = ctx.parallelize(range(10), num_partitions=3)
+        assert rdd.num_partitions == 3
+        sizes = rdd.num_records_per_partition()
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_more_partitions_than_records(self, ctx):
+        rdd = ctx.parallelize([1, 2], num_partitions=5)
+        assert rdd.collect() == [1, 2]
+        assert rdd.num_partitions == 5
+
+    def test_empty(self, ctx):
+        assert ctx.parallelize([]).collect() == []
+
+    def test_empty_rdd(self, ctx):
+        assert ctx.empty_rdd().collect() == []
+
+    def test_invalid_partitions(self, ctx):
+        with pytest.raises(SparkLiteError):
+            ctx.parallelize([1], num_partitions=0)
+
+    def test_order_preserved(self, ctx):
+        data = list(range(100))
+        assert ctx.parallelize(data, 7).collect() == data
+
+
+class TestNarrowTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [
+            2,
+            4,
+            6,
+        ]
+
+    def test_filter(self, ctx):
+        result = ctx.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert result.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        result = ctx.parallelize([1, 2, 3]).flat_map(lambda x: [x] * x)
+        assert result.collect() == [1, 2, 2, 3, 3, 3]
+
+    def test_flat_map_empty_outputs(self, ctx):
+        result = ctx.parallelize([1, 2, 3]).flat_map(lambda x: [])
+        assert result.collect() == []
+
+    def test_map_partitions(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).map_partitions(
+            lambda it: [sum(it)]
+        )
+        assert sum(rdd.collect()) == 45
+        assert len(rdd.collect()) == 2
+
+    def test_map_partitions_with_index(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).map_partitions_with_index(
+            lambda i, it: [(i, x) for x in it]
+        )
+        assert rdd.collect() == [(0, 0), (0, 1), (1, 2), (1, 3)]
+
+    def test_chaining(self, ctx):
+        result = (
+            ctx.parallelize(range(20))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 3 == 0)
+            .map(lambda x: x * 10)
+        )
+        assert result.collect() == [30, 60, 90, 120, 150, 180]
+
+    def test_union(self, ctx):
+        left = ctx.parallelize([1, 2], 2)
+        right = ctx.parallelize([3, 4], 2)
+        merged = left.union(right)
+        assert merged.collect() == [1, 2, 3, 4]
+        assert merged.num_partitions == 4
+
+    def test_union_rejects_other_context(self, ctx):
+        other = Context()
+        with pytest.raises(SparkLiteError):
+            ctx.parallelize([1]).union(other.parallelize([2]))
+
+    def test_distinct(self, ctx):
+        result = ctx.parallelize([3, 1, 2, 3, 1, 1]).distinct().collect()
+        assert sorted(result) == [1, 2, 3]
+
+    def test_sample_fraction_bounds(self, ctx):
+        with pytest.raises(SparkLiteError):
+            ctx.parallelize([1]).sample(1.5)
+
+    def test_sample_deterministic(self, ctx):
+        rdd = ctx.parallelize(range(1000), 4)
+        a = rdd.sample(0.3, seed=7).collect()
+        b = rdd.sample(0.3, seed=7).collect()
+        assert a == b
+        assert 200 < len(a) < 400
+
+    def test_glom(self, ctx):
+        parts = ctx.parallelize(range(6), 3).glom().collect()
+        assert parts == [[0, 1], [2, 3], [4, 5]]
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(42), 5).count() == 42
+
+    def test_take(self, ctx):
+        assert ctx.parallelize(range(100), 10).take(5) == [0, 1, 2, 3, 4]
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.parallelize([1, 2]).take(10) == [1, 2]
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([9, 8, 7]).first() == 9
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(SparkLiteError):
+            ctx.parallelize([]).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(10), 3).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_with_empty_partitions(self, ctx):
+        assert ctx.parallelize([5], 4).reduce(lambda a, b: a + b) == 5
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(SparkLiteError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_for_each(self, ctx):
+        seen = []
+        ctx.parallelize(range(5)).for_each(seen.append)
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+
+        def trace(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(5), 1).map(trace).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 5  # second collect served from cache
+
+    def test_without_cache_recomputes(self, ctx):
+        calls = []
+
+        def trace(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(5), 1).map(trace)
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 10
+
+    def test_unpersist(self, ctx):
+        calls = []
+
+        def trace(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(5), 1).map(trace).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 10

@@ -1,0 +1,164 @@
+"""Tests for SparkLite pair-RDD (key/value) operations."""
+
+import pytest
+
+from repro.exceptions import ShuffleError
+from repro.sparklite import Context
+
+
+@pytest.fixture
+def ctx() -> Context:
+    return Context(default_parallelism=4)
+
+
+class TestKeysValues:
+    def test_keys_values(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2)])
+        assert rdd.keys().collect() == ["a", "b"]
+        assert rdd.values().collect() == [1, 2]
+
+    def test_map_values(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2)]).map_values(lambda v: v * 10)
+        assert rdd.collect() == [("a", 10), ("b", 20)]
+
+    def test_flat_map_values(self, ctx):
+        rdd = ctx.parallelize([("a", 2), ("b", 1)]).flat_map_values(
+            lambda v: range(v)
+        )
+        assert rdd.collect() == [("a", 0), ("a", 1), ("b", 0)]
+
+    def test_non_pair_record_raises(self, ctx):
+        with pytest.raises(ShuffleError):
+            ctx.parallelize([1, 2, 3]).keys().collect()
+
+
+class TestReduceByKey:
+    def test_word_count(self, ctx):
+        words = ["spark", "grid", "spark", "cell", "grid", "spark"]
+        counts = dict(
+            ctx.parallelize(words, 3)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert counts == {"spark": 3, "grid": 2, "cell": 1}
+
+    def test_matches_functools_reduce(self, ctx):
+        import functools
+        import random
+
+        rng = random.Random(0)
+        pairs = [(rng.randrange(10), rng.randrange(100)) for _ in range(500)]
+        result = dict(
+            ctx.parallelize(pairs, 7).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        expected = {}
+        for key in set(k for k, _ in pairs):
+            values = [v for k, v in pairs if k == key]
+            expected[key] = functools.reduce(lambda a, b: a + b, values)
+        assert result == expected
+
+    def test_single_value_keys_pass_through(self, ctx):
+        result = dict(
+            ctx.parallelize([("a", 1)]).reduce_by_key(lambda a, b: a / 0).collect()
+        )
+        assert result == {"a": 1}  # reducer never invoked for singletons
+
+    def test_output_partitions(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2)], 2).reduce_by_key(
+            lambda a, b: a + b, num_partitions=5
+        )
+        assert rdd.num_partitions == 5
+
+    def test_unhashable_key_raises(self, ctx):
+        with pytest.raises(ShuffleError):
+            ctx.parallelize([([1], 2)]).reduce_by_key(lambda a, b: a).collect()
+
+
+class TestGroupByKey:
+    def test_groups_all_values(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("a", 4)]
+        groups = dict(ctx.parallelize(pairs, 3).group_by_key().collect())
+        assert sorted(groups["a"]) == [1, 3, 4]
+        assert groups["b"] == [2]
+
+    def test_key_appears_once(self, ctx):
+        pairs = [("k", i) for i in range(50)]
+        out = ctx.parallelize(pairs, 5).group_by_key().collect()
+        assert len(out) == 1
+
+    def test_group_then_map_values(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 5)]
+        sums = dict(
+            ctx.parallelize(pairs).group_by_key().map_values(sum).collect()
+        )
+        assert sums == {"a": 3, "b": 5}
+
+
+class TestJoin:
+    def test_inner_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2), ("c", 3)])
+        right = ctx.parallelize([("a", "x"), ("b", "y"), ("d", "z")])
+        joined = dict(left.join(right).collect())
+        assert joined == {"a": (1, "x"), "b": (2, "y")}
+
+    def test_join_produces_cross_product_per_key(self, ctx):
+        left = ctx.parallelize([("k", 1), ("k", 2)])
+        right = ctx.parallelize([("k", "x"), ("k", "y")])
+        pairs = sorted(v for _k, v in left.join(right).collect())
+        assert pairs == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+
+    def test_join_matches_nested_loop_reference(self, ctx):
+        import random
+
+        rng = random.Random(1)
+        left = [(rng.randrange(8), rng.randrange(100)) for _ in range(60)]
+        right = [(rng.randrange(8), rng.randrange(100)) for _ in range(40)]
+        joined = ctx.parallelize(left, 3).join(
+            ctx.parallelize(right, 5)
+        ).collect()
+        expected = [
+            (k, (lv, rv)) for k, lv in left for rk, rv in right if rk == k
+        ]
+        assert sorted(joined) == sorted(expected)
+
+    def test_left_outer_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2)])
+        right = ctx.parallelize([("a", "x")])
+        joined = dict(left.left_outer_join(right).collect())
+        assert joined == {"a": (1, "x"), "b": (2, None)}
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)])
+        right = ctx.parallelize([("a", "x"), ("c", "y")])
+        grouped = dict(left.cogroup(right).collect())
+        assert sorted(grouped["a"][0]) == [1, 2]
+        assert grouped["a"][1] == ["x"]
+        assert grouped["b"] == ([3], [])
+        assert grouped["c"] == ([], ["y"])
+
+
+class TestPartitionBy:
+    def test_co_located_keys(self, ctx):
+        rdd = ctx.parallelize(
+            [(i % 5, i) for i in range(50)], 3
+        ).partition_by(4)
+        for part in rdd.glom().collect():
+            keys = {k for k, _ in part}
+            # Each key lives in exactly one partition.
+            for key in keys:
+                assert hash(key) % 4 == rdd.partitioner.partition_for(key)
+
+    def test_already_partitioned_is_noop(self, ctx):
+        rdd = ctx.parallelize([("a", 1)], 2).partition_by(4)
+        assert rdd.partition_by(4) is rdd
+
+    def test_count_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        assert ctx.parallelize(pairs).count_by_key() == {"a": 2, "b": 1}
+
+    def test_collect_as_map(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        mapping = ctx.parallelize(pairs).collect_as_map()
+        assert mapping["b"] == 2
+        assert mapping["a"] == 3  # later duplicate wins

@@ -1,0 +1,124 @@
+"""Property-based tests for the SparkLite engine."""
+
+import functools
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparklite import Context
+
+keys = st.integers(min_value=0, max_value=12)
+values = st.integers(min_value=-1000, max_value=1000)
+pair_lists = st.lists(st.tuples(keys, values), max_size=80)
+partition_counts = st.integers(min_value=1, max_value=6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=pair_lists, n_parts=partition_counts)
+def test_reduce_by_key_equals_functools_reduce(pairs, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    result = dict(
+        ctx.parallelize(pairs, n_parts)
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+    grouped = defaultdict(list)
+    for key, value in pairs:
+        grouped[key].append(value)
+    expected = {
+        key: functools.reduce(lambda a, b: a + b, vals)
+        for key, vals in grouped.items()
+    }
+    assert result == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=pair_lists, n_parts=partition_counts)
+def test_group_by_key_preserves_multisets(pairs, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    groups = dict(ctx.parallelize(pairs, n_parts).group_by_key().collect())
+    grouped = defaultdict(list)
+    for key, value in pairs:
+        grouped[key].append(value)
+    assert set(groups) == set(grouped)
+    for key in groups:
+        assert Counter(groups[key]) == Counter(grouped[key])
+
+
+@settings(max_examples=50, deadline=None)
+@given(left=pair_lists, right=pair_lists, n_parts=partition_counts)
+def test_join_equals_nested_loop(left, right, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    joined = ctx.parallelize(left, n_parts).join(
+        ctx.parallelize(right, n_parts)
+    )
+    expected = [
+        (k, (lv, rv)) for k, lv in left for rk, rv in right if rk == k
+    ]
+    assert Counter(joined.collect()) == Counter(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=pair_lists, n_parts=partition_counts, n_out=partition_counts)
+def test_partition_by_preserves_multiset(pairs, n_parts, n_out):
+    ctx = Context(default_parallelism=n_parts)
+    shuffled = ctx.parallelize(pairs, n_parts).partition_by(n_out)
+    assert Counter(shuffled.collect()) == Counter(pairs)
+    assert shuffled.num_partitions == n_out
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(values, max_size=100),
+    n_parts=partition_counts,
+)
+def test_map_filter_semantics(data, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    result = (
+        ctx.parallelize(data, n_parts)
+        .map(lambda x: x * 3)
+        .filter(lambda x: x % 2 == 0)
+        .collect()
+    )
+    assert result == [x * 3 for x in data if (x * 3) % 2 == 0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.lists(values, max_size=100), n_parts=partition_counts)
+def test_count_matches_len(data, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    assert ctx.parallelize(data, n_parts).count() == len(data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.lists(values, min_size=1, max_size=60), n_parts=partition_counts)
+def test_reduce_matches_sum(data, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    assert ctx.parallelize(data, n_parts).reduce(lambda a, b: a + b) == sum(
+        data
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.lists(values, max_size=60), n_parts=partition_counts)
+def test_distinct_matches_set(data, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    assert sorted(ctx.parallelize(data, n_parts).distinct().collect()) == sorted(
+        set(data)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(left=pair_lists, right=pair_lists, n_parts=partition_counts)
+def test_cogroup_covers_all_keys(left, right, n_parts):
+    ctx = Context(default_parallelism=n_parts)
+    grouped = dict(
+        ctx.parallelize(left, n_parts)
+        .cogroup(ctx.parallelize(right, n_parts))
+        .collect()
+    )
+    assert set(grouped) == {k for k, _ in left} | {k for k, _ in right}
+    for key, (left_vals, right_vals) in grouped.items():
+        assert Counter(left_vals) == Counter(v for k, v in left if k == key)
+        assert Counter(right_vals) == Counter(v for k, v in right if k == key)

@@ -1,0 +1,193 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import save_points
+
+
+@pytest.fixture
+def points_file(tmp_path, rng):
+    cluster = rng.normal(0.0, 0.3, size=(150, 2))
+    outliers = np.array([[9.0, 9.0], [-8.0, 4.0]])
+    path = tmp_path / "points.csv"
+    save_points(np.vstack([cluster, outliers]), path)
+    return path
+
+
+class TestDetect:
+    def test_prints_outlier_indices(self, points_file, capsys):
+        code = main(
+            ["detect", str(points_file), "--eps", "1.0", "--min-pts", "5"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out.split()
+        assert printed == ["150", "151"]
+
+    def test_auto_eps(self, points_file, capsys):
+        code = main(
+            ["detect", str(points_file), "--auto-eps", "--min-pts", "5"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "estimated eps" in captured.err
+        assert "150" in captured.out.split()
+
+    def test_requires_eps_or_auto(self, points_file, capsys):
+        code = main(["detect", str(points_file), "--min-pts", "5"])
+        assert code == 2
+        assert "provide --eps or --auto-eps" in capsys.readouterr().err
+
+    def test_output_file(self, points_file, tmp_path, capsys):
+        out = tmp_path / "outliers.txt"
+        code = main(
+            [
+                "detect",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.read_text().split() == ["150", "151"]
+
+    def test_distributed_engine(self, points_file, capsys):
+        code = main(
+            [
+                "detect",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--engine",
+                "distributed",
+                "--num-partitions",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.split() == ["150", "151"]
+
+    def test_stats_flag(self, points_file, capsys):
+        code = main(
+            [
+                "detect",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "outliers: 2" in err
+        assert "timings" in err
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["detect", str(tmp_path / "nope.csv"), "--eps", "1", "--min-pts", "5"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_parameters_clean_error(self, points_file, capsys):
+        code = main(
+            ["detect", str(points_file), "--eps", "-1", "--min-pts", "5"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEstimateEps:
+    def test_prints_positive_float(self, points_file, capsys):
+        code = main(["estimate-eps", str(points_file), "--min-pts", "5"])
+        assert code == 0
+        assert float(capsys.readouterr().out.strip()) > 0
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("name", ["blobs", "osm", "geolife"])
+    def test_generates_file(self, name, tmp_path, capsys):
+        out = tmp_path / f"{name}.npy"
+        code = main(
+            ["generate", name, "--n", "500", "--seed", "1", "--output", str(out)]
+        )
+        assert code == 0
+        data = np.load(out)
+        assert data.shape[0] == 500
+
+    def test_generated_file_feeds_detect(self, tmp_path, capsys):
+        out = tmp_path / "blobs.csv"
+        assert main(
+            ["generate", "blobs", "--n", "400", "--output", str(out)]
+        ) == 0
+        code = main(
+            ["detect", str(out), "--auto-eps", "--min-pts", "5"]
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_default_detectors(self, points_file, capsys):
+        code = main(["compare", str(points_file), "--min-pts", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("dbscout", "lof", "iforest", "knn"):
+            assert name in out
+
+    def test_explicit_eps_and_subset(self, points_file, capsys):
+        code = main(
+            [
+                "compare",
+                str(points_file),
+                "--min-pts",
+                "5",
+                "--eps",
+                "1.0",
+                "--detectors",
+                "dbscout,dbscan",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dbscan" in out
+        # Exact pair must agree on the outlier count.
+        rows = [
+            line.split()
+            for line in out.splitlines()
+            if line.startswith(("dbscout", "dbscan"))
+        ]
+        assert rows[0][1] == rows[1][1]
+
+    def test_unknown_detector(self, points_file, capsys):
+        code = main(
+            [
+                "compare",
+                str(points_file),
+                "--min-pts",
+                "5",
+                "--detectors",
+                "dbscout,magic",
+            ]
+        )
+        assert code == 2
+        assert "unknown detectors" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,83 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return completed.stdout
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(ALL_EXAMPLES) >= 3
+
+
+def test_quickstart_output():
+    stdout = run_example("quickstart.py")
+    assert "outliers:" in stdout
+    assert "planted anomalies flagged" in stdout
+
+
+def test_parameter_selection_output():
+    stdout = run_example("parameter_selection.py")
+    assert "elbow" in stdout
+    assert "F1" in stdout
+
+
+def test_sensor_network_output():
+    stdout = run_example("sensor_network_monitoring.py")
+    assert "DBSCOUT" in stdout
+    assert "F1" in stdout
+
+
+def test_visual_outlier_map_output():
+    stdout = run_example("visual_outlier_map.py")
+    assert "X = detected outlier" in stdout
+    assert "pairwise distances" in stdout
+
+
+@pytest.mark.slow
+def test_geolife_example_output():
+    stdout = run_example("geolife_gps_anomalies.py")
+    assert "RP-DBSCAN" in stdout
+    assert "FN" in stdout
+
+
+@pytest.mark.slow
+def test_distributed_demo_output():
+    stdout = run_example("distributed_cluster_demo.py")
+    assert "broadcast" in stdout
+    assert "partitions" in stdout
+
+
+@pytest.mark.slow
+def test_streaming_example_output():
+    stdout = run_example("streaming_gps_feed.py")
+    assert "identical exact outlier sets" in stdout
+
+
+@pytest.mark.slow
+def test_fault_tolerant_example_output():
+    stdout = run_example("fault_tolerant_cluster.py")
+    assert "task retries" in stdout
+    assert "OOM" in stdout
+
+
+@pytest.mark.slow
+def test_parameter_sweep_example_output():
+    stdout = run_example("parameter_sweep_analysis.py")
+    assert "stable plateau" in stdout or "plateau" in stdout

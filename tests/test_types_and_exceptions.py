@@ -1,0 +1,88 @@
+"""Tests for the shared result types and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions
+from repro.types import DetectionResult, TimingBreakdown
+
+
+class TestTimingBreakdown:
+    def test_total(self):
+        timings = TimingBreakdown({"a": 1.5, "b": 0.5})
+        assert timings.total == 2.0
+
+    def test_empty_total(self):
+        assert TimingBreakdown({}).total == 0.0
+
+    def test_str_lists_phases(self):
+        text = str(TimingBreakdown({"grid": 0.25}))
+        assert "grid=0.2500s" in text
+        assert "total=0.2500s" in text
+
+    def test_frozen(self):
+        timings = TimingBreakdown({"a": 1.0})
+        with pytest.raises(AttributeError):
+            timings.phases = {}
+
+
+class TestDetectionResult:
+    def test_masks_coerced_to_bool(self):
+        result = DetectionResult(
+            n_points=3,
+            outlier_mask=np.array([1, 0, 1]),
+            core_mask=np.array([0, 1, 0]),
+        )
+        assert result.outlier_mask.dtype == bool
+        assert result.core_mask.dtype == bool
+
+    def test_default_stats_empty(self):
+        result = DetectionResult(
+            n_points=1, outlier_mask=np.array([False])
+        )
+        assert dict(result.stats) == {}
+        assert result.timings is None
+        assert result.scores is None
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ParameterError",
+            "DataValidationError",
+            "EngineError",
+            "NotFittedError",
+            "SparkLiteError",
+            "ShuffleError",
+            "BroadcastError",
+            "TaskFailure",
+            "ExecutorMemoryError",
+        ):
+            assert issubclass(
+                getattr(exceptions, name), exceptions.ReproError
+            ), name
+
+    def test_parameter_error_is_value_error(self):
+        # Callers using stdlib idioms still catch us.
+        assert issubclass(exceptions.ParameterError, ValueError)
+        assert issubclass(exceptions.DataValidationError, ValueError)
+
+    def test_executor_memory_error_is_memory_error(self):
+        assert issubclass(exceptions.ExecutorMemoryError, MemoryError)
+
+    def test_sparklite_family(self):
+        for name in (
+            "ShuffleError",
+            "BroadcastError",
+            "TaskFailure",
+            "ExecutorMemoryError",
+        ):
+            assert issubclass(
+                getattr(exceptions, name), exceptions.SparkLiteError
+            )
+
+    def test_one_except_catches_library(self):
+        from repro import DBSCOUT
+
+        with pytest.raises(exceptions.ReproError):
+            DBSCOUT(eps=-1.0, min_pts=3)
