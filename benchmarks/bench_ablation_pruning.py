@@ -1,0 +1,175 @@
+"""Ablation A6 — cell-geometry pruning and multi-core sharding.
+
+Quantifies the two performance layers this repository adds on top of
+the paper's exact pipeline (see ``docs/architecture.md``):
+
+1. **Pruning** — bounding-box covered/excluded classification of cell
+   pairs plus covered-cell settling.  Measured as the reduction in
+   ``distance_computations`` (the paper's per-tuple work budget) on a
+   clustered Table-II-style synthetic workload, with exact result
+   parity asserted.
+2. **Sharding** — ``n_jobs`` in {1, 2, 4} over the shared-memory
+   process pool.  On a single-core container the pool cannot beat the
+   serial path; the table reports whatever the hardware gives.
+
+Exposes ``BENCH_STATS`` for ``run_all.py --json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.vectorized import VectorizedEngine
+from repro.datasets import make_geolife_like
+from repro.experiments import format_table
+
+from _common import MIN_PTS
+
+#: The clustered Table-II-style workload: skewed GPS-like hotspots at
+#: the scale the multi-core criterion targets.
+N_POINTS = 200_000
+EPS = 100.0
+
+N_JOBS_SWEEP = (1, 2, 4)
+
+#: Machine-readable results for run_all.py --json, filled by main().
+BENCH_STATS: dict[str, object] = {}
+
+
+def dataset() -> np.ndarray:
+    return make_geolife_like(N_POINTS, seed=0)
+
+
+def _timed_detect(engine: VectorizedEngine, points: np.ndarray):
+    start = time.perf_counter()
+    result = engine.detect(points, EPS, MIN_PTS)
+    return result, time.perf_counter() - start
+
+
+def test_pruning_parity_and_reduction():
+    points = make_geolife_like(40_000, seed=0)
+    pruned = VectorizedEngine(pruning=True).detect(points, EPS, MIN_PTS)
+    plain = VectorizedEngine(pruning=False).detect(points, EPS, MIN_PTS)
+    assert np.array_equal(pruned.outlier_mask, plain.outlier_mask)
+    assert np.array_equal(pruned.core_mask, plain.core_mask)
+    assert (
+        pruned.stats["distance_computations"]
+        < plain.stats["distance_computations"]
+    )
+    assert pruned.stats["pairs_skipped_covered"] > 0
+
+
+def main() -> None:
+    points = dataset()
+
+    results = {}
+    rows = []
+    for label, engine in (
+        ("pruning off", VectorizedEngine(pruning=False)),
+        ("pruning on", VectorizedEngine(pruning=True)),
+    ):
+        result, elapsed = _timed_detect(engine, points)
+        results[label] = (result, elapsed)
+        rows.append(
+            [
+                label,
+                round(elapsed, 3),
+                result.stats["distance_computations"],
+                result.stats["pairs_skipped_covered"],
+                result.stats["pairs_skipped_excluded"],
+                result.stats["cells_settled_covered"],
+            ]
+        )
+    plain, _ = results["pruning off"]
+    pruned, _ = results["pruning on"]
+    assert np.array_equal(pruned.outlier_mask, plain.outlier_mask)
+    assert np.array_equal(pruned.core_mask, plain.core_mask)
+    reduction = 1.0 - (
+        pruned.stats["distance_computations"]
+        / max(1, plain.stats["distance_computations"])
+    )
+    print(
+        format_table(
+            [
+                "variant",
+                "wall (s)",
+                "distances",
+                "skipped covered",
+                "skipped excluded",
+                "cells settled",
+            ],
+            rows,
+            title=(
+                "Ablation A6a: cell-geometry pruning "
+                f"(geolife-like, n={N_POINTS}, eps={EPS}, "
+                f"min_pts={MIN_PTS})"
+            ),
+        )
+    )
+    print(f"distance-computation reduction: {reduction:.1%}\n")
+
+    job_rows = []
+    wall_by_jobs = {}
+    for n_jobs in N_JOBS_SWEEP:
+        engine = VectorizedEngine(n_jobs=n_jobs)
+        result, elapsed = _timed_detect(engine, points)
+        assert np.array_equal(result.outlier_mask, pruned.outlier_mask)
+        assert np.array_equal(result.core_mask, pruned.core_mask)
+        wall_by_jobs[n_jobs] = elapsed
+        job_rows.append(
+            [
+                n_jobs,
+                round(elapsed, 3),
+                round(wall_by_jobs[1] / elapsed, 2),
+                result.stats["distance_computations"],
+            ]
+        )
+    print(
+        format_table(
+            ["n_jobs", "wall (s)", "speedup", "distances"],
+            job_rows,
+            title=(
+                "Ablation A6b: shared-memory sharding "
+                f"({os.cpu_count() or 1} CPU(s) visible)"
+            ),
+        )
+    )
+
+    BENCH_STATS.clear()
+    BENCH_STATS.update(
+        {
+            "n_points": N_POINTS,
+            "eps": EPS,
+            "min_pts": MIN_PTS,
+            "distance_computations_pruned": int(
+                pruned.stats["distance_computations"]
+            ),
+            "distance_computations_unpruned": int(
+                plain.stats["distance_computations"]
+            ),
+            "distance_reduction_pct": round(100.0 * reduction, 1),
+            "pairs_skipped_covered": int(
+                pruned.stats["pairs_skipped_covered"]
+            ),
+            "pairs_skipped_excluded": int(
+                pruned.stats["pairs_skipped_excluded"]
+            ),
+            "cells_settled_covered": int(
+                pruned.stats["cells_settled_covered"]
+            ),
+            "wall_seconds_by_n_jobs": {
+                str(k): round(v, 3) for k, v in wall_by_jobs.items()
+            },
+            "cpus_visible": os.cpu_count() or 1,
+        }
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    main()

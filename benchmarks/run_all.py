@@ -1,13 +1,16 @@
 """Run every benchmark's paper-style report and archive the outputs.
 
 Usage:
-    python benchmarks/run_all.py [--results-dir results] [--quick]
+    python benchmarks/run_all.py [--results-dir results] [--quick] [--json]
 
 Executes each ``bench_*.py`` module's ``main()`` in order, echoes the
 tables to stdout, and writes each module's captured output to
 ``<results-dir>/<bench>.txt`` plus a combined ``report.txt``.  With
 ``--quick``, only the fast benches run (skips the large scalability
-sweeps).
+sweeps).  With ``--json``, additionally writes one machine-readable
+``<results-dir>/BENCH_<bench>.json`` per bench containing the wall time
+plus whatever the module published in its ``BENCH_STATS`` dict
+(distance-computation counters, per-``n_jobs`` timings, ...).
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import argparse
 import contextlib
 import importlib
 import io
+import json
 import pathlib
 import sys
 import time
@@ -27,6 +31,7 @@ FAST_BENCHES = [
     "bench_ablation_incremental",
     "bench_ablation_clustering_cost",
     "bench_ablation_dimensionality",
+    "bench_ablation_pruning",
     "bench_extension_geospatial_quality",
 ]
 
@@ -41,14 +46,20 @@ SLOW_BENCHES = [
 ]
 
 
-def run_bench(module_name: str) -> tuple[str, float]:
-    """Import and run one bench module's main(); return (output, secs)."""
+def run_bench(module_name: str) -> tuple[str, float, dict]:
+    """Import and run one bench module's main().
+
+    Returns ``(output, secs, stats)`` where ``stats`` is the module's
+    ``BENCH_STATS`` dict (empty for modules that do not publish one).
+    """
     module = importlib.import_module(module_name)
     buffer = io.StringIO()
     start = time.perf_counter()
     with contextlib.redirect_stdout(buffer):
         module.main()
-    return buffer.getvalue(), time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    stats = dict(getattr(module, "BENCH_STATS", {}))
+    return buffer.getvalue(), elapsed, stats
 
 
 def main(argv=None) -> int:
@@ -56,6 +67,11 @@ def main(argv=None) -> int:
     parser.add_argument("--results-dir", default="results")
     parser.add_argument(
         "--quick", action="store_true", help="fast benches only"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write BENCH_<bench>.json machine-readable results",
     )
     args = parser.parse_args(argv)
 
@@ -67,11 +83,20 @@ def main(argv=None) -> int:
     combined: list[str] = []
     for name in benches:
         print(f"===== {name} =====", flush=True)
-        output, elapsed = run_bench(name)
+        output, elapsed, stats = run_bench(name)
         print(output)
         print(f"({elapsed:.1f}s)\n", flush=True)
         (results_dir / f"{name}.txt").write_text(output)
         combined.append(f"===== {name} =====\n{output}\n")
+        if args.json:
+            payload = {
+                "bench": name,
+                "wall_seconds": round(elapsed, 3),
+                "stats": stats,
+            }
+            (results_dir / f"BENCH_{name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
     (results_dir / "report.txt").write_text("".join(combined))
     print(f"wrote {len(benches)} reports to {results_dir}/")
     return 0

@@ -84,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="partitions for the distributed engine",
     )
     detect.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the vectorized engine "
+        "(1 = serial, -1 = all cores; results are identical)",
+    )
+    detect.add_argument(
         "--output", help="write outlier indices here instead of stdout"
     )
     detect.add_argument(
@@ -143,7 +150,7 @@ def _run_detect(args: argparse.Namespace) -> int:
     engine_options = (
         {"num_partitions": args.num_partitions}
         if args.engine == "distributed"
-        else {}
+        else {"n_jobs": args.n_jobs}
     )
     detector = DBSCOUT(
         eps=eps, min_pts=args.min_pts, engine=args.engine, **engine_options
@@ -155,6 +162,8 @@ def _run_detect(args: argparse.Namespace) -> int:
         print(f"outliers: {result.n_outliers}", file=sys.stderr)
         if result.timings is not None:
             print(f"timings:  {result.timings}", file=sys.stderr)
+        for key in sorted(result.stats):
+            print(f"stats.{key}: {result.stats[key]}", file=sys.stderr)
     if args.output:
         save_outliers(result.outlier_indices, args.output)
         print(

@@ -49,9 +49,12 @@ class DBSCOUT:
         eps: Neighborhood radius (positive).
         min_pts: Density threshold (positive integer).
         engine: ``"vectorized"`` or ``"distributed"``.
-        **engine_options: Extra keyword arguments for the distributed
-            engine (``num_partitions``, ``max_workers``,
-            ``join_strategy``, ``context``).
+        **engine_options: Extra keyword arguments per engine.  The
+            vectorized engine accepts ``n_jobs`` (worker processes for
+            the distance kernel; ``1`` = serial, ``-1`` = all cores —
+            results are bit-identical for every value).  The
+            distributed engine accepts ``num_partitions``,
+            ``max_workers``, ``join_strategy``, ``context``.
     """
 
     def __init__(
@@ -66,17 +69,21 @@ class DBSCOUT:
             raise ParameterError(
                 f"engine must be one of {_ENGINES}, got {engine!r}"
             )
-        if engine == "vectorized" and engine_options:
-            raise ParameterError(
-                "the vectorized engine accepts no extra options; got "
-                + ", ".join(sorted(engine_options))
+        if engine == "vectorized":
+            n_jobs = engine_options.pop("n_jobs", 1)
+            if engine_options:
+                raise ParameterError(
+                    "the vectorized engine accepts only the n_jobs "
+                    "option; got " + ", ".join(sorted(engine_options))
+                )
+            # normalize_n_jobs (via the engine) raises ParameterError
+            # for non-integer or zero values.
+            self._engine: VectorizedEngine | DistributedEngine = (
+                VectorizedEngine(n_jobs=n_jobs)
             )
+        else:
+            self._engine = DistributedEngine(**engine_options)
         self.engine_name = engine
-        self._engine = (
-            VectorizedEngine()
-            if engine == "vectorized"
-            else DistributedEngine(**engine_options)
-        )
         self._result: DetectionResult | None = None
 
     def fit(self, points: np.ndarray) -> DetectionResult:

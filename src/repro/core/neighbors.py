@@ -36,6 +36,7 @@ __all__ = [
     "neighbor_offsets",
     "NeighborStencil",
     "min_cell_gap_squared",
+    "max_cell_gap_squared",
 ]
 
 #: Enumerating offsets materializes up to ``kd_upper_bound(d)`` candidate
@@ -67,6 +68,32 @@ def min_cell_gap_squared(offset: tuple[int, ...] | np.ndarray) -> int:
         gap = abs(int(j)) - 1
         if gap > 0:
             total += gap * gap
+    return total
+
+
+def max_cell_gap_squared(offset: tuple[int, ...] | np.ndarray) -> int:
+    """Squared maximum span, in cell-side units, between cells at ``offset``.
+
+    This is ``sum_i (|j_i| + 1)^2``: along each dimension the farthest
+    two points of the two (closed) cells can be is ``(|j_i| + 1)`` cell
+    sides.  The actual supremum of the point distance is the square root
+    of this value times the cell side ``l`` (not attained, because cells
+    are half-open).
+
+    Together with :func:`min_cell_gap_squared` this brackets every
+    possible point distance across a cell pair.  Because
+    ``eps^2 = d * l^2``, cells at ``offset`` are *fully covered* — every
+    point of one is within ``eps`` of every point of the other — iff
+    ``max_cell_gap_squared(offset) <= d``.  With diagonal-``eps`` cells
+    each term is at least 1, so only the zero offset (Lemma 1: points
+    sharing a cell) satisfies this statically; the vectorized engine
+    refines the bound with per-cell point bounding boxes to prune
+    data-dependently.
+    """
+    total = 0
+    for j in offset:
+        span = abs(int(j)) + 1
+        total += span * span
     return total
 
 
@@ -152,6 +179,18 @@ class NeighborStencil:
     def k_d(self) -> int:
         """Number of neighbor offsets (the constant ``k_d`` of the paper)."""
         return int(self.offsets.shape[0])
+
+    def covered_offset_mask(self) -> np.ndarray:
+        """Mask of offsets whose whole cell pair lies within ``eps``.
+
+        ``mask[i]`` is ``True`` when cells at ``offsets[i]`` are fully
+        covered: ``max_cell_gap_squared(offsets[i]) <= d``, so every
+        point of one cell is a neighbor (Definition 2) of every point
+        of the other.  For diagonal-``eps`` cells this holds only for
+        the zero offset, which is exactly Lemma 1.
+        """
+        spans = np.abs(self.offsets) + 1
+        return (spans * spans).sum(axis=1) <= self.n_dims
 
     def offset_tuples(self) -> list[tuple[int, ...]]:
         """Return the offsets as a cached list of Python int tuples."""

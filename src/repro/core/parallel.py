@@ -1,0 +1,264 @@
+"""Multi-core sharded execution for the vectorized engine's hot loop.
+
+The vectorized engine resolves each work cell with one block of
+pairwise squared distances (``_segmented_pair_counts``).  That work
+decomposes cleanly across processes: the per-cell member/candidate
+segments are independent, so any contiguous split of the cell list can
+be counted by a separate worker and the per-member counts concatenated
+back in order.  Results are bit-identical to the serial path for every
+``n_jobs`` because the per-pair float comparisons do not depend on how
+cells are batched and the per-member counts are exact integers.
+
+To avoid pickling the (potentially multi-GB) point array into every
+worker, the large inputs are published once as named
+``multiprocessing.shared_memory`` blocks; each worker maps them and
+slices out its shard.  Only the small per-shard size arrays and the
+resulting counts travel over the pipe.
+
+Three public pieces:
+
+* :func:`normalize_n_jobs` — option validation shared with the API
+  facade (``DBSCOUT(engine="vectorized", n_jobs=...)``);
+* :func:`plan_shards` — contiguous, weight-balanced partition of the
+  work-cell list (weights = member x candidate pair counts);
+* :func:`run_sharded_pair_counts` — the pool runner itself.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "normalize_n_jobs",
+    "plan_shards",
+    "run_sharded_pair_counts",
+]
+
+
+def normalize_n_jobs(n_jobs: int | None) -> int:
+    """Validate an ``n_jobs`` option and resolve it to a worker count.
+
+    Follows the sklearn convention: ``None`` means 1, positive values
+    are taken literally, and negative values count back from the CPU
+    count (``-1`` = all cores).  ``0``, booleans, and non-integers are
+    rejected.
+
+    Raises:
+        ParameterError: If ``n_jobs`` is not a nonzero integer.
+    """
+    if n_jobs is None:
+        return 1
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, (int, np.integer)):
+        raise ParameterError(
+            f"n_jobs must be a nonzero integer or None, got {n_jobs!r}"
+        )
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise ParameterError(
+            "n_jobs must not be 0 (use 1 for serial, -1 for all cores)"
+        )
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+def plan_shards(
+    weights: np.ndarray, n_shards: int
+) -> list[tuple[int, int]]:
+    """Split ``range(len(weights))`` into contiguous weight-balanced spans.
+
+    Args:
+        weights: Nonnegative per-item work estimates (for the engine:
+            member count x candidate count per work cell).
+        n_shards: Desired number of spans.
+
+    Returns:
+        A list of ``(start, end)`` half-open index spans covering the
+        items in order.  Every span is non-empty; fewer than
+        ``n_shards`` spans are returned when there are fewer items (or
+        the weight mass concentrates in few items).  Deterministic.
+    """
+    n_items = int(len(weights))
+    if n_items == 0 or n_shards <= 1:
+        return [(0, n_items)] if n_items else []
+    n_shards = min(n_shards, n_items)
+    cum = np.cumsum(np.asarray(weights, dtype=np.float64))
+    total = float(cum[-1])
+    if total <= 0.0:
+        # No measurable work: split evenly by item count.
+        edges = np.linspace(0, n_items, n_shards + 1).astype(np.int64)
+    else:
+        targets = total * np.arange(1, n_shards) / n_shards
+        edges = np.concatenate(
+            ([0], np.searchsorted(cum, targets, side="left") + 1, [n_items])
+        )
+    spans = []
+    previous = 0
+    for edge in edges[1:]:
+        edge = int(min(max(edge, previous), n_items))
+        if edge > previous:
+            spans.append((previous, edge))
+            previous = edge
+    if previous < n_items:
+        spans.append((previous, n_items))
+    return spans
+
+
+def _mp_context():
+    """Cheapest available multiprocessing context (fork where supported)."""
+    methods = get_all_start_methods()
+    return get_context("fork" if "fork" in methods else "spawn")
+
+
+def _share(array: np.ndarray) -> tuple[shared_memory.SharedMemory, tuple]:
+    """Copy ``array`` into a fresh shared-memory block.
+
+    Returns the block (caller owns close/unlink) and the attach spec
+    ``(name, dtype_str, shape)`` to pass to workers.
+    """
+    block = shared_memory.SharedMemory(
+        create=True, size=max(1, array.nbytes)
+    )
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+    view[...] = array
+    return block, (block.name, array.dtype.str, array.shape)
+
+
+def _attach(spec: tuple) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map a shared block published by :func:`_share` (read-only use)."""
+    name, dtype_str, shape = spec
+    try:
+        block = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Workers share the owner's resource tracker (the fd is
+        # inherited by fork and passed through by spawn), and the
+        # tracker's registry is a set — the attach-side re-register is
+        # a no-op and the owner's unlink unregisters exactly once.
+        block = shared_memory.SharedMemory(name=name)
+    return block, np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=block.buf)
+
+
+def _pair_count_shard(
+    points_spec: tuple,
+    members_spec: tuple,
+    cands_spec: tuple,
+    member_span: tuple[int, int],
+    cand_span: tuple[int, int],
+    m_sizes: np.ndarray,
+    c_sizes: np.ndarray,
+    eps_sq: float,
+    pair_budget: int,
+) -> tuple[np.ndarray, int]:
+    """Worker: count one shard of cells against the shared arrays."""
+    # Deferred import: repro.core.vectorized imports this module.
+    from repro.core.vectorized import _segmented_pair_counts
+
+    blocks = []
+    try:
+        block, points = _attach(points_spec)
+        blocks.append(block)
+        block, members_flat = _attach(members_spec)
+        blocks.append(block)
+        block, cands_flat = _attach(cands_spec)
+        blocks.append(block)
+        counters = {"distance_computations": 0}
+        counts = _segmented_pair_counts(
+            points,
+            members_flat[member_span[0] : member_span[1]],
+            m_sizes,
+            cands_flat[cand_span[0] : cand_span[1]],
+            c_sizes,
+            eps_sq,
+            counters,
+            pair_budget=pair_budget,
+        )
+        # np.zeros output owns its buffer; nothing returned aliases shm.
+        return counts, counters["distance_computations"]
+    finally:
+        for block in blocks:
+            block.close()
+
+
+def run_sharded_pair_counts(
+    array: np.ndarray,
+    members_flat: np.ndarray,
+    m_sizes: np.ndarray,
+    cands_flat: np.ndarray,
+    c_sizes: np.ndarray,
+    eps_sq: float,
+    n_jobs: int,
+    pair_budget: int = 4_000_000,
+) -> tuple[np.ndarray, int]:
+    """Sharded, multi-process equivalent of ``_segmented_pair_counts``.
+
+    Splits the per-cell segments into up to ``n_jobs`` contiguous
+    shards balanced by pair count, publishes the point and flat index
+    arrays via shared memory, and counts each shard in a separate
+    process.
+
+    Returns:
+        ``(counts, distance_computations)`` — counts aligned with
+        ``members_flat`` exactly as the serial function produces, plus
+        the total number of pairwise distances computed.
+    """
+    counts_out = np.zeros(members_flat.shape[0], dtype=np.int64)
+    if members_flat.shape[0] == 0 or cands_flat.shape[0] == 0:
+        return counts_out, 0
+    shards = plan_shards(m_sizes * c_sizes, n_jobs)
+    if len(shards) <= 1:
+        from repro.core.vectorized import _segmented_pair_counts
+
+        counters = {"distance_computations": 0}
+        counts = _segmented_pair_counts(
+            array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
+            counters, pair_budget=pair_budget,
+        )
+        return counts, counters["distance_computations"]
+
+    member_offsets = np.concatenate(([0], np.cumsum(m_sizes)))
+    cand_offsets = np.concatenate(([0], np.cumsum(c_sizes)))
+    blocks: list[shared_memory.SharedMemory] = []
+    try:
+        block, points_spec = _share(array)
+        blocks.append(block)
+        block, members_spec = _share(members_flat)
+        blocks.append(block)
+        block, cands_spec = _share(cands_flat)
+        blocks.append(block)
+        total_distances = 0
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_mp_context()
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _pair_count_shard,
+                    points_spec,
+                    members_spec,
+                    cands_spec,
+                    (int(member_offsets[lo]), int(member_offsets[hi])),
+                    (int(cand_offsets[lo]), int(cand_offsets[hi])),
+                    m_sizes[lo:hi],
+                    c_sizes[lo:hi],
+                    eps_sq,
+                    pair_budget,
+                )
+                for lo, hi in shards
+            ]
+            for (lo, hi), future in zip(shards, futures):
+                counts, n_distances = future.result()
+                counts_out[member_offsets[lo] : member_offsets[hi]] = counts
+                total_distances += n_distances
+        return counts_out, total_distances
+    finally:
+        for block in blocks:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:
+                pass

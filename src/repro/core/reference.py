@@ -17,10 +17,19 @@ __all__ = ["brute_force_core_mask", "brute_force_detect"]
 
 
 def _pairwise_sq_dists(points: np.ndarray) -> np.ndarray:
-    """Full (n, n) matrix of squared Euclidean distances."""
-    sq_norms = np.einsum("ij,ij->i", points, points)
-    sq_dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * points @ points.T
-    np.maximum(sq_dists, 0.0, out=sq_dists)
+    """Full (n, n) matrix of squared Euclidean distances.
+
+    Computed from coordinate differences with the same per-dimension
+    accumulation order as the engines' distance kernels, so the
+    reference is bit-identical to them and stays accurate for points
+    with large coordinates (the Gram-expansion shortcut
+    ``|a|^2 + |b|^2 - 2ab`` catastrophically cancels there).
+    """
+    n_points, n_dims = points.shape
+    sq_dists = np.zeros((n_points, n_points), dtype=np.float64)
+    for dim in range(n_dims):
+        delta = points[:, dim, None] - points[None, :, dim]
+        sq_dists += delta * delta
     return sq_dists
 
 

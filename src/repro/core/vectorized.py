@@ -16,6 +16,27 @@ The engine also applies the paper's "grouping before joining" pruning
 (Section III-G2): a point in a non-dense cell is only distance-checked
 when the combined population of its neighboring cells reaches
 ``min_pts``, and coverage checks stop at the first core point found.
+
+Two further performance layers sit on top of the exact pipeline (see
+``docs/architecture.md``, "Performance layers"):
+
+* **Cell-geometry pruning.**  Each (work cell, neighbor cell) pair is
+  classified by the min/max distance between the bounding boxes of the
+  cells' actual points — the data-dependent refinement of the
+  ``min_cell_gap_squared`` / ``max_cell_gap_squared`` offset geometry.
+  *Fully-covered* pairs (max bound ``<= eps``) contribute the whole
+  candidate population to every member with zero distance
+  computations; in the outlier round one core candidate in a covered
+  cell settles the entire work cell.  *Fully-excluded* pairs (min
+  bound ``> eps``) are dropped outright.  Only boundary pairs reach
+  the distance kernel.  The bounds are accumulated with the same
+  float operation order as the distance kernel, so the pruning is
+  provably exact — results stay bit-identical to the unpruned path.
+* **Multi-core sharding.**  With ``n_jobs > 1`` the per-cell segments
+  of the distance kernel are split into weight-balanced contiguous
+  shards and counted by a process pool over shared-memory views of
+  the point array (``repro.core.parallel``); per-member counts are
+  integers, so any shard layout reproduces the serial result exactly.
 """
 
 from __future__ import annotations
@@ -26,10 +47,17 @@ import numpy as np
 
 from repro.core.grid import Grid, validate_points
 from repro.core.neighbors import NeighborStencil
+from repro.core.parallel import normalize_n_jobs, run_sharded_pair_counts
 from repro.core.validation import validate_parameters
 from repro.types import DetectionResult, TimingBreakdown
 
 __all__ = ["VectorizedEngine", "detect", "build_cell_adjacency"]
+
+#: Below this many member/candidate pairs the process-pool dispatch
+#: overhead exceeds the arithmetic; the engine stays serial even when
+#: ``n_jobs > 1``.  Tests monkeypatch this to force the pool on tiny
+#: inputs.
+MIN_PAIRS_FOR_POOL = 200_000
 
 
 def build_cell_adjacency(
@@ -163,13 +191,130 @@ def _segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return sums
 
 
-def _gather_cell_jobs(
+def _bump(counters: dict[str, int], key: str, delta: int) -> None:
+    """Add to a counter, tolerating dicts that lack the key."""
+    counters[key] = counters.get(key, 0) + int(delta)
+
+
+def _cell_bounds(grid: Grid) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell axis-aligned bounding boxes of the actual member points.
+
+    Returns:
+        ``(lo, hi)`` arrays of shape ``(n_cells, d)``.  Every cell is
+        non-empty by construction, so the reduction is total.
+    """
+    order, starts = grid.members_csr()
+    if grid.n_cells == 0:
+        empty = np.empty((0, grid.points.shape[1]), dtype=np.float64)
+        return empty, empty.copy()
+    ordered = grid.points[order]
+    lo = np.minimum.reduceat(ordered, starts, axis=0)
+    hi = np.maximum.reduceat(ordered, starts, axis=0)
+    return lo, hi
+
+
+def _masked_cell_counts(grid: Grid, point_mask: np.ndarray) -> np.ndarray:
+    """Per-cell population restricted to points where ``point_mask`` holds."""
+    order, _ = grid.members_csr()
+    return _segment_sums(point_mask[order].astype(np.int64), grid.counts)
+
+
+def _masked_cell_bounds(
+    grid: Grid, point_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell bounding boxes over only the points where the mask holds.
+
+    Cells without any masked member get ``(+inf, -inf)`` boxes, which
+    classify as excluded against every finite box — exactly right,
+    since they contribute no candidates.
+    """
+    n_dims = grid.points.shape[1]
+    lo = np.full((grid.n_cells, n_dims), np.inf)
+    hi = np.full((grid.n_cells, n_dims), -np.inf)
+    order, _ = grid.members_csr()
+    keep = point_mask[order]
+    if not keep.any():
+        return lo, hi
+    masked_points = grid.points[order][keep]
+    counts = _segment_sums(keep.astype(np.int64), grid.counts)
+    nonempty = counts > 0
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    lo[nonempty] = np.minimum.reduceat(
+        masked_points, starts[nonempty], axis=0
+    )
+    hi[nonempty] = np.maximum.reduceat(
+        masked_points, starts[nonempty], axis=0
+    )
+    return lo, hi
+
+
+def _classify_cell_pairs(
+    bounds: tuple[np.ndarray, np.ndarray],
+    cand_bounds: tuple[np.ndarray, np.ndarray],
+    work_flat: np.ndarray,
+    ncell_flat: np.ndarray,
+    eps_sq: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Covered / excluded classification of (work cell, neighbor cell) pairs.
+
+    ``bounds`` boxes the work cells' members; ``cand_bounds`` boxes the
+    candidate side and may be restricted to the candidate point mask
+    (empty boxes are ``(+inf, -inf)`` and always classify excluded).
+    For each pair, accumulate the squared min and max distances between
+    the two cells' point bounding boxes **with the same per-dimension
+    operation order as the distance kernel** (``acc += delta * delta``).
+    Because float rounding is monotone, every actual pair distance in
+    ``_segmented_pair_counts`` then satisfies
+    ``min_sq <= sq <= max_sq`` at the float level, so:
+
+    * ``max_sq <= eps_sq`` (covered) implies every member/candidate
+      pair would pass the ``sq <= eps_sq`` test — count the whole cell
+      population without computing a single distance;
+    * ``min_sq > eps_sq`` (excluded) implies every pair would fail —
+      drop the neighbor cell outright.
+
+    The self pair is always covered (Lemma 1 via
+    ``max_cell_gap_squared(0) == d``), independent of float slop in
+    the box bounds.
+
+    Returns:
+        ``(covered, excluded)`` boolean masks over the flat pairs.
+    """
+    lo, hi = bounds
+    cand_lo_all, cand_hi_all = cand_bounds
+    n_pairs = work_flat.shape[0]
+    min_sq = np.zeros(n_pairs, dtype=np.float64)
+    max_sq = np.zeros(n_pairs, dtype=np.float64)
+    for dim in range(lo.shape[1]):
+        work_lo = lo[work_flat, dim]
+        work_hi = hi[work_flat, dim]
+        ncell_lo = cand_lo_all[ncell_flat, dim]
+        ncell_hi = cand_hi_all[ncell_flat, dim]
+        reach = np.maximum(work_hi - ncell_lo, ncell_hi - work_lo)
+        max_sq += reach * reach
+        gap = np.maximum(ncell_lo - work_hi, work_lo - ncell_hi)
+        np.maximum(gap, 0.0, out=gap)
+        min_sq += gap * gap
+    covered = max_sq <= eps_sq
+    covered |= work_flat == ncell_flat
+    excluded = (min_sq > eps_sq) & ~covered
+    return covered, excluded
+
+
+def _plan_cell_jobs(
     grid: Grid,
     adjacency: "_CellAdjacency",
     work_cells: np.ndarray,
     candidate_cell_mask: np.ndarray | None,
     candidate_point_mask: np.ndarray | None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    bounds: tuple[np.ndarray, np.ndarray] | None,
+    eps_sq: float,
+    counters: dict[str, int],
+    settle_threshold: int | None = None,
+) -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+    np.ndarray | None,
+]:
     """Flat member/candidate index arrays for a set of cells, no loops.
 
     For every cell in ``work_cells`` gather (a) its member point
@@ -177,9 +322,23 @@ def _gather_cell_jobs(
     (optionally restricted to cells where ``candidate_cell_mask`` holds
     and points where ``candidate_point_mask`` holds).
 
+    When ``bounds`` is given, neighbor cells are first classified by
+    :func:`_classify_cell_pairs`: covered cells contribute their
+    (mask-restricted) population to ``base_counts`` and excluded cells
+    are dropped, both without reaching the distance kernel; only
+    boundary cells survive into the candidate arrays.  With
+    ``settle_threshold``, a work cell whose ``base_counts`` already
+    reaches the threshold is settled entirely — none of its remaining
+    candidates are gathered, because the verdict for every member is
+    known: threshold ``min_pts`` in the core round proves every member
+    core, threshold ``1`` in the outlier round (one covered core
+    candidate) proves every member covered.
+
     Returns:
-        ``(members_flat, m_sizes, cands_flat, c_sizes)`` with one size
-        entry per work cell.
+        ``(members_flat, m_sizes, cands_flat, c_sizes, base_counts,
+        settled)`` with one ``m_sizes`` / ``c_sizes`` / ``base_counts``
+        entry per work cell; ``settled`` is a per-work-cell mask (or
+        ``None`` when ``settle_threshold`` is ``None``).
     """
     order, member_starts = grid.members_csr()
     adj_targets = adjacency._targets
@@ -192,6 +351,57 @@ def _gather_cell_jobs(
         # Per-work-cell surviving neighbor counts.
         adj_lens = _segment_sums(keep.astype(np.int64), adj_lens)
         ncell_flat = ncell_flat[keep]
+    n_work = work_cells.shape[0]
+    m_sizes = grid.counts[work_cells]
+    base_counts = np.zeros(n_work, dtype=np.int64)
+    settled: np.ndarray | None = None
+    if bounds is not None and ncell_flat.size:
+        if candidate_point_mask is not None:
+            # Candidate-side boxes shrink to the masked (core) points:
+            # tighter boxes cover and exclude strictly more cell pairs.
+            cell_cand_counts = _masked_cell_counts(grid, candidate_point_mask)
+            cand_bounds = _masked_cell_bounds(grid, candidate_point_mask)
+        else:
+            cell_cand_counts = grid.counts
+            cand_bounds = bounds
+        source = np.repeat(np.arange(n_work, dtype=np.int64), adj_lens)
+        covered, excluded = _classify_cell_pairs(
+            bounds, cand_bounds, work_cells[source], ncell_flat, eps_sq
+        )
+        cand_pops = cell_cand_counts[ncell_flat]
+        base_counts = np.bincount(
+            source[covered], weights=cand_pops[covered], minlength=n_work
+        ).astype(np.int64)
+        _bump(
+            counters, "pairs_skipped_covered",
+            int((m_sizes[source[covered]] * cand_pops[covered]).sum()),
+        )
+        _bump(
+            counters, "pairs_skipped_excluded",
+            int((m_sizes[source[excluded]] * cand_pops[excluded]).sum()),
+        )
+        drop = covered | excluded
+        if settle_threshold is not None:
+            settled = base_counts >= settle_threshold
+            _bump(counters, "cells_settled_covered", int(settled.sum()))
+            # Settled cells need no boundary checks at all: the covered
+            # contributions alone decide every member's verdict.
+            settled_boundary = settled[source] & ~drop
+            _bump(
+                counters, "pairs_skipped_covered",
+                int(
+                    (
+                        m_sizes[source[settled_boundary]]
+                        * cand_pops[settled_boundary]
+                    ).sum()
+                ),
+            )
+            drop |= settled[source]
+        keep = ~drop
+        adj_lens = _segment_sums(keep.astype(np.int64), adj_lens)
+        ncell_flat = ncell_flat[keep]
+    elif settle_threshold is not None:
+        settled = np.zeros(n_work, dtype=bool)
     # Candidate points: the members of every (surviving) neighbor cell.
     cand_per_ncell = grid.counts[ncell_flat]
     cands_flat = order[
@@ -205,8 +415,27 @@ def _gather_cell_jobs(
         c_sizes = _segment_sums(keep.astype(np.int64), c_sizes)
         cands_flat = cands_flat[keep]
     # Members of the work cells themselves.
-    m_sizes = grid.counts[work_cells]
     members_flat = order[_flat_ranges(member_starts[work_cells], m_sizes)]
+    return members_flat, m_sizes, cands_flat, c_sizes, base_counts, settled
+
+
+def _gather_cell_jobs(
+    grid: Grid,
+    adjacency: "_CellAdjacency",
+    work_cells: np.ndarray,
+    candidate_cell_mask: np.ndarray | None,
+    candidate_point_mask: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pruning-free form of :func:`_plan_cell_jobs` (kept for reuse).
+
+    Returns:
+        ``(members_flat, m_sizes, cands_flat, c_sizes)`` with one size
+        entry per work cell.
+    """
+    members_flat, m_sizes, cands_flat, c_sizes, _, _ = _plan_cell_jobs(
+        grid, adjacency, work_cells, candidate_cell_mask,
+        candidate_point_mask, None, 0.0, {},
+    )
     return members_flat, m_sizes, cands_flat, c_sizes
 
 
@@ -293,10 +522,51 @@ def _segmented_pair_counts(
     return counts_out
 
 
+def _pair_counts(
+    array: np.ndarray,
+    members_flat: np.ndarray,
+    m_sizes: np.ndarray,
+    cands_flat: np.ndarray,
+    c_sizes: np.ndarray,
+    eps_sq: float,
+    counters: dict[str, int],
+    n_jobs: int,
+) -> np.ndarray:
+    """Serial or sharded dispatch around :func:`_segmented_pair_counts`."""
+    if n_jobs > 1 and m_sizes.shape[0] > 1:
+        total_pairs = int((m_sizes * c_sizes).sum())
+        if total_pairs >= MIN_PAIRS_FOR_POOL:
+            counts, n_distances = run_sharded_pair_counts(
+                array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
+                n_jobs=n_jobs,
+            )
+            _bump(counters, "distance_computations", n_distances)
+            return counts
+    return _segmented_pair_counts(
+        array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq, counters
+    )
+
+
 class VectorizedEngine:
-    """Exact DBSCOUT on a single machine using NumPy bulk operations."""
+    """Exact DBSCOUT on a single machine using NumPy bulk operations.
+
+    Args:
+        n_jobs: Worker processes for the distance kernel.  ``1``
+            (default) runs fully serially — the exact legacy code
+            path; ``-1`` uses all cores.  Results are bit-identical
+            for every value.
+        pruning: Enable cell-geometry (bounding-box) pruning.  The
+            ``False`` setting is a debug path for parity testing and
+            ablations; results are identical either way.
+    """
 
     name = "vectorized"
+
+    def __init__(
+        self, n_jobs: int | None = 1, pruning: bool = True
+    ) -> None:
+        self.n_jobs = normalize_n_jobs(n_jobs)
+        self.pruning = bool(pruning)
 
     def detect(
         self, points: np.ndarray, eps: float, min_pts: int
@@ -321,12 +591,20 @@ class VectorizedEngine:
         start = time.perf_counter()
         adjacency = _CellAdjacency(grid, stencil)
         dense_cells = grid.counts >= min_pts
+        bounds = _cell_bounds(grid) if self.pruning else None
         timings["dense_cell_map"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        counters = {"distance_computations": 0, "pruned_cells": 0}
+        counters = {
+            "distance_computations": 0,
+            "pruned_cells": 0,
+            "pairs_skipped_covered": 0,
+            "pairs_skipped_excluded": 0,
+            "cells_settled_covered": 0,
+        }
         core_mask = self._find_core_points(
-            array, grid, adjacency, dense_cells, eps, min_pts, counters
+            array, grid, adjacency, dense_cells, eps, min_pts, counters,
+            bounds=bounds, n_jobs=self.n_jobs,
         )
         timings["core_points"] = time.perf_counter() - start
 
@@ -336,7 +614,8 @@ class VectorizedEngine:
 
         start = time.perf_counter()
         outlier_mask = self._find_outliers(
-            array, grid, adjacency, cell_is_core, core_mask, eps, counters
+            array, grid, adjacency, cell_is_core, core_mask, eps, counters,
+            bounds=bounds, n_jobs=self.n_jobs,
         )
         timings["outliers"] = time.perf_counter() - start
 
@@ -352,6 +631,8 @@ class VectorizedEngine:
                 "n_core_cells": int(cell_is_core.sum()),
                 "k_d": stencil.k_d,
                 "max_cell_population": int(grid.counts.max()),
+                "n_jobs": self.n_jobs,
+                "pruning": self.pruning,
                 **counters,
             },
         )
@@ -365,6 +646,9 @@ class VectorizedEngine:
         eps: float,
         min_pts: int,
         counters: dict[str, int],
+        *,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        n_jobs: int = 1,
     ) -> np.ndarray:
         """Core-point identification (Algorithm 3, both branches)."""
         eps_sq = eps * eps
@@ -386,13 +670,19 @@ class VectorizedEngine:
         work = work[~pruned]
         if work.size == 0:
             return core_mask
-        members_flat, m_sizes, cands_flat, c_sizes = _gather_cell_jobs(
-            grid, adjacency, work, None, None
+        # A work cell whose covered neighbor populations alone reach
+        # min_pts is settled: every member is core with no distances.
+        members_flat, m_sizes, cands_flat, c_sizes, base_counts, _ = (
+            _plan_cell_jobs(
+                grid, adjacency, work, None, None, bounds, eps_sq, counters,
+                settle_threshold=min_pts,
+            )
         )
-        counts = _segmented_pair_counts(
+        counts = _pair_counts(
             array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
-            counters,
+            counters, n_jobs,
         )
+        counts = counts + np.repeat(base_counts, m_sizes)
         core_mask[members_flat[counts >= min_pts]] = True
         return core_mask
 
@@ -415,6 +705,9 @@ class VectorizedEngine:
         core_mask: np.ndarray,
         eps: float,
         counters: dict[str, int],
+        *,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        n_jobs: int = 1,
     ) -> np.ndarray:
         """Outlier identification (Algorithm 5, both branches)."""
         eps_sq = eps * eps
@@ -424,20 +717,34 @@ class VectorizedEngine:
             return outlier_mask
         # Candidates are core points of neighboring core cells; a work
         # cell with zero candidates gets zero counts — all outliers
-        # (the O_ncn branch of Algorithm 5, handled uniformly).
-        members_flat, m_sizes, cands_flat, c_sizes = _gather_cell_jobs(
-            grid, adjacency, work,
-            candidate_cell_mask=cell_is_core,
-            candidate_point_mask=core_mask,
+        # (the O_ncn branch of Algorithm 5, handled uniformly).  A work
+        # cell settled by a covered core cell gets positive base counts
+        # and skips the distance kernel entirely.
+        members_flat, m_sizes, cands_flat, c_sizes, base_counts, _ = (
+            _plan_cell_jobs(
+                grid, adjacency, work,
+                candidate_cell_mask=cell_is_core,
+                candidate_point_mask=core_mask,
+                bounds=bounds,
+                eps_sq=eps_sq,
+                counters=counters,
+                settle_threshold=1,
+            )
         )
-        counts = _segmented_pair_counts(
+        counts = _pair_counts(
             array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
-            counters,
+            counters, n_jobs,
         )
+        counts = counts + np.repeat(base_counts, m_sizes)
         outlier_mask[members_flat[counts == 0]] = True
         return outlier_mask
 
 
-def detect(points: np.ndarray, eps: float, min_pts: int) -> DetectionResult:
+def detect(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    n_jobs: int | None = 1,
+) -> DetectionResult:
     """Convenience wrapper: run the vectorized engine on ``points``."""
-    return VectorizedEngine().detect(points, eps, min_pts)
+    return VectorizedEngine(n_jobs=n_jobs).detect(points, eps, min_pts)

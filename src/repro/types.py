@@ -54,7 +54,21 @@ class DetectionResult:
             anomalous) for score-based detectors such as LOF/IF/OC-SVM.
         timings: Optional per-phase wall-clock breakdown.
         stats: Free-form detector statistics (cell counts, shuffle
-            volumes, ...), useful for experiments and debugging.
+            volumes, ...), useful for experiments and debugging.  The
+            vectorized engine reports, among others:
+
+            * ``distance_computations`` — pairwise distances actually
+              evaluated (the paper's per-tuple work budget);
+            * ``pruned_cells`` — cells skipped because their whole
+              neighborhood holds fewer than ``min_pts`` points;
+            * ``pairs_skipped_covered`` — member/candidate pairs
+              resolved by fully-covered cell geometry (bounding-box
+              max distance ``<= eps``) without a distance computation;
+            * ``pairs_skipped_excluded`` — pairs dropped because the
+              bounding-box min distance exceeds ``eps``;
+            * ``cells_settled_covered`` — outlier-round work cells
+              settled by a single covered core cell;
+            * ``n_jobs`` / ``pruning`` — the engine options in effect.
     """
 
     n_points: int

@@ -42,6 +42,27 @@ class TestConstruction:
     def test_repr(self):
         assert "eps=1.0" in repr(DBSCOUT(eps=1.0, min_pts=5))
 
+    def test_vectorized_accepts_n_jobs(self):
+        detector = DBSCOUT(eps=1.0, min_pts=5, n_jobs=2)
+        assert detector._engine.n_jobs == 2
+
+    def test_n_jobs_none_means_serial(self):
+        assert DBSCOUT(eps=1.0, min_pts=5, n_jobs=None)._engine.n_jobs == 1
+
+    @pytest.mark.parametrize("bad", [0, 1.5, "x", True])
+    def test_invalid_n_jobs_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            DBSCOUT(eps=1.0, min_pts=5, n_jobs=bad)
+
+    def test_unknown_vectorized_options_listed_sorted(self):
+        with pytest.raises(ParameterError) as excinfo:
+            DBSCOUT(eps=1.0, min_pts=5, zeta=1, alpha=2)
+        assert "alpha, zeta" in str(excinfo.value)
+
+    def test_n_jobs_reported_in_stats(self, clustered_2d):
+        result = DBSCOUT(eps=0.5, min_pts=10, n_jobs=2).fit(clustered_2d)
+        assert result.stats["n_jobs"] == 2
+
 
 class TestFit:
     def test_fit_returns_result(self, clustered_2d):

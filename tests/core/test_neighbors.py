@@ -11,6 +11,7 @@ from repro.core.neighbors import (
     NeighborStencil,
     count_neighbor_offsets,
     kd_upper_bound,
+    max_cell_gap_squared,
     min_cell_gap_squared,
     neighbor_offsets,
 )
@@ -76,6 +77,38 @@ class TestOffsets:
         assert min_cell_gap_squared((2, 0)) == 1
         assert min_cell_gap_squared((2, 2)) == 2
         assert min_cell_gap_squared((-3, 2)) == 5
+
+    def test_max_gap_squared(self):
+        # sum_i (|j_i| + 1)^2, in units of the squared cell side.
+        assert max_cell_gap_squared((0, 0)) == 2
+        assert max_cell_gap_squared((1, 0)) == 5
+        assert max_cell_gap_squared((1, 1)) == 8
+        assert max_cell_gap_squared((-3, 2)) == 25
+
+    def test_max_gap_bounds_actual_pairs(self):
+        # The bound is tight: the farthest corners of cells at the
+        # given offset are exactly sqrt(max_gap_sq) * side apart.
+        rng = np.random.default_rng(2)
+        side = 1.0
+        for offset in [(0, 0), (1, 0), (2, -1), (-2, 2)]:
+            a = rng.uniform(0.0, side, size=(200, 2))
+            b = rng.uniform(0.0, side, size=(200, 2)) + np.multiply(
+                offset, side
+            )
+            d_sq = ((a - b) ** 2).sum(axis=1)
+            assert (d_sq <= max_cell_gap_squared(offset) * side**2).all()
+            assert (d_sq >= min_cell_gap_squared(offset) * side**2).all()
+
+    def test_only_zero_offset_statically_covered(self):
+        # With diagonal-eps cells, max_gap_sq <= d holds only for the
+        # zero offset (Lemma 1): static coverage is vacuous beyond the
+        # cell itself, which is why the engine refines with per-cell
+        # bounding boxes.
+        for n_dims in (1, 2, 3, 4):
+            for row in neighbor_offsets(n_dims):
+                offset = tuple(int(c) for c in row)
+                covered = max_cell_gap_squared(offset) <= n_dims
+                assert covered == (offset == (0,) * n_dims)
 
     def test_geometric_validity_of_stencil(self):
         # Every claimed neighbor offset must allow a point pair at
@@ -144,6 +177,17 @@ class TestNeighborStencil:
     def test_offset_tuples_cached(self):
         stencil = NeighborStencil(2)
         assert stencil.offset_tuples() is stencil.offset_tuples()
+
+    @pytest.mark.parametrize("n_dims", [1, 2, 3])
+    def test_covered_offset_mask_matches_max_gap(self, n_dims):
+        stencil = NeighborStencil(n_dims)
+        mask = stencil.covered_offset_mask()
+        assert mask.shape == (stencil.k_d,)
+        for offset, covered in zip(stencil.offsets, mask):
+            expected = max_cell_gap_squared(offset) <= n_dims
+            assert bool(covered) == expected
+        # Exactly the zero offset (see test_only_zero_offset_...).
+        assert int(mask.sum()) == 1
 
     def test_repr(self):
         assert "k_d=21" in repr(NeighborStencil(2))

@@ -1,0 +1,174 @@
+"""Tests for repro.core.parallel: n_jobs handling, shard planning, and
+the shared-memory process pool's exact equivalence to the serial path.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.core.vectorized as vectorized
+from repro.core.parallel import (
+    normalize_n_jobs,
+    plan_shards,
+    run_sharded_pair_counts,
+)
+from repro.core.vectorized import (
+    VectorizedEngine,
+    _segmented_pair_counts,
+)
+from repro.exceptions import ParameterError
+
+
+class TestNormalizeNJobs:
+    def test_none_means_serial(self):
+        assert normalize_n_jobs(None) == 1
+
+    @pytest.mark.parametrize("n", [1, 2, 7])
+    def test_positive_taken_literally(self, n):
+        assert normalize_n_jobs(n) == n
+
+    def test_numpy_integer_accepted(self):
+        assert normalize_n_jobs(np.int64(3)) == 3
+
+    def test_minus_one_means_all_cores(self):
+        assert normalize_n_jobs(-1) == max(1, os.cpu_count() or 1)
+
+    def test_negative_counts_back_from_cpu_count(self):
+        cpus = os.cpu_count() or 1
+        assert normalize_n_jobs(-2) == max(1, cpus - 1)
+
+    @pytest.mark.parametrize("bad", [0, 1.5, "2", True, False, [1]])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            normalize_n_jobs(bad)
+
+
+class TestPlanShards:
+    def test_empty(self):
+        assert plan_shards(np.empty(0, dtype=np.int64), 4) == []
+
+    def test_single_shard(self):
+        assert plan_shards(np.array([3, 1, 2]), 1) == [(0, 3)]
+
+    def test_covers_range_contiguously(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(0, 100, size=37)
+        spans = plan_shards(weights, 5)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 37
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end == start
+        assert all(end > start for start, end in spans)
+
+    def test_at_most_n_shards_and_at_most_n_items(self):
+        weights = np.ones(3, dtype=np.int64)
+        assert len(plan_shards(weights, 8)) <= 3
+        assert len(plan_shards(np.ones(100), 4)) <= 4
+
+    def test_zero_weights_split_by_count(self):
+        spans = plan_shards(np.zeros(10, dtype=np.int64), 2)
+        assert spans[0][0] == 0 and spans[-1][1] == 10
+
+    def test_balanced_on_uniform_weights(self):
+        spans = plan_shards(np.ones(100, dtype=np.int64), 4)
+        sizes = [end - start for start, end in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(0, 50, size=64)
+        assert plan_shards(weights, 6) == plan_shards(weights, 6)
+
+
+def _random_jobs(seed: int, n_points: int = 300, n_cells: int = 12):
+    """Synthetic segmented jobs in the engine's flat-CSR form."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(0.0, 1.0, size=(n_points, 3))
+    m_sizes = rng.integers(1, 9, size=n_cells).astype(np.int64)
+    c_sizes = rng.integers(1, 30, size=n_cells).astype(np.int64)
+    members = rng.integers(0, n_points, size=int(m_sizes.sum()))
+    cands = rng.integers(0, n_points, size=int(c_sizes.sum()))
+    return points, members.astype(np.int64), m_sizes, cands.astype(
+        np.int64
+    ), c_sizes
+
+
+class TestShardedPairCounts:
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_matches_serial(self, n_jobs):
+        points, members, m_sizes, cands, c_sizes = _random_jobs(42)
+        counters = {"distance_computations": 0}
+        expected = _segmented_pair_counts(
+            points, members, m_sizes, cands, c_sizes, 1.5, counters
+        )
+        counts, n_distances = run_sharded_pair_counts(
+            points, members, m_sizes, cands, c_sizes, 1.5, n_jobs
+        )
+        assert np.array_equal(counts, expected)
+        assert n_distances == counters["distance_computations"]
+
+    def test_empty_inputs(self):
+        points = np.zeros((0, 2))
+        empty = np.empty(0, dtype=np.int64)
+        counts, n_distances = run_sharded_pair_counts(
+            points, empty, empty, empty, empty, 1.0, 4
+        )
+        assert counts.shape == (0,)
+        assert n_distances == 0
+
+    def test_single_cell_falls_back_to_serial(self):
+        points, members, m_sizes, cands, c_sizes = _random_jobs(
+            7, n_cells=1
+        )
+        counters = {"distance_computations": 0}
+        expected = _segmented_pair_counts(
+            points, members, m_sizes, cands, c_sizes, 2.0, counters
+        )
+        counts, _ = run_sharded_pair_counts(
+            points, members, m_sizes, cands, c_sizes, 2.0, 4
+        )
+        assert np.array_equal(counts, expected)
+
+
+class TestEngineNJobs:
+    def _dataset(self):
+        rng = np.random.default_rng(11)
+        return np.vstack(
+            [
+                rng.normal(0.0, 0.5, size=(400, 2)),
+                rng.normal(5.0, 0.7, size=(400, 2)),
+                rng.uniform(-8.0, 12.0, size=(80, 2)),
+            ]
+        )
+
+    def test_n_jobs_two_is_bit_identical(self, monkeypatch):
+        # Force the pool even for this small workload.
+        monkeypatch.setattr(vectorized, "MIN_PAIRS_FOR_POOL", 0)
+        points = self._dataset()
+        serial = VectorizedEngine(n_jobs=1).detect(points, 0.6, 10)
+        pooled = VectorizedEngine(n_jobs=2).detect(points, 0.6, 10)
+        assert np.array_equal(serial.outlier_mask, pooled.outlier_mask)
+        assert np.array_equal(serial.core_mask, pooled.core_mask)
+        assert (
+            serial.stats["distance_computations"]
+            == pooled.stats["distance_computations"]
+        )
+        assert pooled.stats["n_jobs"] == 2
+
+    def test_small_workloads_stay_serial(self):
+        # Below MIN_PAIRS_FOR_POOL the pool is never engaged, so
+        # n_jobs > 1 on a tiny dataset must not spawn processes (and
+        # still yield identical results).
+        points = self._dataset()
+        serial = VectorizedEngine(n_jobs=1).detect(points, 0.6, 10)
+        pooled = VectorizedEngine(n_jobs=4).detect(points, 0.6, 10)
+        assert np.array_equal(serial.outlier_mask, pooled.outlier_mask)
+
+    def test_engine_normalizes_n_jobs(self):
+        assert VectorizedEngine(n_jobs=None).n_jobs == 1
+        assert VectorizedEngine(n_jobs=-1).n_jobs == max(
+            1, os.cpu_count() or 1
+        )
+        with pytest.raises(ParameterError):
+            VectorizedEngine(n_jobs=0)

@@ -1,0 +1,200 @@
+"""Tests for the cell-geometry pruning layer of the vectorized engine.
+
+Pruning (bounding-box covered/excluded classification plus covered-cell
+settling) must be invisible in the results: every mask bit identical to
+the unpruned path and to the brute-force reference, while the stats
+counters show work actually being skipped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import brute_force_detect
+from repro.core.vectorized import (
+    VectorizedEngine,
+    _cell_bounds,
+    _classify_cell_pairs,
+    _masked_cell_bounds,
+)
+from repro.core.grid import Grid
+
+
+#: min_pts for the clumped-grid workload below: each cell alone is NOT
+#: dense (5 points), so the Lemma-1 shortcut never fires and the work
+#: must be resolved by neighborhood counting — which pruning covers.
+CLUMP_MIN_PTS = 15
+
+
+def _clumped_grid(seed: int = 3) -> np.ndarray:
+    """Tiny 5-point clumps at the centers of an 8x8 block of adjacent
+    cells (eps=1).  Per-cell bounding boxes are nearly points, so the
+    axis-neighbor cell pairs are fully covered: their maximum possible
+    distance is ~ the cell side (0.707) < eps."""
+    rng = np.random.default_rng(seed)
+    side = 1.0 / np.sqrt(2.0)  # cell side for eps=1, d=2
+    clumps = []
+    for i in range(8):
+        for j in range(8):
+            center = np.array([(i + 0.5) * side, (j + 0.5) * side])
+            clumps.append(center + rng.normal(0.0, 0.005, size=(5, 2)))
+    return np.vstack(clumps)
+
+
+class TestParity:
+    """Pruning on == pruning off == brute force, bit for bit."""
+
+    @pytest.mark.parametrize("n_dims", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("eps,min_pts", [(0.6, 4), (1.1, 8)])
+    def test_random_parity_vs_reference(self, n_dims, eps, min_pts):
+        rng = np.random.default_rng(100 + n_dims)
+        points = np.vstack(
+            [
+                rng.normal(0.0, 0.4, size=(120, n_dims)),
+                rng.normal(4.0, 0.6, size=(120, n_dims)),
+                rng.uniform(-6.0, 10.0, size=(40, n_dims)),
+            ]
+        )
+        pruned = VectorizedEngine(pruning=True).detect(points, eps, min_pts)
+        plain = VectorizedEngine(pruning=False).detect(points, eps, min_pts)
+        expected = brute_force_detect(points, eps, min_pts)
+        assert np.array_equal(pruned.outlier_mask, plain.outlier_mask)
+        assert np.array_equal(pruned.core_mask, plain.core_mask)
+        assert np.array_equal(pruned.outlier_mask, expected.outlier_mask)
+        assert np.array_equal(pruned.core_mask, expected.core_mask)
+
+    def test_clustered_fixture_parity(self, clustered_2d):
+        pruned = VectorizedEngine(pruning=True).detect(clustered_2d, 0.5, 10)
+        plain = VectorizedEngine(pruning=False).detect(clustered_2d, 0.5, 10)
+        assert np.array_equal(pruned.outlier_mask, plain.outlier_mask)
+        assert np.array_equal(pruned.core_mask, plain.core_mask)
+
+    def test_degenerate_duplicate_points(self):
+        # All points identical: one cell, zero-size bounding box, the
+        # self pair is covered by Lemma 1 and settling fires.
+        points = np.zeros((50, 3))
+        pruned = VectorizedEngine(pruning=True).detect(points, 1.0, 10)
+        plain = VectorizedEngine(pruning=False).detect(points, 1.0, 10)
+        assert np.array_equal(pruned.outlier_mask, plain.outlier_mask)
+        assert pruned.n_outliers == 0
+        assert pruned.n_core_points == 50
+
+
+class TestCounters:
+    def test_covered_pairs_skipped_on_clumped_grid(self):
+        result = VectorizedEngine(pruning=True).detect(
+            _clumped_grid(), 1.0, CLUMP_MIN_PTS
+        )
+        assert result.stats["pairs_skipped_covered"] > 0
+        assert result.stats["cells_settled_covered"] > 0
+        assert result.stats["pruning"] is True
+
+    def test_clumped_grid_parity(self):
+        points = _clumped_grid()
+        pruned = VectorizedEngine(pruning=True).detect(
+            points, 1.0, CLUMP_MIN_PTS
+        )
+        expected = brute_force_detect(points, 1.0, CLUMP_MIN_PTS)
+        assert np.array_equal(pruned.outlier_mask, expected.outlier_mask)
+        assert np.array_equal(pruned.core_mask, expected.core_mask)
+
+    def test_pruning_reduces_distance_computations(self):
+        points = _clumped_grid()
+        pruned = VectorizedEngine(pruning=True).detect(
+            points, 1.0, CLUMP_MIN_PTS
+        )
+        plain = VectorizedEngine(pruning=False).detect(
+            points, 1.0, CLUMP_MIN_PTS
+        )
+        assert (
+            pruned.stats["distance_computations"]
+            < plain.stats["distance_computations"]
+        )
+
+    def test_counters_zero_when_pruning_off(self):
+        result = VectorizedEngine(pruning=False).detect(
+            _clumped_grid(), 1.0, CLUMP_MIN_PTS
+        )
+        assert result.stats["pairs_skipped_covered"] == 0
+        assert result.stats["pairs_skipped_excluded"] == 0
+        assert result.stats["cells_settled_covered"] == 0
+        assert result.stats["pruning"] is False
+
+    def test_excluded_pairs_on_spread_data(self):
+        # Two small (non-dense) clumps in diagonal-neighbor cells whose
+        # occupied corners are farther than eps apart: the cells are
+        # stencil neighbors, but the bounding-box minimum distance
+        # proves no pair can be within eps.
+        rng = np.random.default_rng(9)
+        points = np.vstack(
+            [
+                rng.uniform(0.0, 0.05, size=(5, 2)),
+                rng.uniform(1.36, 1.41, size=(5, 2)),
+            ]
+        )
+        result = VectorizedEngine(pruning=True).detect(points, 1.0, 10)
+        assert result.stats["pairs_skipped_excluded"] > 0
+
+
+class TestClassification:
+    """Unit checks of the bounding-box classification itself."""
+
+    def test_self_pair_always_covered(self):
+        rng = np.random.default_rng(5)
+        grid = Grid(rng.uniform(0.0, 3.0, size=(200, 2)), eps=1.0)
+        bounds = _cell_bounds(grid)
+        idx = np.arange(grid.n_cells, dtype=np.int64)
+        covered, excluded = _classify_cell_pairs(
+            bounds, bounds, idx, idx, 1.0
+        )
+        assert covered.all()
+        assert not excluded.any()
+
+    def test_covered_and_excluded_disjoint(self):
+        rng = np.random.default_rng(6)
+        grid = Grid(rng.normal(0.0, 1.0, size=(400, 2)), eps=0.7)
+        bounds = _cell_bounds(grid)
+        work = np.repeat(np.arange(grid.n_cells, dtype=np.int64), grid.n_cells)
+        cand = np.tile(np.arange(grid.n_cells, dtype=np.int64), grid.n_cells)
+        covered, excluded = _classify_cell_pairs(
+            bounds, bounds, work, cand, 0.7**2
+        )
+        assert not (covered & excluded).any()
+
+    def test_classification_is_sound(self):
+        # Covered pairs: every cross-cell distance <= eps.  Excluded
+        # pairs: every cross-cell distance > eps.  Checked exhaustively
+        # against the actual point pairs.
+        rng = np.random.default_rng(7)
+        eps = 1.0
+        grid = Grid(rng.uniform(0.0, 2.5, size=(300, 2)), eps=eps)
+        bounds = _cell_bounds(grid)
+        n = grid.n_cells
+        work = np.repeat(np.arange(n, dtype=np.int64), n)
+        cand = np.tile(np.arange(n, dtype=np.int64), n)
+        covered, excluded = _classify_cell_pairs(
+            bounds, bounds, work, cand, eps * eps
+        )
+        for w, c, cov, exc in zip(work, cand, covered, excluded):
+            a = grid.points[grid.cell_members(w)]
+            b = grid.points[grid.cell_members(c)]
+            d_sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+            if cov:
+                assert (d_sq <= eps * eps).all()
+            if exc:
+                assert (d_sq > eps * eps).all()
+
+    def test_masked_bounds_cover_only_masked_points(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0.0, 3.0, size=(150, 2))
+        grid = Grid(points, eps=1.0)
+        mask = np.zeros(points.shape[0], dtype=bool)
+        mask[::3] = True
+        lo, hi = _masked_cell_bounds(grid, mask)
+        for i in range(grid.n_cells):
+            members = grid.cell_members(i)
+            masked = members[mask[members]]
+            if masked.shape[0] == 0:
+                assert (lo[i] > hi[i]).all()
+            else:
+                assert np.array_equal(lo[i], points[masked].min(axis=0))
+                assert np.array_equal(hi[i], points[masked].max(axis=0))

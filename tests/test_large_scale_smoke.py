@@ -34,6 +34,27 @@ def test_million_points_under_a_minute():
 
 
 @pytest.mark.slow
+def test_multicore_sharding_parity_at_scale():
+    # 200k points is far above MIN_PAIRS_FOR_POOL, so n_jobs=2 really
+    # exercises the shared-memory process pool — and must be
+    # bit-identical to the serial engine and to the distributed engine.
+    points = make_openstreetmap_like(200_000, seed=3)
+    serial = DBSCOUT(eps=1.0e6, min_pts=10, n_jobs=1).fit(points)
+    pooled = DBSCOUT(eps=1.0e6, min_pts=10, n_jobs=2).fit(points)
+    assert pooled.stats["n_jobs"] == 2
+    assert np.array_equal(serial.outlier_mask, pooled.outlier_mask)
+    assert np.array_equal(serial.core_mask, pooled.core_mask)
+    assert (
+        serial.stats["distance_computations"]
+        == pooled.stats["distance_computations"]
+    )
+    distributed = DBSCOUT(
+        eps=1.0e6, min_pts=10, engine="distributed", num_partitions=4
+    ).fit(points)
+    assert np.array_equal(pooled.outlier_mask, distributed.outlier_mask)
+
+
+@pytest.mark.slow
 def test_incremental_scales_to_large_base():
     from repro import IncrementalDBSCOUT
 
