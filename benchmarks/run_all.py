@@ -10,7 +10,10 @@ tables to stdout, and writes each module's captured output to
 sweeps).  With ``--json``, additionally writes one machine-readable
 ``<results-dir>/BENCH_<bench>.json`` per bench containing the wall time
 plus whatever the module published in its ``BENCH_STATS`` dict
-(distance-computation counters, per-``n_jobs`` timings, ...).
+(distance-computation counters, per-``n_jobs`` timings, ...) and, under
+``run_records``, the structured :mod:`repro.obs` run record of every
+detector fit the bench performed — the input
+``benchmarks/check_regression.py`` compares between two runs.
 """
 
 from __future__ import annotations
@@ -46,20 +49,37 @@ SLOW_BENCHES = [
 ]
 
 
-def run_bench(module_name: str) -> tuple[str, float, dict]:
+def run_bench(
+    module_name: str, collect_records: bool = False
+) -> tuple[str, float, dict, list[dict]]:
     """Import and run one bench module's main().
 
-    Returns ``(output, secs, stats)`` where ``stats`` is the module's
-    ``BENCH_STATS`` dict (empty for modules that do not publish one).
+    Returns ``(output, secs, stats, records)`` where ``stats`` is the
+    module's ``BENCH_STATS`` dict (empty for modules that do not
+    publish one) and ``records`` holds the dict form of every
+    :class:`repro.obs.RunRecord` emitted during the bench (empty unless
+    ``collect_records``).
     """
+    from repro import obs
+
     module = importlib.import_module(module_name)
     buffer = io.StringIO()
-    start = time.perf_counter()
-    with contextlib.redirect_stdout(buffer):
-        module.main()
-    elapsed = time.perf_counter() - start
+    sink = obs.InMemorySink() if collect_records else None
+    if sink is not None:
+        obs.add_sink(sink)
+    try:
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(buffer):
+            module.main()
+        elapsed = time.perf_counter() - start
+    finally:
+        if sink is not None:
+            obs.remove_sink(sink)
     stats = dict(getattr(module, "BENCH_STATS", {}))
-    return buffer.getvalue(), elapsed, stats
+    records = (
+        [record.to_dict() for record in sink.records] if sink else []
+    )
+    return buffer.getvalue(), elapsed, stats, records
 
 
 def main(argv=None) -> int:
@@ -83,7 +103,9 @@ def main(argv=None) -> int:
     combined: list[str] = []
     for name in benches:
         print(f"===== {name} =====", flush=True)
-        output, elapsed, stats = run_bench(name)
+        output, elapsed, stats, records = run_bench(
+            name, collect_records=args.json
+        )
         print(output)
         print(f"({elapsed:.1f}s)\n", flush=True)
         (results_dir / f"{name}.txt").write_text(output)
@@ -93,6 +115,7 @@ def main(argv=None) -> int:
                 "bench": name,
                 "wall_seconds": round(elapsed, 3),
                 "stats": stats,
+                "run_records": records,
             }
             (results_dir / f"BENCH_{name}.json").write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -24,6 +24,7 @@ from scipy.spatial import cKDTree
 from repro.core.grid import validate_points
 from repro.core.validation import validate_parameters
 from repro.exceptions import ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["DBSCAN", "dbscan_labels"]
@@ -121,12 +122,24 @@ class DBSCAN:
             )
         else:
             clusterer = self
-        result = clusterer.fit(points)
+        recorder = RunRecorder(
+            engine="dbscan",
+            params={"eps": clusterer.eps, "min_pts": clusterer.min_pts},
+            context={"algorithm": "dbscan"},
+        )
+        with recorder.activate(), recorder.span(
+            "fit", algorithm=clusterer.algorithm
+        ):
+            result = clusterer.fit(points)
+        recorder.add_context(n_clusters=result.n_clusters)
+        record = recorder.finish(result.labels.shape[0])
         return DetectionResult(
             n_points=result.labels.shape[0],
             outlier_mask=result.labels == NOISE,
             core_mask=result.core_mask,
-            stats={"algorithm": "dbscan", "n_clusters": result.n_clusters},
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )
 
 

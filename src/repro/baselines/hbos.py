@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.grid import validate_points
 from repro.exceptions import NotFittedError, ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["HBOS"]
@@ -97,20 +98,34 @@ class HBOS:
     def detect(self, points: np.ndarray) -> DetectionResult:
         """Fit, score, and flag the top-contamination fraction."""
         array = validate_points(points)
-        self.fit(array)
-        scores = self.score(array)
         n_points = array.shape[0]
-        n_outliers = max(1, int(round(self.contamination * n_points)))
-        threshold = np.partition(scores, n_points - n_outliers)[
-            n_points - n_outliers
-        ]
-        return DetectionResult(
-            n_points=n_points,
-            outlier_mask=scores >= threshold,
-            scores=scores,
-            stats={
+        recorder = RunRecorder(
+            engine=self.name,
+            params={"contamination": self.contamination},
+            context={
                 "algorithm": self.name,
                 "n_bins": self._resolve_bins(n_points),
                 "contamination": self.contamination,
             },
+        )
+        with recorder.activate():
+            with recorder.span("fit"):
+                self.fit(array)
+            with recorder.span("score"):
+                scores = self.score(array)
+            with recorder.span("threshold"):
+                n_outliers = max(
+                    1, int(round(self.contamination * n_points))
+                )
+                threshold = np.partition(scores, n_points - n_outliers)[
+                    n_points - n_outliers
+                ]
+        record = recorder.finish(n_points, n_dims=array.shape[1])
+        return DetectionResult(
+            n_points=n_points,
+            outlier_mask=scores >= threshold,
+            scores=scores,
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.grid import validate_points
 from repro.exceptions import NotFittedError, ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["IsolationForest"]
@@ -183,21 +184,38 @@ class IsolationForest:
     def detect(self, points: np.ndarray) -> DetectionResult:
         """Fit, score, and flag the top-contamination fraction."""
         array = validate_points(points)
-        self.fit(array)
-        scores = self.score(array)
         n_points = array.shape[0]
-        n_outliers = max(1, int(round(self.contamination * n_points)))
-        threshold = np.partition(scores, n_points - n_outliers)[
-            n_points - n_outliers
-        ]
+        recorder = RunRecorder(
+            engine="isolation_forest",
+            params={
+                "n_trees": self.n_trees,
+                "contamination": self.contamination,
+            },
+            context={
+                "algorithm": "isolation_forest",
+                "n_trees": self.n_trees,
+                "contamination": self.contamination,
+            },
+        )
+        with recorder.activate():
+            with recorder.span("fit"):
+                self.fit(array)
+            with recorder.span("score"):
+                scores = self.score(array)
+            with recorder.span("threshold"):
+                n_outliers = max(
+                    1, int(round(self.contamination * n_points))
+                )
+                threshold = np.partition(scores, n_points - n_outliers)[
+                    n_points - n_outliers
+                ]
+        recorder.add_context(subsample_size=self._psi)
+        record = recorder.finish(n_points, n_dims=array.shape[1])
         return DetectionResult(
             n_points=n_points,
             outlier_mask=scores >= threshold,
             scores=scores,
-            stats={
-                "algorithm": "isolation_forest",
-                "n_trees": self.n_trees,
-                "subsample_size": self._psi,
-                "contamination": self.contamination,
-            },
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )

@@ -18,6 +18,7 @@ from scipy.spatial import cKDTree
 
 from repro.core.grid import validate_points
 from repro.exceptions import ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["KNNOutlierDetector"]
@@ -83,20 +84,29 @@ class KNNOutlierDetector:
     def detect(self, points: np.ndarray) -> DetectionResult:
         """Flag the top-n points by k-distance."""
         array = validate_points(points)
-        values = self.scores(array)
         n_points = array.shape[0]
-        n_flag = self._resolve_n(n_points)
-        threshold = np.partition(values, n_points - n_flag)[
-            n_points - n_flag
-        ]
+        recorder = RunRecorder(
+            engine=self.name,
+            params={"k": self.k},
+            context={"algorithm": self.name, "k": self.k},
+        )
+        with recorder.activate():
+            with recorder.span("score"):
+                values = self.scores(array)
+            with recorder.span("threshold"):
+                n_flag = self._resolve_n(n_points)
+                threshold = np.partition(values, n_points - n_flag)[
+                    n_points - n_flag
+                ]
+        recorder.add_context(
+            n_requested=n_flag, threshold=float(threshold)
+        )
+        record = recorder.finish(n_points, n_dims=array.shape[1])
         return DetectionResult(
             n_points=n_points,
             outlier_mask=values >= threshold,
             scores=values,
-            stats={
-                "algorithm": self.name,
-                "k": self.k,
-                "n_requested": n_flag,
-                "threshold": float(threshold),
-            },
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )

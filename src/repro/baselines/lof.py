@@ -20,6 +20,7 @@ from scipy.spatial import cKDTree
 
 from repro.core.grid import validate_points
 from repro.exceptions import ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["LocalOutlierFactor", "lof_scores"]
@@ -78,23 +79,36 @@ class LocalOutlierFactor:
     def detect(self, points: np.ndarray) -> DetectionResult:
         """Score all points and flag the top-contamination fraction."""
         array = validate_points(points)
-        scores = lof_scores(array, self.k)
         n_points = array.shape[0]
-        n_outliers = max(1, int(round(self.contamination * n_points)))
-        threshold = np.partition(scores, n_points - n_outliers)[
-            n_points - n_outliers
-        ]
+        recorder = RunRecorder(
+            engine="lof",
+            params={"k": self.k, "contamination": self.contamination},
+            context={
+                "algorithm": "lof",
+                "k": self.k,
+                "contamination": self.contamination,
+            },
+        )
+        with recorder.activate():
+            with recorder.span("score"):
+                scores = lof_scores(array, self.k)
+            with recorder.span("threshold"):
+                n_outliers = max(
+                    1, int(round(self.contamination * n_points))
+                )
+                threshold = np.partition(scores, n_points - n_outliers)[
+                    n_points - n_outliers
+                ]
         outlier_mask = scores >= threshold
+        recorder.add_context(threshold=float(threshold))
+        record = recorder.finish(n_points, n_dims=array.shape[1])
         return DetectionResult(
             n_points=n_points,
             outlier_mask=outlier_mask,
             scores=scores,
-            stats={
-                "algorithm": "lof",
-                "k": self.k,
-                "contamination": self.contamination,
-                "threshold": float(threshold),
-            },
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )
 
     def __repr__(self) -> str:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.grid import validate_points
 from repro.exceptions import NotFittedError, ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["OneClassSVM"]
@@ -132,18 +133,32 @@ class OneClassSVM:
     def detect(self, points: np.ndarray) -> DetectionResult:
         """Fit and flag the lowest-``nu`` fraction of decision values."""
         array = validate_points(points)
-        self.fit(array)
-        decision = self.decision_function(array)
         n_points = array.shape[0]
-        n_outliers = max(1, int(round(self.nu * n_points)))
-        threshold = np.partition(decision, n_outliers - 1)[n_outliers - 1]
-        return DetectionResult(
-            n_points=n_points,
-            outlier_mask=decision <= threshold,
-            scores=-decision,
-            stats={
+        recorder = RunRecorder(
+            engine="ocsvm",
+            params={"nu": self.nu},
+            context={
                 "algorithm": "ocsvm",
                 "nu": self.nu,
                 "n_features": self.n_features,
             },
+        )
+        with recorder.activate():
+            with recorder.span("fit"):
+                self.fit(array)
+            with recorder.span("score"):
+                decision = self.decision_function(array)
+            with recorder.span("threshold"):
+                n_outliers = max(1, int(round(self.nu * n_points)))
+                threshold = np.partition(decision, n_outliers - 1)[
+                    n_outliers - 1
+                ]
+        record = recorder.finish(n_points, n_dims=array.shape[1])
+        return DetectionResult(
+            n_points=n_points,
+            outlier_mask=decision <= threshold,
+            scores=-decision,
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )

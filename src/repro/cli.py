@@ -96,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--stats", action="store_true", help="print phase timings and stats"
     )
+    detect.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable fine-grained span tracing and print the span tree",
+    )
+    detect.add_argument(
+        "--profile",
+        action="store_true",
+        help="with --trace, also track per-span memory (tracemalloc)",
+    )
+    detect.add_argument(
+        "--record",
+        metavar="PATH",
+        help="append the structured run record to this JSONL file",
+    )
 
     estimate = commands.add_parser(
         "estimate-eps", help="print the k-distance elbow eps"
@@ -135,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_detect(args: argparse.Namespace) -> int:
+    from repro import obs
+
     points = load_points(args.input)
     if args.auto_eps:
         eps = estimate_eps(points, args.min_pts)
@@ -155,7 +172,26 @@ def _run_detect(args: argparse.Namespace) -> int:
     detector = DBSCOUT(
         eps=eps, min_pts=args.min_pts, engine=args.engine, **engine_options
     )
-    result = detector.fit(points)
+    sink = obs.JsonlSink(args.record) if args.record else None
+    if args.trace:
+        obs.enable_tracing()
+    if args.profile:
+        obs.enable_profiling()
+    try:
+        if sink is not None:
+            obs.add_sink(sink)
+        result = detector.fit(points)
+    finally:
+        if sink is not None:
+            obs.remove_sink(sink)
+        if args.profile:
+            obs.disable_profiling()
+        if args.trace:
+            obs.disable_tracing()
+    if args.trace and result.record is not None:
+        print(obs.format_span_tree(result.record), file=sys.stderr)
+    if args.record:
+        print(f"run record appended to {args.record}", file=sys.stderr)
     if args.stats:
         print(f"points:   {result.n_points}", file=sys.stderr)
         print(f"core:     {result.n_core_points}", file=sys.stderr)

@@ -30,6 +30,7 @@ from repro.core.grid import Grid, validate_points
 from repro.core.neighbors import NeighborStencil
 from repro.core.vectorized import _CellAdjacency
 from repro.exceptions import ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["DistanceBasedDetector"]
@@ -70,37 +71,53 @@ class DistanceBasedDetector:
             )
         threshold = self.threshold(n_points)
         radius_sq = self.radius * self.radius
-        grid = Grid(array, self.radius)
-        stencil = NeighborStencil(grid.n_dims)
-        adjacency = _CellAdjacency(grid, stencil)
-
-        outlier_mask = np.zeros(n_points, dtype=bool)
-        n_cells_counted = 0
-        for cell_index in range(grid.n_cells):
-            members = grid.cell_members(cell_index)
-            if int(grid.counts[cell_index]) >= threshold:
-                continue  # whole cell is within radius of itself
-            neighbor_cells = adjacency.neighbors(cell_index)
-            if int(grid.counts[neighbor_cells].sum()) < threshold:
-                outlier_mask[members] = True  # cannot reach the threshold
-                continue
-            n_cells_counted += 1
-            candidates = np.concatenate(
-                [grid.cell_members(nc) for nc in neighbor_cells]
-            )
-            diffs = array[members][:, None, :] - array[candidates][None, :, :]
-            sq = np.einsum("ijk,ijk->ij", diffs, diffs)
-            counts = (sq <= radius_sq).sum(axis=1)
-            outlier_mask[members[counts < threshold]] = True
-        return DetectionResult(
-            n_points=n_points,
-            outlier_mask=outlier_mask,
-            stats={
+        recorder = RunRecorder(
+            engine="distance_based",
+            params={"radius": self.radius, "fraction": self.fraction},
+            context={
                 "algorithm": "knorr_ng",
                 "radius": self.radius,
                 "fraction": self.fraction,
                 "threshold": threshold,
-                "n_cells": grid.n_cells,
-                "cells_counted": n_cells_counted,
             },
+        )
+        with recorder.activate():
+            with recorder.span("grid"):
+                grid = Grid(array, self.radius)
+                stencil = NeighborStencil(grid.n_dims)
+                adjacency = _CellAdjacency(grid, stencil)
+
+            outlier_mask = np.zeros(n_points, dtype=bool)
+            n_cells_counted = 0
+            with recorder.span("outliers"):
+                for cell_index in range(grid.n_cells):
+                    members = grid.cell_members(cell_index)
+                    if int(grid.counts[cell_index]) >= threshold:
+                        continue  # whole cell is within radius of itself
+                    neighbor_cells = adjacency.neighbors(cell_index)
+                    if int(grid.counts[neighbor_cells].sum()) < threshold:
+                        # Cannot reach the threshold: entirely outlier.
+                        outlier_mask[members] = True
+                        continue
+                    n_cells_counted += 1
+                    candidates = np.concatenate(
+                        [grid.cell_members(nc) for nc in neighbor_cells]
+                    )
+                    diffs = (
+                        array[members][:, None, :]
+                        - array[candidates][None, :, :]
+                    )
+                    sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+                    counts = (sq <= radius_sq).sum(axis=1)
+                    outlier_mask[members[counts < threshold]] = True
+        recorder.add_context(
+            n_cells=grid.n_cells, cells_counted=n_cells_counted
+        )
+        record = recorder.finish(n_points, n_dims=array.shape[1])
+        return DetectionResult(
+            n_points=n_points,
+            outlier_mask=outlier_mask,
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )

@@ -33,7 +33,6 @@ Three join strategies mirror Section III-G:
 from __future__ import annotations
 
 import math
-import time
 from typing import Iterable
 
 import numpy as np
@@ -43,8 +42,9 @@ from repro.core.grid import cell_side_length, validate_points
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import ParameterError
+from repro.obs import RunRecorder
 from repro.sparklite import Context, RDD
-from repro.types import DetectionResult, TimingBreakdown
+from repro.types import DetectionResult
 
 __all__ = ["DistributedEngine", "JOIN_STRATEGIES"]
 
@@ -62,8 +62,10 @@ class DistributedEngine:
         num_partitions: Number of RDD partitions (the x-axis of Fig. 13).
         max_workers: Executor threads for the SparkLite context.
         join_strategy: One of :data:`JOIN_STRATEGIES`; see module docs.
-        context: Optional externally managed context (metrics are then
-            shared with the caller).
+        context: Optional externally managed context.  Its
+            ``context.metrics`` keep accumulating across fits (the
+            cumulative cluster view); each ``DetectionResult`` reports
+            this run's *delta* in ``stats``/``record``.
     """
 
     name = "distributed"
@@ -109,38 +111,57 @@ class DistributedEngine:
             )
         n_dims = array.shape[1]
         stencil = NeighborStencil(n_dims)
-        timings: dict[str, float] = {}
+        recorder = RunRecorder(
+            engine=self.name,
+            params={"eps": eps, "min_pts": min_pts},
+            context={
+                "engine": self.name,
+                "join_strategy": self.join_strategy,
+                "num_partitions": self.num_partitions,
+            },
+        )
+        # With an externally supplied context, the context metrics keep
+        # accumulating across fits (the cumulative cluster view); the
+        # run record and stats report this run's delta only.
+        metrics_before = self.context.metrics.snapshot()
 
-        # Phase 1: grid partitioning and point-cell assignment.
-        start = time.perf_counter()
-        grid = self._create_grid(array, eps).cache()
-        timings["grid"] = time.perf_counter() - start
+        with recorder.activate():
+            # Phase 1: grid partitioning and point-cell assignment.
+            with recorder.span("grid"):
+                grid = self._create_grid(array, eps).cache()
 
-        # Phase 2: dense cell map construction.
-        start = time.perf_counter()
-        cell_map = self._build_dense_cell_map(grid, min_pts, stencil)
-        timings["dense_cell_map"] = time.perf_counter() - start
+            # Phase 2: dense cell map construction.
+            with recorder.span("dense_cell_map"):
+                cell_map = self._build_dense_cell_map(
+                    grid, min_pts, stencil
+                )
 
-        # Phase 3: core points identification.
-        start = time.perf_counter()
-        core_points = self._find_core_points(
-            grid, eps, min_pts, cell_map
-        ).cache()
-        core_records = core_points.collect()
-        timings["core_points"] = time.perf_counter() - start
+            # Phase 3: core points identification.
+            with recorder.span("core_points"):
+                core_points = self._find_core_points(
+                    grid, eps, min_pts, cell_map
+                ).cache()
+                core_records = core_points.collect()
 
-        # Phase 4: core cell map construction.
-        start = time.perf_counter()
-        for cell, _point in core_records:
-            cell_map.mark_core(cell)
-        timings["core_cell_map"] = time.perf_counter() - start
+            # Phase 4: core cell map construction.
+            with recorder.span("core_cell_map"):
+                for cell, _point in core_records:
+                    cell_map.mark_core(cell)
 
-        # Phase 5: outliers identification.
-        start = time.perf_counter()
-        outlier_records = self._find_outliers(
-            grid, eps, cell_map, core_points
-        ).collect()
-        timings["outliers"] = time.perf_counter() - start
+            # Phase 5: outliers identification.
+            with recorder.span("outliers"):
+                outlier_records = self._find_outliers(
+                    grid, eps, cell_map, core_points
+                ).collect()
+
+        run_metrics = self.context.metrics.delta(metrics_before)
+        recorder.metrics.merge(run_metrics, namespace="sparklite")
+        recorder.add_context(
+            n_cells=len(cell_map),
+            k_d=stencil.k_d,
+            max_workers=self.context.max_workers,
+        )
+        record = recorder.finish(n_points=n_points, n_dims=n_dims)
 
         core_mask = np.zeros(n_points, dtype=bool)
         core_mask[[index for _cell, (index, _p) in core_records]] = True
@@ -150,15 +171,9 @@ class DistributedEngine:
             n_points=n_points,
             outlier_mask=outlier_mask,
             core_mask=core_mask,
-            timings=TimingBreakdown(timings),
-            stats={
-                "engine": self.name,
-                "join_strategy": self.join_strategy,
-                "num_partitions": self.num_partitions,
-                "n_cells": len(cell_map),
-                "k_d": stencil.k_d,
-                **self.context.metrics.snapshot(),
-            },
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )
 
     # ------------------------------------------------------------------

@@ -69,4 +69,5 @@ def detect_geographic(
             "projection_origin": used_origin,
             "eps_meters": float(eps_meters),
         },
+        record=result.record,
     )

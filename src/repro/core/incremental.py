@@ -42,6 +42,7 @@ from repro.core.grid import cell_side_length, validate_points
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import DataValidationError, ParameterError
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["IncrementalDBSCOUT"]
@@ -362,26 +363,38 @@ class IncrementalDBSCOUT:
                 outlier_mask=np.zeros(0, dtype=bool),
                 core_mask=np.zeros(0, dtype=bool),
             )
-        stats = {
-            "engine": "incremental",
-            "n_cells": len(self._cells),
-            "dirty_cells": len(self._dirty),
-        }
-        if self._dirty:
-            core_region = self._neighborhood_of(self._dirty)
-            changed_core_cells = self._recompute_core(core_region)
-            outlier_region = self._neighborhood_of(
-                changed_core_cells | self._dirty
-            )
-            self._recompute_outliers(outlier_region)
-            stats["core_cells_recomputed"] = len(core_region)
-            stats["outlier_cells_recomputed"] = len(outlier_region)
-            self._dirty.clear()
+        recorder = RunRecorder(
+            engine="incremental",
+            params={"eps": self.eps, "min_pts": self.min_pts},
+            context={
+                "engine": "incremental",
+                "n_cells": len(self._cells),
+                "dirty_cells": len(self._dirty),
+            },
+        )
+        with recorder.activate():
+            if self._dirty:
+                with recorder.span("core_points"):
+                    core_region = self._neighborhood_of(self._dirty)
+                    changed_core_cells = self._recompute_core(core_region)
+                with recorder.span("outliers"):
+                    outlier_region = self._neighborhood_of(
+                        changed_core_cells | self._dirty
+                    )
+                    self._recompute_outliers(outlier_region)
+                recorder.add_context(
+                    core_cells_recomputed=len(core_region),
+                    outlier_cells_recomputed=len(outlier_region),
+                )
+                self._dirty.clear()
+        record = recorder.finish(self._n_points, n_dims=self._n_dims)
         return DetectionResult(
             n_points=self._n_points,
             outlier_mask=self._outlier_mask.copy(),
             core_mask=self._core_mask.copy(),
-            stats=stats,
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )
 
     def __repr__(self) -> str:

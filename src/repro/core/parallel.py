@@ -33,6 +33,7 @@ from multiprocessing import get_all_start_methods, get_context, shared_memory
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.obs import span as obs_span
 
 __all__ = [
     "normalize_n_jobs",
@@ -185,6 +186,14 @@ def _pair_count_shard(
             block.close()
 
 
+def _bump_pool_counter(
+    counters: dict | None, key: str, delta: int
+) -> None:
+    """Accumulate a ``pool.*`` stat into the caller's counter dict."""
+    if counters is not None:
+        counters[key] = counters.get(key, 0) + int(delta)
+
+
 def run_sharded_pair_counts(
     array: np.ndarray,
     members_flat: np.ndarray,
@@ -194,6 +203,7 @@ def run_sharded_pair_counts(
     eps_sq: float,
     n_jobs: int,
     pair_budget: int = 4_000_000,
+    counters: dict | None = None,
 ) -> tuple[np.ndarray, int]:
     """Sharded, multi-process equivalent of ``_segmented_pair_counts``.
 
@@ -201,6 +211,11 @@ def run_sharded_pair_counts(
     shards balanced by pair count, publishes the point and flat index
     arrays via shared memory, and counts each shard in a separate
     process.
+
+    Args:
+        counters: Optional counter dict that receives the pool-worker
+            stats (``pool.dispatches``, ``pool.shards``,
+            ``pool.shared_bytes``) under their namespaced keys.
 
     Returns:
         ``(counts, distance_computations)`` — counts aligned with
@@ -223,6 +238,13 @@ def run_sharded_pair_counts(
 
     member_offsets = np.concatenate(([0], np.cumsum(m_sizes)))
     cand_offsets = np.concatenate(([0], np.cumsum(c_sizes)))
+    _bump_pool_counter(counters, "pool.dispatches", 1)
+    _bump_pool_counter(counters, "pool.shards", len(shards))
+    _bump_pool_counter(
+        counters,
+        "pool.shared_bytes",
+        array.nbytes + members_flat.nbytes + cands_flat.nbytes,
+    )
     blocks: list[shared_memory.SharedMemory] = []
     try:
         block, points_spec = _share(array)
@@ -232,7 +254,9 @@ def run_sharded_pair_counts(
         block, cands_spec = _share(cands_flat)
         blocks.append(block)
         total_distances = 0
-        with ProcessPoolExecutor(
+        with obs_span(
+            "pool.dispatch", shards=len(shards), n_jobs=n_jobs
+        ), ProcessPoolExecutor(
             max_workers=len(shards), mp_context=_mp_context()
         ) as pool:
             futures = [

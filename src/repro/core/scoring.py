@@ -26,13 +26,18 @@ from repro.core.grid import Grid, validate_points
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.core.vectorized import VectorizedEngine, _CellAdjacency
+from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
 __all__ = ["nearest_core_distance", "detect_with_scores"]
 
 
 def nearest_core_distance(
-    points: np.ndarray, eps: float, min_pts: int
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    *,
+    recorder: RunRecorder | None = None,
 ) -> np.ndarray:
     """Per-point outlierness score under DBSCOUT semantics.
 
@@ -41,6 +46,9 @@ def nearest_core_distance(
         eps: Neighborhood radius (defines core points and the search
             stencil).
         min_pts: Density threshold.
+        recorder: Optional :class:`repro.obs.RunRecorder` that receives
+            the phase spans (``grid``/``core_points``/``scores``) and
+            the work counters of this computation.
 
     Returns:
         ``(n,)`` float array: 0 for core points, the distance to the
@@ -50,36 +58,49 @@ def nearest_core_distance(
     array = validate_points(points)
     eps, min_pts = validate_parameters(eps, min_pts)
     n_points = array.shape[0]
+    if recorder is None:
+        recorder = RunRecorder(engine="scores")
     if n_points == 0:
         return np.zeros(0, dtype=np.float64)
-    grid = Grid(array, eps)
-    stencil = NeighborStencil(grid.n_dims)
-    adjacency = _CellAdjacency(grid, stencil)
-    dense_cells = grid.counts >= min_pts
-    counters = {"distance_computations": 0, "pruned_cells": 0}
-    core_mask = VectorizedEngine._find_core_points(
-        array, grid, adjacency, dense_cells, eps, min_pts, counters
-    )
-    scores = np.full(n_points, np.inf, dtype=np.float64)
-    scores[core_mask] = 0.0
-    cell_has_core = dense_cells.copy()
-    cell_has_core[np.unique(grid.point_cell[core_mask])] = True
-    for cell_index in range(grid.n_cells):
-        members = grid.cell_members(cell_index)
-        targets = members[~core_mask[members]]
-        if targets.size == 0:
-            continue
-        neighbor_cells = adjacency.neighbors(cell_index)
-        core_neighbor_cells = neighbor_cells[cell_has_core[neighbor_cells]]
-        if core_neighbor_cells.size == 0:
-            continue  # stays inf
-        candidates = np.concatenate(
-            [grid.cell_members(nc) for nc in core_neighbor_cells]
-        )
-        candidates = candidates[core_mask[candidates]]
-        diffs = array[targets][:, None, :] - array[candidates][None, :, :]
-        sq = np.einsum("ijk,ijk->ij", diffs, diffs)
-        scores[targets] = np.sqrt(sq.min(axis=1))
+    with recorder.activate():
+        with recorder.span("grid"):
+            grid = Grid(array, eps)
+            stencil = NeighborStencil(grid.n_dims)
+            adjacency = _CellAdjacency(grid, stencil)
+            dense_cells = grid.counts >= min_pts
+        counters = {"distance_computations": 0, "pruned_cells": 0}
+        with recorder.span("core_points"):
+            core_mask = VectorizedEngine._find_core_points(
+                array, grid, adjacency, dense_cells, eps, min_pts, counters
+            )
+        with recorder.span("scores"):
+            scores = np.full(n_points, np.inf, dtype=np.float64)
+            scores[core_mask] = 0.0
+            cell_has_core = dense_cells.copy()
+            cell_has_core[np.unique(grid.point_cell[core_mask])] = True
+            for cell_index in range(grid.n_cells):
+                members = grid.cell_members(cell_index)
+                targets = members[~core_mask[members]]
+                if targets.size == 0:
+                    continue
+                neighbor_cells = adjacency.neighbors(cell_index)
+                core_neighbor_cells = neighbor_cells[
+                    cell_has_core[neighbor_cells]
+                ]
+                if core_neighbor_cells.size == 0:
+                    continue  # stays inf
+                candidates = np.concatenate(
+                    [grid.cell_members(nc) for nc in core_neighbor_cells]
+                )
+                candidates = candidates[core_mask[candidates]]
+                diffs = (
+                    array[targets][:, None, :]
+                    - array[candidates][None, :, :]
+                )
+                sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+                scores[targets] = np.sqrt(sq.min(axis=1))
+    recorder.metrics.merge(counters, namespace="engine")
+    recorder.add_context(n_cells=grid.n_cells)
     return scores
 
 
@@ -89,13 +110,28 @@ def detect_with_scores(
     """DBSCOUT detection with the nearest-core-distance score attached.
 
     The outlier mask equals ``scores > eps`` and matches the plain
-    detector exactly.
+    detector exactly.  The result carries a full run record, so
+    ``timings`` breaks down the ``grid``/``core_points``/``scores``
+    phases and ``stats`` reports the work counters.
     """
-    scores = nearest_core_distance(points, eps, min_pts)
+    recorder = RunRecorder(
+        engine="vectorized+scores",
+        params={"eps": eps, "min_pts": min_pts},
+        context={
+            "engine": "vectorized+scores",
+            "eps": eps,
+            "min_pts": min_pts,
+        },
+    )
+    scores = nearest_core_distance(points, eps, min_pts, recorder=recorder)
+    n_dims = np.asarray(points).shape[1] if np.asarray(points).ndim == 2 else None
+    record = recorder.finish(scores.shape[0], n_dims=n_dims)
     return DetectionResult(
         n_points=scores.shape[0],
         outlier_mask=scores > eps,
         core_mask=scores == 0.0,
         scores=scores,
-        stats={"engine": "vectorized+scores", "eps": eps, "min_pts": min_pts},
+        timings=record.timing_breakdown(),
+        stats=record.flat_stats(),
+        record=record,
     )

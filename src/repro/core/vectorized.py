@@ -41,15 +41,14 @@ Two further performance layers sit on top of the exact pipeline (see
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.grid import Grid, validate_points
 from repro.core.neighbors import NeighborStencil
 from repro.core.parallel import normalize_n_jobs, run_sharded_pair_counts
 from repro.core.validation import validate_parameters
-from repro.types import DetectionResult, TimingBreakdown
+from repro.obs import RunRecorder
+from repro.types import DetectionResult
 
 __all__ = ["VectorizedEngine", "detect", "build_cell_adjacency"]
 
@@ -538,7 +537,7 @@ def _pair_counts(
         if total_pairs >= MIN_PAIRS_FOR_POOL:
             counts, n_distances = run_sharded_pair_counts(
                 array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
-                n_jobs=n_jobs,
+                n_jobs=n_jobs, counters=counters,
             )
             _bump(counters, "distance_computations", n_distances)
             return counts
@@ -582,59 +581,65 @@ class VectorizedEngine:
                 core_mask=np.zeros(0, dtype=bool),
             )
 
-        timings: dict[str, float] = {}
-        start = time.perf_counter()
-        grid = Grid(array, eps)
-        stencil = NeighborStencil(grid.n_dims)
-        timings["grid"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        adjacency = _CellAdjacency(grid, stencil)
-        dense_cells = grid.counts >= min_pts
-        bounds = _cell_bounds(grid) if self.pruning else None
-        timings["dense_cell_map"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        counters = {
-            "distance_computations": 0,
-            "pruned_cells": 0,
-            "pairs_skipped_covered": 0,
-            "pairs_skipped_excluded": 0,
-            "cells_settled_covered": 0,
-        }
-        core_mask = self._find_core_points(
-            array, grid, adjacency, dense_cells, eps, min_pts, counters,
-            bounds=bounds, n_jobs=self.n_jobs,
+        recorder = RunRecorder(
+            engine=self.name,
+            params={"eps": eps, "min_pts": min_pts},
+            context={
+                "engine": self.name,
+                "n_jobs": self.n_jobs,
+                "pruning": self.pruning,
+            },
         )
-        timings["core_points"] = time.perf_counter() - start
+        with recorder.activate():
+            with recorder.span("grid"):
+                grid = Grid(array, eps)
+                stencil = NeighborStencil(grid.n_dims)
 
-        start = time.perf_counter()
-        cell_is_core = self._core_cell_map(grid, dense_cells, core_mask)
-        timings["core_cell_map"] = time.perf_counter() - start
+            with recorder.span("dense_cell_map"):
+                adjacency = _CellAdjacency(grid, stencil)
+                dense_cells = grid.counts >= min_pts
+                bounds = _cell_bounds(grid) if self.pruning else None
 
-        start = time.perf_counter()
-        outlier_mask = self._find_outliers(
-            array, grid, adjacency, cell_is_core, core_mask, eps, counters,
-            bounds=bounds, n_jobs=self.n_jobs,
+            counters = {
+                "distance_computations": 0,
+                "pruned_cells": 0,
+                "pairs_skipped_covered": 0,
+                "pairs_skipped_excluded": 0,
+                "cells_settled_covered": 0,
+            }
+            with recorder.span("core_points"):
+                core_mask = self._find_core_points(
+                    array, grid, adjacency, dense_cells, eps, min_pts,
+                    counters, bounds=bounds, n_jobs=self.n_jobs,
+                )
+
+            with recorder.span("core_cell_map"):
+                cell_is_core = self._core_cell_map(
+                    grid, dense_cells, core_mask
+                )
+
+            with recorder.span("outliers"):
+                outlier_mask = self._find_outliers(
+                    array, grid, adjacency, cell_is_core, core_mask, eps,
+                    counters, bounds=bounds, n_jobs=self.n_jobs,
+                )
+
+        recorder.metrics.merge(counters, namespace="engine")
+        recorder.add_context(
+            n_cells=grid.n_cells,
+            n_dense_cells=int(dense_cells.sum()),
+            n_core_cells=int(cell_is_core.sum()),
+            k_d=stencil.k_d,
+            max_cell_population=int(grid.counts.max()),
         )
-        timings["outliers"] = time.perf_counter() - start
-
+        record = recorder.finish(n_points=n_points, n_dims=array.shape[1])
         return DetectionResult(
             n_points=n_points,
             outlier_mask=outlier_mask,
             core_mask=core_mask,
-            timings=TimingBreakdown(timings),
-            stats={
-                "engine": self.name,
-                "n_cells": grid.n_cells,
-                "n_dense_cells": int(dense_cells.sum()),
-                "n_core_cells": int(cell_is_core.sum()),
-                "k_d": stencil.k_d,
-                "max_cell_population": int(grid.counts.max()),
-                "n_jobs": self.n_jobs,
-                "pruning": self.pruning,
-                **counters,
-            },
+            timings=record.timing_breakdown(),
+            stats=record.flat_stats(),
+            record=record,
         )
 
     @staticmethod

@@ -1,0 +1,55 @@
+"""Process memory accounting for run records.
+
+Two tiers, matching the tracer's:
+
+* :func:`peak_rss_bytes` — the high-water resident set size of the
+  process, read from ``getrusage`` (no dependencies, effectively
+  free).  Every run record carries it.
+* ``tracemalloc`` deltas — per-span Python allocation accounting,
+  opt-in via :func:`repro.obs.trace.enable_profiling` because the
+  interpreter hooks are expensive.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["peak_rss_bytes", "memory_snapshot"]
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process in bytes.
+
+    Returns ``None`` on platforms without ``resource`` (Windows).
+    Note the value is a process-lifetime high-water mark, not a
+    per-run delta.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - windows
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return int(peak)
+    return int(peak) * 1024
+
+
+def memory_snapshot() -> dict[str, int]:
+    """Current memory facts for a run record (JSON-safe dict).
+
+    Always includes ``peak_rss_bytes`` when measurable; adds
+    ``tracemalloc_current_bytes`` / ``tracemalloc_peak_bytes`` when
+    ``tracemalloc`` is tracing (profiling mode).
+    """
+    out: dict[str, int] = {}
+    peak = peak_rss_bytes()
+    if peak is not None:
+        out["peak_rss_bytes"] = peak
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        current, peak_traced = tracemalloc.get_traced_memory()
+        out["tracemalloc_current_bytes"] = int(current)
+        out["tracemalloc_peak_bytes"] = int(peak_traced)
+    return out

@@ -1,0 +1,214 @@
+"""Human-readable rendering and regression diffing of run records.
+
+``format_span_tree`` renders one record's spans as an indented tree
+(the CLI's ``--trace`` output); ``diff_records`` compares two records
+phase-by-phase and counter-by-counter, which is what
+``benchmarks/check_regression.py`` enforces thresholds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.record import RunRecord
+from repro.obs.trace import iter_tree
+
+__all__ = [
+    "format_span_tree",
+    "format_record",
+    "diff_records",
+    "format_diff",
+    "RecordDiff",
+    "DiffEntry",
+]
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def format_span_tree(record: RunRecord) -> str:
+    """Indented tree of the record's spans with durations."""
+    lines = [
+        f"run {record.run_id} engine={record.engine} "
+        f"n_points={record.dataset.get('n_points', '?')}"
+    ]
+    for depth, span in iter_tree(record.span_records()):
+        extras = []
+        if span.attrs:
+            extras.append(
+                " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            )
+        if span.alloc_bytes is not None:
+            extras.append(f"alloc={_fmt_bytes(span.alloc_bytes)}")
+        if span.error is not None:
+            extras.append(f"error={span.error}")
+        suffix = f"  [{' '.join(extras)}]" if extras else ""
+        lines.append(
+            f"{'  ' * (depth + 1)}{span.name}: "
+            f"{span.duration_s * 1000.0:.2f}ms{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def format_record(record: RunRecord) -> str:
+    """Span tree plus counters and memory, for terminal output."""
+    lines = [format_span_tree(record)]
+    for name, value in record.counters.items():
+        lines.append(f"  {name}: {value}")
+    for name, value in record.memory.items():
+        if name.endswith("_bytes"):
+            lines.append(f"  memory.{name}: {_fmt_bytes(value)}")
+        else:  # pragma: no cover - no such keys today
+            lines.append(f"  memory.{name}: {value}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared quantity between a baseline and a candidate run."""
+
+    name: str
+    kind: str  # "phase" | "counter" | "total"
+    baseline: float
+    candidate: float
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline; ``inf`` when appearing from zero."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 1.0
+        return self.candidate / self.baseline
+
+    def regression_fraction(self) -> float:
+        """Fractional increase over the baseline (0 when improved)."""
+        if self.baseline == 0:
+            return float("inf") if self.candidate > 0 else 0.0
+        return max(0.0, (self.candidate - self.baseline) / self.baseline)
+
+
+@dataclass(frozen=True)
+class RecordDiff:
+    """Structured comparison of two run records."""
+
+    phases: list[DiffEntry] = field(default_factory=list)
+    counters: list[DiffEntry] = field(default_factory=list)
+    total: DiffEntry | None = None
+
+    def entries(self) -> list[DiffEntry]:
+        out = list(self.phases) + list(self.counters)
+        if self.total is not None:
+            out.append(self.total)
+        return out
+
+    def regressions(
+        self,
+        max_wall_fraction: float,
+        max_counter_fraction: float,
+    ) -> list[DiffEntry]:
+        """Entries whose growth exceeds the given thresholds."""
+        flagged = [
+            entry
+            for entry in self.phases
+            + ([self.total] if self.total is not None else [])
+            if entry.regression_fraction() > max_wall_fraction
+        ]
+        flagged.extend(
+            entry
+            for entry in self.counters
+            if entry.regression_fraction() > max_counter_fraction
+        )
+        return flagged
+
+
+def diff_records(
+    baseline: RunRecord,
+    candidate: RunRecord,
+    counters: Iterable[str] | None = None,
+) -> RecordDiff:
+    """Compare two run records phase-by-phase and counter-by-counter.
+
+    Args:
+        baseline: The reference run.
+        candidate: The run under scrutiny.
+        counters: Optional subset of counter names to compare (full
+            dotted names); default: every counter present in either
+            record.
+
+    Returns:
+        A :class:`RecordDiff`; phases/counters missing on one side are
+        compared against zero.
+    """
+    base_phases = baseline.phase_durations()
+    cand_phases = candidate.phase_durations()
+    phase_names = list(base_phases) + [
+        name for name in cand_phases if name not in base_phases
+    ]
+    phases = [
+        DiffEntry(
+            name=name,
+            kind="phase",
+            baseline=base_phases.get(name, 0.0),
+            candidate=cand_phases.get(name, 0.0),
+        )
+        for name in phase_names
+    ]
+    if counters is None:
+        names = sorted(set(baseline.counters) | set(candidate.counters))
+    else:
+        names = list(counters)
+    counter_entries = [
+        DiffEntry(
+            name=name,
+            kind="counter",
+            baseline=float(baseline.counters.get(name, 0)),
+            candidate=float(candidate.counters.get(name, 0)),
+        )
+        for name in names
+    ]
+    total = DiffEntry(
+        name="total_wall",
+        kind="total",
+        baseline=sum(base_phases.values()),
+        candidate=sum(cand_phases.values()),
+    )
+    return RecordDiff(phases=phases, counters=counter_entries, total=total)
+
+
+def format_diff(diff: RecordDiff) -> str:
+    """Plain-text table of a :class:`RecordDiff`."""
+    rows = []
+    for entry in diff.entries():
+        if entry.kind in ("phase", "total"):
+            base = f"{entry.baseline * 1000.0:.2f}ms"
+            cand = f"{entry.candidate * 1000.0:.2f}ms"
+        else:
+            base = f"{entry.baseline:g}"
+            cand = f"{entry.candidate:g}"
+        ratio = (
+            "new" if entry.ratio == float("inf") else f"{entry.ratio:.3f}x"
+        )
+        rows.append((entry.name, entry.kind, base, cand, ratio))
+    widths = [
+        max(len(str(row[col])) for row in rows + [_HEADER])
+        for col in range(len(_HEADER))
+    ]
+    lines = [
+        "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        for row in [_HEADER] + rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+_HEADER = ("name", "kind", "baseline", "candidate", "ratio")

@@ -7,6 +7,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.exceptions import SparkLiteError
+from repro.obs import span as obs_span
 from repro.sparklite.accumulator import Accumulator
 from repro.sparklite.broadcast import Broadcast
 from repro.sparklite.cluster import ClusterConfig, MemoryModel, estimate_size
@@ -100,12 +101,16 @@ class Context:
         if self.memory_model is not None:
             n_bytes = estimate_size(value)
             self.memory_model.charge_broadcast(n_bytes)
-        return Broadcast(
-            next(self._next_broadcast_id),
-            value,
-            memory_model=self.memory_model,
-            n_bytes=n_bytes,
-        )
+        broadcast_id = next(self._next_broadcast_id)
+        with obs_span("sparklite.broadcast", broadcast_id=broadcast_id) as sp:
+            if n_bytes:
+                sp.set("bytes", n_bytes)
+            return Broadcast(
+                broadcast_id,
+                value,
+                memory_model=self.memory_model,
+                n_bytes=n_bytes,
+            )
 
     def accumulator(
         self, zero: T, combine: Callable[[T, T], T] | None = None

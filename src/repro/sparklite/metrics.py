@@ -71,6 +71,18 @@ class EngineMetrics:
                 "task_retries": self.task_retries,
             }
 
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter growth since an earlier :meth:`snapshot`.
+
+        This is how a run on a shared, externally supplied context
+        reports *its own* work: snapshot before, delta after, while
+        the context keeps its cumulative totals.
+        """
+        return {
+            key: value - before.get(key, 0)
+            for key, value in self.snapshot().items()
+        }
+
     def reset(self) -> None:
         """Zero every counter."""
         with self._lock:

@@ -19,6 +19,7 @@ from collections import defaultdict
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.exceptions import ShuffleError, SparkLiteError, TaskFailure
+from repro.obs import span as obs_span
 from repro.sparklite.partitioner import HashPartitioner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -485,9 +486,12 @@ class RDD:
 
     def collect(self) -> list:
         """Return all records to the driver as a list."""
-        partitions = self.context._compute_all(self)
-        self.context.metrics.record_collect()
-        return [record for part in partitions for record in part]
+        with obs_span("sparklite.collect") as span:
+            partitions = self.context._compute_all(self)
+            self.context.metrics.record_collect()
+            records = [record for part in partitions for record in part]
+            span.set("records", len(records))
+            return records
 
     def count(self) -> int:
         """Number of records."""
@@ -691,17 +695,21 @@ class _ShuffledRDD(RDD):
     def _materialize_shuffle(self) -> list[list]:
         with self._shuffle_lock:
             if self._buckets is None:
-                buckets: list[list] = [
-                    [] for _ in range(self.num_partitions)
-                ]
-                total = 0
-                for part in self.context._compute_all(self._parent):
-                    for record in part:
-                        key, _ = _as_pair(record)
-                        buckets[self.partitioner.partition_for(key)].append(
-                            record
-                        )
-                        total += 1
+                with obs_span(
+                    "sparklite.shuffle", partitions=self.num_partitions
+                ) as span:
+                    buckets: list[list] = [
+                        [] for _ in range(self.num_partitions)
+                    ]
+                    total = 0
+                    for part in self.context._compute_all(self._parent):
+                        for record in part:
+                            key, _ = _as_pair(record)
+                            buckets[
+                                self.partitioner.partition_for(key)
+                            ].append(record)
+                            total += 1
+                    span.set("records", total)
                 self.context.metrics.record_shuffle(total)
                 memory_model = self.context.memory_model
                 if memory_model is not None:

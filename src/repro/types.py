@@ -8,9 +8,14 @@ metrics and experiment harnesses can treat them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
+
+from repro.obs.metrics import to_builtin
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.record import RunRecord
 
 __all__ = [
     "DetectionResult",
@@ -28,6 +33,27 @@ class TimingBreakdown:
     """
 
     phases: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_spans(cls, spans) -> "TimingBreakdown":
+        """Build from a list of span dicts or ``SpanRecord`` objects.
+
+        Top-level spans (depth 0) become phases; repeated names sum.
+        This is how engine timings become views over the run record.
+        """
+        phases: dict[str, float] = {}
+        for span in spans:
+            if isinstance(span, Mapping):
+                depth = span.get("depth", 0)
+                name = span["name"]
+                duration = span.get("duration_s", 0.0)
+            else:
+                depth, name, duration = (
+                    span.depth, span.name, span.duration_s
+                )
+            if depth == 0:
+                phases[name] = phases.get(name, 0.0) + float(duration)
+        return cls(phases)
 
     @property
     def total(self) -> float:
@@ -53,9 +79,15 @@ class DetectionResult:
         scores: Optional per-point anomaly scores (higher = more
             anomalous) for score-based detectors such as LOF/IF/OC-SVM.
         timings: Optional per-phase wall-clock breakdown.
+        record: Optional structured run record
+            (:class:`repro.obs.RunRecord`) capturing spans, namespaced
+            counters, memory, and library versions for this run; the
+            engines populate it and derive ``timings``/``stats`` from
+            it, so those fields are views over the record.
         stats: Free-form detector statistics (cell counts, shuffle
-            volumes, ...), useful for experiments and debugging.  The
-            vectorized engine reports, among others:
+            volumes, ...), useful for experiments and debugging.
+            Values are coerced to JSON-safe builtins at construction.
+            The vectorized engine reports, among others:
 
             * ``distance_computations`` — pairwise distances actually
               evaluated (the paper's per-tuple work budget);
@@ -77,8 +109,10 @@ class DetectionResult:
     scores: np.ndarray | None = None
     timings: TimingBreakdown | None = None
     stats: Mapping[str, Any] = field(default_factory=dict)
+    record: "RunRecord | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "stats", to_builtin(dict(self.stats)))
         mask = np.asarray(self.outlier_mask, dtype=bool)
         if mask.shape != (self.n_points,):
             raise ValueError(

@@ -1,0 +1,128 @@
+"""Record rendering and regression diffing."""
+
+from __future__ import annotations
+
+from repro import obs
+
+
+def _record(durations: dict, counters: dict) -> obs.RunRecord:
+    spans = [
+        {
+            "name": name,
+            "span_id": index,
+            "parent_id": None,
+            "depth": 0,
+            "start_s": float(index),
+            "duration_s": duration,
+        }
+        for index, (name, duration) in enumerate(durations.items())
+    ]
+    return obs.RunRecord(
+        engine="vectorized",
+        dataset={"n_points": 100},
+        spans=spans,
+        counters=dict(counters),
+    )
+
+
+def test_diff_flags_wall_and_counter_regressions():
+    baseline = _record(
+        {"grid": 0.1, "core_points": 1.0},
+        {"engine.distance_computations": 1000},
+    )
+    candidate = _record(
+        {"grid": 0.1, "core_points": 2.0},
+        {"engine.distance_computations": 1200},
+    )
+    diff = obs.diff_records(baseline, candidate)
+    flagged = diff.regressions(
+        max_wall_fraction=0.5, max_counter_fraction=0.1
+    )
+    names = {(entry.kind, entry.name) for entry in flagged}
+    assert ("phase", "core_points") in names
+    assert ("counter", "engine.distance_computations") in names
+    assert ("phase", "grid") not in names
+    # total_wall grew from 1.1 to 2.1 (~91%), above the 50% threshold.
+    assert ("total", "total_wall") in names
+
+
+def test_diff_accepts_improvements():
+    baseline = _record({"grid": 1.0}, {"c": 100})
+    candidate = _record({"grid": 0.5}, {"c": 10})
+    diff = obs.diff_records(baseline, candidate)
+    assert diff.regressions(0.01, 0.01) == []
+    (phase,) = diff.phases
+    assert phase.ratio == 0.5
+    assert phase.regression_fraction() == 0.0
+
+
+def test_diff_handles_appearing_quantities():
+    baseline = _record({"grid": 1.0}, {})
+    candidate = _record({"grid": 1.0, "extra": 0.5}, {"new_counter": 5})
+    diff = obs.diff_records(baseline, candidate)
+    flagged = diff.regressions(10.0, 10.0)
+    names = {entry.name for entry in flagged}
+    assert "extra" in names
+    assert "new_counter" in names
+
+
+def test_diff_restricts_to_requested_counters():
+    baseline = _record({}, {"a": 1, "b": 1})
+    candidate = _record({}, {"a": 9, "b": 9})
+    diff = obs.diff_records(baseline, candidate, counters=["b"])
+    assert [entry.name for entry in diff.counters] == ["b"]
+
+
+def test_format_diff_renders_a_table():
+    baseline = _record({"grid": 0.1}, {"c": 5})
+    candidate = _record({"grid": 0.2}, {"c": 5})
+    text = obs.format_diff(obs.diff_records(baseline, candidate))
+    assert "name" in text and "ratio" in text
+    assert "grid" in text and "2.000x" in text
+    assert "total_wall" in text
+
+
+def test_format_span_tree_renders_nesting_and_attrs():
+    record = obs.RunRecord(
+        engine="distributed",
+        dataset={"n_points": 42},
+        spans=[
+            {
+                "name": "core_points",
+                "span_id": 0,
+                "parent_id": None,
+                "depth": 0,
+                "start_s": 0.0,
+                "duration_s": 0.5,
+            },
+            {
+                "name": "sparklite.shuffle",
+                "span_id": 1,
+                "parent_id": 0,
+                "depth": 1,
+                "start_s": 0.1,
+                "duration_s": 0.2,
+                "attrs": {"records": 7},
+            },
+        ],
+    )
+    text = obs.format_span_tree(record)
+    lines = text.splitlines()
+    assert "engine=distributed" in lines[0]
+    assert lines[1].strip().startswith("core_points")
+    # The child is indented deeper than its parent.
+    parent_indent = len(lines[1]) - len(lines[1].lstrip())
+    child_indent = len(lines[2]) - len(lines[2].lstrip())
+    assert child_indent > parent_indent
+    assert "records=7" in lines[2]
+
+
+def test_format_record_includes_counters_and_memory():
+    record = obs.RunRecord(
+        engine="vectorized",
+        counters={"engine.pruned_cells": 3},
+        memory={"peak_rss_bytes": 2048},
+    )
+    text = obs.format_record(record)
+    assert "engine.pruned_cells: 3" in text
+    assert "memory.peak_rss_bytes: 2.0KiB" in text

@@ -1,0 +1,171 @@
+"""Tracer correctness: nesting, exception safety, no-op mode."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as trace_module
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing/profiling disabled."""
+    obs.disable_tracing()
+    obs.disable_profiling()
+    yield
+    obs.disable_tracing()
+    obs.disable_profiling()
+
+
+def test_spans_nest_and_record_depth():
+    tracer = obs.Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("sibling"):
+            pass
+    spans = {record.name: record for record in tracer.spans()}
+    assert spans["outer"].depth == 0
+    assert spans["outer"].parent_id is None
+    assert spans["inner"].depth == 1
+    assert spans["inner"].parent_id == spans["outer"].span_id
+    assert spans["sibling"].parent_id == spans["outer"].span_id
+    assert all(record.duration_s >= 0.0 for record in spans.values())
+
+
+def test_span_attrs_from_kwargs_and_set():
+    tracer = obs.Tracer()
+    with tracer.span("work", shards=4) as span:
+        span.set("records", 17)
+    (record,) = tracer.spans()
+    assert record.attrs == {"shards": 4, "records": 17}
+
+
+def test_exception_closes_span_and_propagates():
+    tracer = obs.Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("boom")
+    spans = {record.name: record for record in tracer.spans()}
+    assert spans["inner"].error == "ValueError"
+    assert spans["outer"].error == "ValueError"
+    assert spans["inner"].duration_s >= 0.0
+    # The tracer is reusable after the exception.
+    with tracer.span("after"):
+        pass
+    assert "after" in {record.name for record in tracer.spans()}
+
+
+def test_module_span_is_noop_without_enable():
+    assert obs.span("anything") is obs.NOOP_SPAN
+    # Even with an active tracer, the global switch must be on.
+    tracer = obs.Tracer()
+    with tracer.activate():
+        assert obs.span("anything") is obs.NOOP_SPAN
+    assert tracer.spans() == []
+
+
+def test_module_span_is_noop_without_active_tracer():
+    obs.enable_tracing()
+    assert obs.span("anything") is obs.NOOP_SPAN
+
+
+def test_module_span_records_into_active_tracer():
+    obs.enable_tracing()
+    tracer = obs.Tracer()
+    with tracer.activate():
+        with obs.span("fine.grained", detail=1):
+            pass
+    (record,) = tracer.spans()
+    assert record.name == "fine.grained"
+    assert record.attrs == {"detail": 1}
+
+
+def test_innermost_activation_wins():
+    obs.enable_tracing()
+    outer, inner = obs.Tracer(), obs.Tracer()
+    with outer.activate():
+        with inner.activate():
+            with obs.span("deep"):
+                pass
+        with obs.span("shallow"):
+            pass
+    assert [r.name for r in inner.spans()] == ["deep"]
+    assert [r.name for r in outer.spans()] == ["shallow"]
+    assert obs.current_tracer() is None
+
+
+def test_spans_from_worker_threads_are_collected():
+    obs.enable_tracing()
+    tracer = obs.Tracer()
+
+    def work(index: int) -> None:
+        with obs.span(f"thread.{index}"):
+            pass
+
+    with tracer.activate():
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    names = sorted(record.name for record in tracer.spans())
+    assert names == [f"thread.{i}" for i in range(4)]
+    # Worker-thread spans are top-level for their thread.
+    assert all(record.depth == 0 for record in tracer.spans())
+
+
+def test_phase_durations_sum_repeated_names():
+    tracer = obs.Tracer()
+    with tracer.span("phase"):
+        pass
+    with tracer.span("phase"):
+        pass
+    durations = tracer.phase_durations()
+    assert set(durations) == {"phase"}
+    assert durations["phase"] >= 0.0
+
+
+def test_iter_tree_orders_preorder_by_start():
+    tracer = obs.Tracer()
+    with tracer.span("a"):
+        with tracer.span("a.1"):
+            pass
+    with tracer.span("b"):
+        pass
+    ordering = [
+        (depth, record.name)
+        for depth, record in trace_module.iter_tree(tracer.spans())
+    ]
+    assert ordering == [(0, "a"), (1, "a.1"), (0, "b")]
+
+
+def test_span_record_round_trips_through_dict():
+    tracer = obs.Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("failing", attempt=2):
+            raise RuntimeError
+    (record,) = tracer.spans()
+    clone = obs.SpanRecord.from_dict(record.to_dict())
+    assert clone == record
+
+
+def test_profiling_records_alloc_bytes():
+    obs.enable_profiling()
+    tracer = obs.Tracer()
+    with tracer.span("alloc"):
+        _ = [0] * 10_000
+    (record,) = tracer.spans()
+    assert record.alloc_bytes is not None
+
+
+def test_noop_span_accepts_the_full_span_api():
+    with obs.span("off") as span:
+        span.set("key", "value")
+        assert span.name == ""

@@ -85,6 +85,39 @@ EXPECTED_BY_MODULE = {
         "average_precision_score",
         "precision_at_n",
     ],
+    "repro.obs": [
+        "Tracer",
+        "Span",
+        "SpanRecord",
+        "span",
+        "NOOP_SPAN",
+        "enable_tracing",
+        "disable_tracing",
+        "tracing_enabled",
+        "enable_profiling",
+        "disable_profiling",
+        "profiling_enabled",
+        "current_tracer",
+        "MetricsRegistry",
+        "to_builtin",
+        "peak_rss_bytes",
+        "memory_snapshot",
+        "SCHEMA_VERSION",
+        "RunRecord",
+        "RunRecorder",
+        "JsonlSink",
+        "InMemorySink",
+        "add_sink",
+        "remove_sink",
+        "recording",
+        "iter_jsonl",
+        "RecordDiff",
+        "DiffEntry",
+        "diff_records",
+        "format_diff",
+        "format_record",
+        "format_span_tree",
+    ],
     "repro.experiments": [
         "run_timed",
         "Measurement",
