@@ -1,0 +1,241 @@
+"""Serving benchmark — artifact load vs refit, latency, and batching.
+
+Measures the three claims the serving layer (`repro.serve`) makes:
+
+1. **Load beats refit.**  Fitting DBSCOUT on a 200k-point
+   Table-II-style workload once and persisting the artifact, then
+   answering queries via load + classify, must be at least ~5x faster
+   than refitting — the artifact holds only the core structure, and
+   classification touches only the query neighborhoods.
+2. **Single-query latency.**  p50/p99 of small queries through the
+   micro-batching :class:`~repro.serve.OutlierService` (queue, worker
+   thread, future hop included).
+3. **Batching throughput.**  Classified points/second as a function of
+   the client batch size — micro-batching amortizes the per-request
+   overhead, so throughput should climb steeply with batch size.
+
+Every served query emits ``serve.*`` metrics, and batches emit
+``repro.obs`` run records with ``serve.batch`` spans; a sample of both
+lands in ``BENCH_STATS`` for ``run_all.py --json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro import DBSCOUT, obs
+from repro.datasets import make_geolife_like
+from repro.experiments import format_table
+from repro.serve import DetectorArtifact, OutlierService, load_artifact
+
+from _common import MIN_PTS
+
+N_POINTS = 200_000
+EPS = 100.0
+
+N_SINGLE_QUERIES = 200
+SINGLE_QUERY_ROWS = 8
+BATCH_SIZES = (1, 16, 256, 4096, 65536)
+THROUGHPUT_ROWS = 65536
+
+#: Machine-readable results for run_all.py --json, filled by main().
+BENCH_STATS: dict[str, object] = {}
+
+
+def dataset() -> np.ndarray:
+    return make_geolife_like(N_POINTS, seed=0)
+
+
+def _queries(rng: np.random.Generator, n_rows: int) -> np.ndarray:
+    """Query mix: mostly near the data's hotspots, some far scatter."""
+    base = make_geolife_like(max(n_rows, 2), seed=7)[:n_rows]
+    jitter = rng.normal(0.0, 5.0, size=base.shape)
+    far = rng.uniform(-1e5, 1e5, size=base.shape)
+    take_far = rng.random(n_rows) < 0.1
+    return np.where(take_far[:, None], far, base + jitter)
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    points = dataset()
+
+    # -- 1: fit once, save, then load+classify vs refit ----------------
+    fit_start = time.perf_counter()
+    detector = DBSCOUT(eps=EPS, min_pts=MIN_PTS)
+    result = detector.fit(points)
+    fit_wall = time.perf_counter() - fit_start
+
+    artifact_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "results",
+        "serving_detector.npz",
+    )
+    artifact = DetectorArtifact.from_model(detector.core_model_, name="geo")
+    save_start = time.perf_counter()
+    saved_path = artifact.save(artifact_path)
+    save_wall = time.perf_counter() - save_start
+
+    queries = _queries(rng, THROUGHPUT_ROWS)
+
+    load_start = time.perf_counter()
+    loaded = load_artifact(saved_path)
+    load_wall = time.perf_counter() - load_start
+
+    classify_start = time.perf_counter()
+    served_labels = loaded.classify(queries)
+    classify_wall = time.perf_counter() - classify_start
+
+    refit_start = time.perf_counter()
+    refit_detector = DBSCOUT(eps=EPS, min_pts=MIN_PTS)
+    refit_detector.fit(points)
+    refit_labels = refit_detector.classify(queries)
+    refit_wall = time.perf_counter() - refit_start
+
+    assert np.array_equal(served_labels, refit_labels)
+    np.testing.assert_array_equal(
+        loaded.classify(points), result.labels()
+    )
+    speedup = refit_wall / max(load_wall + classify_wall, 1e-9)
+
+    print(
+        format_table(
+            ["path", "wall (s)"],
+            [
+                ["fit (one-time)", round(fit_wall, 3)],
+                ["artifact save", round(save_wall, 4)],
+                ["artifact load", round(load_wall, 4)],
+                [f"classify {THROUGHPUT_ROWS} queries",
+                 round(classify_wall, 4)],
+                ["refit + classify (no artifact)", round(refit_wall, 3)],
+            ],
+            title=(
+                "Serving S1: load+classify vs refit "
+                f"(geolife-like, n={N_POINTS}, eps={EPS}, "
+                f"min_pts={MIN_PTS})"
+            ),
+        )
+    )
+    print(
+        f"load+classify speedup over refit: {speedup:.1f}x "
+        f"(artifact: {loaded.model.n_core_points} core points, "
+        f"{loaded.model.nbytes() / 1e6:.1f} MB)\n"
+    )
+    assert speedup >= 5.0, f"expected >= 5x, measured {speedup:.1f}x"
+
+    # -- 2: single-query latency through the service -------------------
+    with obs.recording() as sink:
+        with OutlierService() as service:
+            service.register("geo", loaded)
+            latencies = []
+            for i in range(N_SINGLE_QUERIES):
+                chunk = _queries(rng, SINGLE_QUERY_ROWS)
+                start = time.perf_counter()
+                service.query("geo", chunk)
+                latencies.append(time.perf_counter() - start)
+            service_stats = service.stats()
+    assert sink.records, "served batches must emit run records"
+    sample_record = sink.records[-1]
+    assert sample_record.engine == "serve"
+    assert any(
+        span["name"] == "serve.batch" for span in sample_record.spans
+    )
+
+    lat_ms = {
+        "p50": _quantile(latencies, 0.50) * 1e3,
+        "p90": _quantile(latencies, 0.90) * 1e3,
+        "p99": _quantile(latencies, 0.99) * 1e3,
+    }
+    print(
+        format_table(
+            ["quantile", "latency (ms)"],
+            [[name, round(value, 3)] for name, value in lat_ms.items()],
+            title=(
+                f"Serving S2: single-query latency "
+                f"({N_SINGLE_QUERIES} x {SINGLE_QUERY_ROWS}-point "
+                "queries, obs recording on)"
+            ),
+        )
+    )
+    print(
+        f"service counters: requests={service_stats['serve.requests']}, "
+        f"batches={service_stats['serve.batches']}, "
+        f"rows={service_stats['serve.rows_classified']}\n"
+    )
+
+    # -- 3: throughput vs batch size ------------------------------------
+    rows = []
+    qps_by_batch: dict[str, float] = {}
+    with OutlierService() as service:
+        service.register("geo", loaded)
+        for batch_size in BATCH_SIZES:
+            n_batches = max(1, THROUGHPUT_ROWS // batch_size)
+            n_batches = min(n_batches, 512)
+            chunks = [
+                _queries(rng, batch_size) for _ in range(n_batches)
+            ]
+            start = time.perf_counter()
+            for chunk in chunks:
+                service.query("geo", chunk)
+            elapsed = time.perf_counter() - start
+            total_rows = batch_size * n_batches
+            qps = total_rows / max(elapsed, 1e-9)
+            qps_by_batch[str(batch_size)] = qps
+            rows.append(
+                [
+                    batch_size,
+                    n_batches,
+                    round(elapsed, 3),
+                    int(qps),
+                ]
+            )
+    print(
+        format_table(
+            ["batch size", "batches", "wall (s)", "points/s"],
+            rows,
+            title="Serving S3: classified points/second vs batch size",
+        )
+    )
+
+    BENCH_STATS.clear()
+    BENCH_STATS.update(
+        {
+            "n_points": N_POINTS,
+            "eps": EPS,
+            "min_pts": MIN_PTS,
+            "fit_wall_s": round(fit_wall, 3),
+            "artifact_save_s": round(save_wall, 4),
+            "artifact_load_s": round(load_wall, 4),
+            "classify_wall_s": round(classify_wall, 4),
+            "refit_wall_s": round(refit_wall, 3),
+            "load_classify_speedup": round(speedup, 1),
+            "artifact_core_points": int(loaded.model.n_core_points),
+            "artifact_bytes": int(loaded.model.nbytes()),
+            "single_query_latency_ms": {
+                name: round(value, 3) for name, value in lat_ms.items()
+            },
+            "qps_by_batch_size": {
+                name: int(value) for name, value in qps_by_batch.items()
+            },
+            "serve_counters": {
+                key: value
+                for key, value in service_stats.items()
+                if isinstance(value, (int, float))
+            },
+            "sample_run_record": sample_record.to_dict(),
+        }
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    main()

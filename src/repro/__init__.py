@@ -18,6 +18,7 @@ Quickstart:
     True
 """
 
+from repro.core.classify import CoreModel, classify
 from repro.core.dbscout import DBSCOUT, detect_outliers
 from repro.core.distance_based import DistanceBasedDetector
 from repro.core.geographic import detect_geographic
@@ -25,12 +26,17 @@ from repro.core.incremental import IncrementalDBSCOUT
 from repro.core.parameters import estimate_eps, k_distance_graph
 from repro.core.scoring import detect_with_scores, nearest_core_distance
 from repro.exceptions import (
+    ArtifactError,
     DataValidationError,
+    DeadlineExceededError,
     EngineError,
     NotFittedError,
     ParameterError,
     ReproError,
+    ServeError,
+    ServiceOverloadedError,
     SparkLiteError,
+    UnknownDetectorError,
 )
 from repro.types import DetectionResult, TimingBreakdown
 
@@ -38,8 +44,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DBSCOUT",
+    "CoreModel",
     "DistanceBasedDetector",
     "IncrementalDBSCOUT",
+    "classify",
     "detect_outliers",
     "detect_with_scores",
     "detect_geographic",
@@ -54,5 +62,10 @@ __all__ = [
     "EngineError",
     "NotFittedError",
     "SparkLiteError",
+    "ArtifactError",
+    "ServeError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "UnknownDetectorError",
     "__version__",
 ]

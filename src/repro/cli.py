@@ -7,11 +7,19 @@ Commands:
 * ``estimate-eps`` — print the k-distance elbow eps for a dataset.
 * ``generate`` — write one of the built-in synthetic datasets to disk.
 
+* ``fit`` — fit a detector and save it as a servable artifact.
+* ``serve`` — load artifacts and answer queries over TCP.
+* ``query`` — classify points against a running server.
+
 Examples:
     python -m repro detect points.csv --eps 0.5 --min-pts 10
     python -m repro detect points.npy --min-pts 10 --auto-eps
     python -m repro estimate-eps points.csv --min-pts 10
     python -m repro generate osm --n 100000 --output osm.npy
+    python -m repro fit points.npy --eps 0.5 --min-pts 10 \\
+        --save-artifact geo.npz --name geo
+    python -m repro serve geo.npz --port 7227
+    python -m repro query queries.csv --detector geo --port 7227
 """
 
 from __future__ import annotations
@@ -125,6 +133,84 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--n", type=int, default=10_000)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--output", required=True)
+
+    fit = commands.add_parser(
+        "fit",
+        help="fit a detector and save it as a servable artifact",
+    )
+    fit.add_argument("input", help="points file (.csv or .npy)")
+    fit.add_argument("--eps", type=float, help="neighborhood radius")
+    fit.add_argument(
+        "--min-pts", type=int, required=True, help="density threshold"
+    )
+    fit.add_argument(
+        "--auto-eps",
+        action="store_true",
+        help="estimate eps with the k-distance elbow (ignores --eps)",
+    )
+    fit.add_argument(
+        "--engine",
+        choices=("vectorized", "distributed"),
+        default="vectorized",
+    )
+    fit.add_argument(
+        "--save-artifact",
+        required=True,
+        metavar="PATH",
+        help="write the fitted detector artifact (.npz) here",
+    )
+    fit.add_argument(
+        "--name",
+        help="detector name stored in the artifact "
+        "(defaults to the artifact file stem)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve detector artifacts over TCP (JSON lines)"
+    )
+    serve.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="ARTIFACT",
+        help="artifact files (.npz) to load and register",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7227)
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=65536,
+        help="largest coalesced micro-batch, in points",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="pending requests before the service sheds load",
+    )
+
+    query = commands.add_parser(
+        "query", help="classify points against a running server"
+    )
+    query.add_argument("input", help="points file (.csv or .npy)")
+    query.add_argument(
+        "--detector", required=True, help="registered detector name"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7227)
+    query.add_argument(
+        "--timeout",
+        type=float,
+        help="server-side deadline in seconds for this query",
+    )
+    query.add_argument(
+        "--output", help="write outlier indices here instead of stdout"
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the server's serve.* stats snapshot",
+    )
 
     compare = commands.add_parser(
         "compare",
@@ -277,6 +363,90 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fit(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.serve import DetectorArtifact
+
+    points = load_points(args.input)
+    if args.auto_eps:
+        eps = estimate_eps(points, args.min_pts)
+        print(f"estimated eps: {eps:.6g}", file=sys.stderr)
+    elif args.eps is not None:
+        eps = args.eps
+    else:
+        print("error: provide --eps or --auto-eps", file=sys.stderr)
+        return 2
+    detector = DBSCOUT(eps=eps, min_pts=args.min_pts, engine=args.engine)
+    result = detector.fit(points)
+    name = args.name or pathlib.Path(args.save_artifact).stem
+    artifact = DetectorArtifact.from_model(
+        detector.core_model_, name=name, source=str(args.input)
+    )
+    written = artifact.save(args.save_artifact)
+    print(
+        f"fitted {result.n_points} points "
+        f"({result.n_core_points} core, {result.n_outliers} outliers); "
+        f"artifact {name!r} written to {written}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.serve import OutlierService, load_artifact, run_server
+
+    service = OutlierService(
+        max_queue=args.max_queue, max_batch_rows=args.max_batch_rows
+    )
+    for path in args.artifacts:
+        artifact = load_artifact(path)
+        service.register(artifact.name, artifact)
+        print(
+            f"loaded {artifact.name!r} from {path} "
+            f"(eps={artifact.model.eps:.6g}, "
+            f"min_pts={artifact.model.min_pts}, "
+            f"{artifact.model.n_core_points} core points)",
+            file=sys.stderr,
+        )
+    try:
+        run_server(service, host=args.host, port=args.port)
+    finally:
+        service.close()
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.serve import OutlierClient
+
+    points = load_points(args.input)
+    with OutlierClient(args.host, args.port) as client:
+        labels = client.query(args.detector, points, timeout=args.timeout)
+        stats = client.stats() if args.stats else None
+    outlier_indices = np.flatnonzero(labels == 1)
+    if args.output:
+        save_outliers(outlier_indices, args.output)
+        print(
+            f"{outlier_indices.size} outlier indices written to "
+            f"{args.output}",
+            file=sys.stderr,
+        )
+    else:
+        for index in outlier_indices:
+            print(int(index))
+    print(
+        f"{outlier_indices.size} outliers in {labels.size} points",
+        file=sys.stderr,
+    )
+    if stats is not None:
+        print(json.dumps(stats, indent=2, sort_keys=True), file=sys.stderr)
+    return 0
+
+
 def _run_generate(args: argparse.Namespace) -> int:
     points = GENERATORS[args.dataset](args.n, args.seed)
     save_points(points, args.output)
@@ -296,6 +466,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "estimate-eps": _run_estimate,
         "generate": _run_generate,
         "compare": _run_compare,
+        "fit": _run_fit,
+        "serve": _run_serve,
+        "query": _run_query,
     }
     try:
         return handlers[args.command](args)

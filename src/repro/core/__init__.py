@@ -1,6 +1,7 @@
 """Core DBSCOUT algorithm: grid geometry, cell maps, and detection engines."""
 
 from repro.core.cellmap import CellMap, CellType
+from repro.core.classify import CoreModel, classify
 from repro.core.dbscout import DBSCOUT, detect_outliers
 from repro.core.distance_based import DistanceBasedDetector
 from repro.core.grid import Grid, cell_coordinates, cell_side_length
@@ -17,6 +18,8 @@ from repro.core.scoring import detect_with_scores, nearest_core_distance
 __all__ = [
     "CellMap",
     "CellType",
+    "CoreModel",
+    "classify",
     "DBSCOUT",
     "DistanceBasedDetector",
     "IncrementalDBSCOUT",

@@ -1,0 +1,404 @@
+"""Exact out-of-sample classification against a fitted DBSCOUT model.
+
+DBSCOUT's broadcast core/dense cell map (Algorithms 2/4) is exactly the
+structure needed to answer "is this new point an outlier?" without
+refitting: by Definition 3 a point is an inlier iff it lies within
+``eps`` of some core point, and every core point within ``eps`` of a
+query point lives in one of the ``k_d`` stencil-neighboring cells of
+the query's cell (Definition 8).  A fitted detector therefore reduces
+to the core points grouped by their epsilon-cell — the
+:class:`CoreModel` — and classification of unseen points is an exact
+O(k_d)-cell check:
+
+1. a query whose cell is itself a *core cell* (dense or holding a core
+   point) is an inlier outright, because any two points sharing a
+   diagonal-``eps`` cell are within ``eps`` of each other (Lemma 1);
+2. otherwise the query is compared against the core points of its
+   neighboring core cells with the same squared-distance accumulation
+   order as the fit engines, so ``classify`` reproduces ``fit`` labels
+   *bit-identically* on the training data.
+
+The model is what :mod:`repro.serve` persists and serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.grid import Grid, cell_side_length, validate_points
+from repro.core.neighbors import NeighborStencil
+from repro.exceptions import DataValidationError, ParameterError
+from repro.types import DetectionResult
+
+__all__ = ["CoreModel", "classify"]
+
+
+def _match_rows(
+    rows: np.ndarray, table: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Match ``rows + offset`` against ``table`` for every stencil offset.
+
+    Args:
+        rows: ``(q, d)`` integer cell coordinates (unique query cells).
+        table: ``(m, d)`` integer cell coordinates (unique core cells).
+        offsets: ``(k_d, d)`` stencil offsets.
+
+    Returns:
+        ``(sources, hits, own)``: flat parallel arrays where
+        ``table[hits[j]]`` is a stencil neighbor of ``rows[sources[j]]``
+        (pairs in offset-major order), plus ``own`` — a ``(q,)`` array
+        holding the index of each row in ``table`` (``-1`` when absent,
+        i.e. the zero-offset match).
+
+    Uses a packed-int64 sort/searchsorted fast path shared between the
+    two cell sets and falls back to a dictionary when the combined
+    coordinate spans exceed 62 bits.
+    """
+    n_rows, n_dims = rows.shape
+    n_table = table.shape[0]
+    own = np.full(n_rows, -1, dtype=np.int64)
+    if n_rows == 0 or n_table == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            own,
+        )
+    packer = _shared_packer(rows, table, offsets)
+    if packer is None:
+        lookup = {
+            tuple(int(c) for c in row): i for i, row in enumerate(table)
+        }
+        sources_list: list[int] = []
+        hits_list: list[int] = []
+        offset_tuples = [tuple(int(j) for j in off) for off in offsets]
+        row_tuples = [tuple(int(c) for c in row) for row in rows]
+        for off in offset_tuples:
+            for i, cell in enumerate(row_tuples):
+                hit = lookup.get(tuple(c + j for c, j in zip(cell, off)))
+                if hit is not None:
+                    sources_list.append(i)
+                    hits_list.append(hit)
+                    if not any(off):
+                        own[i] = hit
+        return (
+            np.array(sources_list, dtype=np.int64),
+            np.array(hits_list, dtype=np.int64),
+            own,
+        )
+    table_keys = packer(table)
+    sort_order = np.argsort(table_keys, kind="stable")
+    sorted_keys = table_keys[sort_order]
+    all_sources: list[np.ndarray] = []
+    all_hits: list[np.ndarray] = []
+    for off in offsets:
+        candidate_keys = packer(rows + off)
+        positions = np.searchsorted(sorted_keys, candidate_keys)
+        positions = np.minimum(positions, n_table - 1)
+        hit = sorted_keys[positions] == candidate_keys
+        sources = np.flatnonzero(hit)
+        hits = sort_order[positions[hit]]
+        all_sources.append(sources)
+        all_hits.append(hits)
+        if not off.any():
+            own[sources] = hits
+    return np.concatenate(all_sources), np.concatenate(all_hits), own
+
+
+def _shared_packer(
+    rows: np.ndarray, table: np.ndarray, offsets: np.ndarray
+):
+    """Packer covering both cell sets plus any stencil shift, or ``None``.
+
+    Mirrors ``repro.core.vectorized._make_packer`` but sizes the
+    per-dimension bit fields over the union of the two coordinate sets
+    so one key space serves the query-to-core matching.
+    """
+    reach = int(np.abs(offsets).max()) if offsets.size else 0
+    mins = np.minimum(rows.min(axis=0), table.min(axis=0)) - reach
+    maxs = np.maximum(rows.max(axis=0), table.max(axis=0)) + reach
+    spans = maxs - mins + 1
+    bits = [int(span).bit_length() + 1 for span in spans]
+    if sum(bits) > 62:
+        return None
+
+    def packer(cells: np.ndarray) -> np.ndarray:
+        keys = np.zeros(cells.shape[0], dtype=np.int64)
+        for dim in range(cells.shape[1]):
+            keys = (keys << bits[dim]) | (cells[:, dim] - mins[dim])
+        return keys
+
+    return packer
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """A fitted DBSCOUT detector reduced to its servable essence.
+
+    The model is the core points grouped by epsilon-cell: enough to
+    classify any point exactly (see the module docstring), cheap to
+    persist (:mod:`repro.serve.artifact`), and typically far smaller
+    than the training data.
+
+    Attributes:
+        eps: Neighborhood radius the detector was fitted with.
+        min_pts: Density threshold the detector was fitted with.
+        n_dims: Dimensionality of the space.
+        core_points: ``(k, d)`` float64 core-point coordinates, stored
+            contiguously grouped by cell.
+        core_cells: ``(m, d)`` int64 coordinates of the unique cells
+            holding core points (every such cell is a core cell, and
+            every core cell holds a core point).
+        core_starts: ``(m + 1,)`` int64 CSR offsets: the core points of
+            ``core_cells[i]`` are
+            ``core_points[core_starts[i]:core_starts[i + 1]]``.
+        n_train: Number of training points the detector was fitted on.
+        engine: Name of the engine that produced the fit.
+        metadata: Free-form facts carried along (artifact name, ...).
+    """
+
+    eps: float
+    min_pts: int
+    n_dims: int
+    core_points: np.ndarray
+    core_cells: np.ndarray
+    core_starts: np.ndarray
+    n_train: int = 0
+    engine: str = "vectorized"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        points = np.ascontiguousarray(self.core_points, dtype=np.float64)
+        cells = np.ascontiguousarray(self.core_cells, dtype=np.int64)
+        starts = np.ascontiguousarray(self.core_starts, dtype=np.int64)
+        if points.ndim != 2 or points.shape[1] != self.n_dims:
+            raise ParameterError(
+                f"core_points must have shape (k, {self.n_dims}), "
+                f"got {points.shape}"
+            )
+        if cells.ndim != 2 or cells.shape[1] != self.n_dims:
+            raise ParameterError(
+                f"core_cells must have shape (m, {self.n_dims}), "
+                f"got {cells.shape}"
+            )
+        if (
+            starts.ndim != 1
+            or starts.shape[0] != cells.shape[0] + 1
+            or (cells.shape[0] and starts[0] != 0)
+            or (cells.shape[0] and starts[-1] != points.shape[0])
+            or (np.diff(starts) < 1).any()
+        ):
+            raise ParameterError(
+                "core_starts must be a monotone CSR offset array mapping "
+                "every core cell to a non-empty core-point run"
+            )
+        object.__setattr__(self, "core_points", points)
+        object.__setattr__(self, "core_cells", cells)
+        object.__setattr__(self, "core_starts", starts)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_fit(
+        cls,
+        points: np.ndarray,
+        result: DetectionResult,
+        eps: float,
+        min_pts: int,
+        engine: str = "vectorized",
+        **metadata: Any,
+    ) -> "CoreModel":
+        """Build the servable model from a fit's training data and result.
+
+        Args:
+            points: The training points the detector was fitted on.
+            result: The :class:`DetectionResult` of that fit (must
+                carry a ``core_mask``).
+            eps: Neighborhood radius used for the fit.
+            min_pts: Density threshold used for the fit.
+            engine: Engine name recorded in the model.
+            **metadata: Extra facts to carry in :attr:`metadata`.
+        """
+        array = validate_points(points)
+        if result.core_mask is None:
+            raise ParameterError(
+                "result has no core_mask; only density-based fits "
+                "(DBSCOUT engines) can be turned into a CoreModel"
+            )
+        if result.n_points != array.shape[0]:
+            raise ParameterError(
+                f"result covers {result.n_points} points but "
+                f"{array.shape[0]} were given"
+            )
+        core = array[result.core_mask]
+        if core.shape[0] == 0:
+            n_dims = array.shape[1]
+            return cls(
+                eps=float(eps),
+                min_pts=int(min_pts),
+                n_dims=n_dims,
+                core_points=np.empty((0, n_dims)),
+                core_cells=np.empty((0, n_dims), dtype=np.int64),
+                core_starts=np.zeros(1, dtype=np.int64),
+                n_train=array.shape[0],
+                engine=engine,
+                metadata=dict(metadata),
+            )
+        grid = Grid(core, eps)
+        order, _ = grid.members_csr()
+        starts = np.concatenate(
+            ([0], np.cumsum(grid.counts))
+        ).astype(np.int64)
+        return cls(
+            eps=float(eps),
+            min_pts=int(min_pts),
+            n_dims=array.shape[1],
+            core_points=core[order],
+            core_cells=grid.cells,
+            core_starts=starts,
+            n_train=array.shape[0],
+            engine=engine,
+            metadata=dict(metadata),
+        )
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def side(self) -> float:
+        """Cell side length ``eps / sqrt(d)`` of the fitted grid."""
+        return cell_side_length(self.eps, self.n_dims)
+
+    @property
+    def n_core_points(self) -> int:
+        """Number of stored core points."""
+        return int(self.core_points.shape[0])
+
+    @property
+    def n_core_cells(self) -> int:
+        """Number of cells holding core points."""
+        return int(self.core_cells.shape[0])
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the model arrays."""
+        return int(
+            self.core_points.nbytes
+            + self.core_cells.nbytes
+            + self.core_starts.nbytes
+        )
+
+    # -- classification ------------------------------------------------
+
+    def classify(
+        self,
+        points: np.ndarray,
+        counters: dict[str, int] | None = None,
+    ) -> np.ndarray:
+        """Exact labels for (possibly unseen) points: 1 outlier, 0 inlier.
+
+        A point is an outlier iff every stored core point is strictly
+        farther than ``eps`` (Definition 3).  On the training data this
+        reproduces the ``fit`` labels bit-identically, for both
+        engines.
+
+        Args:
+            points: ``(n, d)`` array of query points.
+            counters: Optional dict accumulating
+                ``distance_computations`` / ``cells_settled_core`` /
+                ``cells_no_candidates`` work counters.
+
+        Returns:
+            ``(n,)`` int64 label array matching
+            :meth:`repro.types.DetectionResult.labels`.
+        """
+        from repro.core.vectorized import _flat_ranges, _segmented_pair_counts
+
+        array = validate_points(points)
+        if array.shape[1] != self.n_dims:
+            raise DataValidationError(
+                f"query points have {array.shape[1]} dims, "
+                f"model was fitted on {self.n_dims}"
+            )
+        n_queries = array.shape[0]
+        labels = np.zeros(n_queries, dtype=np.int64)
+        if n_queries == 0:
+            return labels
+        if counters is None:
+            counters = {}
+        counters.setdefault("distance_computations", 0)
+        counters.setdefault("cells_settled_core", 0)
+        counters.setdefault("cells_no_candidates", 0)
+        if self.n_core_points == 0:
+            # No core points anywhere: every point is an outlier.
+            labels[:] = 1
+            return labels
+        qgrid = Grid(array, self.eps)
+        stencil = NeighborStencil(self.n_dims)
+        sources, hits, own = _match_rows(
+            qgrid.cells, self.core_cells, stencil.offsets
+        )
+        # Lemma 1 shortcut: a query in a core cell shares a
+        # diagonal-eps cell with a core point, hence is an inlier —
+        # exactly how fit settles points of core cells, so the
+        # bit-consistency on training data is by construction.
+        settled = own >= 0
+        counters["cells_settled_core"] += int(settled.sum())
+        keep = ~settled[sources]
+        sources, hits = sources[keep], hits[keep]
+        # Candidate core points per unsettled query cell, CSR-grouped.
+        order_pairs = np.argsort(sources, kind="stable")
+        sources, hits = sources[order_pairs], hits[order_pairs]
+        per_hit = (
+            self.core_starts[hits + 1] - self.core_starts[hits]
+        )
+        pair_lens = np.bincount(
+            sources, minlength=qgrid.n_cells
+        )
+        c_sizes = np.bincount(
+            sources, weights=per_hit, minlength=qgrid.n_cells
+        ).astype(np.int64)
+        cands_flat = _flat_ranges(self.core_starts[hits], per_hit)
+        work = np.flatnonzero(~settled)
+        counters["cells_no_candidates"] += int(
+            (pair_lens[work] == 0).sum()
+        )
+        qorder, qstarts = qgrid.members_csr()
+        members_flat = qorder[
+            _flat_ranges(qstarts[work], qgrid.counts[work])
+        ]
+        # One concatenated array lets the fit engines' exact distance
+        # kernel run unchanged: targets index the query block,
+        # candidates index the core block at offset n_queries.
+        stacked = np.concatenate([array, self.core_points], axis=0)
+        counts = _segmented_pair_counts(
+            stacked,
+            members_flat,
+            qgrid.counts[work],
+            cands_flat + n_queries,
+            c_sizes[work],
+            self.eps * self.eps,
+            counters,
+        )
+        labels[members_flat[counts == 0]] = 1
+        return labels
+
+    def classify_mask(self, points: np.ndarray) -> np.ndarray:
+        """Boolean outlier mask form of :meth:`classify`."""
+        return self.classify(points).astype(bool)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreModel(eps={self.eps}, min_pts={self.min_pts}, "
+            f"n_dims={self.n_dims}, n_core_points={self.n_core_points}, "
+            f"n_core_cells={self.n_core_cells}, n_train={self.n_train})"
+        )
+
+
+def classify(model: CoreModel, points: np.ndarray) -> np.ndarray:
+    """Exact out-of-sample labels (1 outlier, 0 inlier) for ``points``.
+
+    Functional form of :meth:`CoreModel.classify`; see there for the
+    guarantees.
+    """
+    return model.classify(points)

@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.classify import CoreModel
 from repro.core.distributed import DistributedEngine
 from repro.core.validation import validate_parameters
 from repro.core.vectorized import VectorizedEngine
@@ -85,19 +86,35 @@ class DBSCOUT:
             self._engine = DistributedEngine(**engine_options)
         self.engine_name = engine
         self._result: DetectionResult | None = None
+        self._fit_points: np.ndarray | None = None
+        self._core_model: CoreModel | None = None
 
     def fit(self, points: np.ndarray) -> DetectionResult:
         """Detect outliers in ``points`` and return the result.
 
         The result is also retained on the estimator (see
-        :attr:`result_`) for sklearn-style access.
+        :attr:`result_`) for sklearn-style access, along with the
+        training points so :meth:`classify` can label unseen data.
         """
         self._result = self._engine.detect(points, self.eps, self.min_pts)
+        self._fit_points = points
+        self._core_model = None
         return self._result
 
     def fit_predict(self, points: np.ndarray) -> np.ndarray:
         """Fit and return labels: 1 for outliers, 0 for inliers."""
         return self.fit(points).labels()
+
+    def classify(self, points: np.ndarray) -> np.ndarray:
+        """Exact labels for unseen points without refitting.
+
+        A point is an outlier iff it lies strictly farther than
+        ``eps`` from every core point of the fitted model (Definition
+        3); on the training data this reproduces the :meth:`fit`
+        labels bit-identically.  See
+        :class:`repro.core.classify.CoreModel`.
+        """
+        return self.core_model_.classify(points)
 
     @property
     def result_(self) -> DetectionResult:
@@ -105,6 +122,25 @@ class DBSCOUT:
         if self._result is None:
             raise NotFittedError("call fit() before accessing result_")
         return self._result
+
+    @property
+    def core_model_(self) -> CoreModel:
+        """The servable :class:`CoreModel` of the last :meth:`fit` call.
+
+        Built lazily from the retained training points and cached; this
+        is what :mod:`repro.serve` persists as a detector artifact.
+        """
+        if self._result is None or self._fit_points is None:
+            raise NotFittedError("call fit() before accessing core_model_")
+        if self._core_model is None:
+            self._core_model = CoreModel.from_fit(
+                self._fit_points,
+                self._result,
+                self.eps,
+                self.min_pts,
+                engine=self.engine_name,
+            )
+        return self._core_model
 
     def __repr__(self) -> str:
         return (

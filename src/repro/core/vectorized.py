@@ -642,6 +642,16 @@ class VectorizedEngine:
             record=record,
         )
 
+    def classify(self, model, points: np.ndarray) -> np.ndarray:
+        """Exact out-of-sample labels against a fitted ``CoreModel``.
+
+        Delegates to :meth:`repro.core.classify.CoreModel.classify`
+        (whose distance kernel is this engine's own
+        ``_segmented_pair_counts``), so labels are bit-identical to
+        :meth:`detect` on the training data.
+        """
+        return model.classify(points)
+
     @staticmethod
     def _find_core_points(
         array: np.ndarray,

@@ -27,6 +27,30 @@ class NotFittedError(ReproError, RuntimeError):
     """A result or model attribute was accessed before ``fit`` ran."""
 
 
+class ArtifactError(ReproError, RuntimeError):
+    """A detector artifact could not be saved, loaded, or validated."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for errors raised by the serving layer."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The micro-batching queue is full; the caller should back off."""
+
+
+class DeadlineExceededError(ServeError, TimeoutError):
+    """A queued request missed its deadline before a batch ran it."""
+
+
+class UnknownDetectorError(ServeError, KeyError):
+    """The requested detector name is not registered with the service."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes the message; keep it readable.
+        return Exception.__str__(self)
+
+
 class SparkLiteError(ReproError, RuntimeError):
     """Base class for errors raised by the SparkLite execution engine."""
 

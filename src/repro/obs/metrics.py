@@ -17,6 +17,7 @@ so a snapshot is always ``json.dumps``-able.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Mapping
 
@@ -25,26 +26,38 @@ import numpy as np
 __all__ = ["MetricsRegistry", "to_builtin"]
 
 
-def to_builtin(value: Any) -> Any:
+def to_builtin(value: Any, *, finite: bool = False) -> Any:
     """Recursively convert NumPy scalars/arrays to JSON-safe builtins.
 
     Containers keep their type (tuples stay tuples — ``json`` encodes
     them as arrays); unknown objects pass through unchanged.
+
+    With ``finite=True``, non-finite floats (``nan``/``inf``, Python or
+    NumPy, including inside arrays) become ``None`` so the result
+    survives strict JSON encoders (``allow_nan=False``) and non-Python
+    JSON parsers.  Leave it off for arithmetic paths where ``nan``
+    must propagate.
     """
     if isinstance(value, np.bool_):
         return bool(value)
     if isinstance(value, np.integer):
         return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if finite and not math.isfinite(value):
+            return None
+        return value
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return to_builtin(value.tolist(), finite=finite)
     if isinstance(value, dict):
-        return {key: to_builtin(item) for key, item in value.items()}
+        return {
+            key: to_builtin(item, finite=finite)
+            for key, item in value.items()
+        }
     if isinstance(value, tuple):
-        return tuple(to_builtin(item) for item in value)
+        return tuple(to_builtin(item, finite=finite) for item in value)
     if isinstance(value, list):
-        return [to_builtin(item) for item in value]
+        return [to_builtin(item, finite=finite) for item in value]
     return value
 
 

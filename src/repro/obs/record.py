@@ -143,24 +143,32 @@ class RunRecord:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-builtins dict form (stable key order, JSON-safe)."""
+        """Plain-builtins dict form (stable key order, JSON-safe).
+
+        Non-finite floats (``nan``/``inf``) anywhere in the payload are
+        mapped to ``None`` so the record survives strict JSON encoders
+        and non-Python parsers.
+        """
         return {
             "schema_version": self.schema_version,
             "run_id": self.run_id,
             "created_at": self.created_at,
             "engine": self.engine,
-            "params": to_builtin(dict(self.params)),
-            "dataset": to_builtin(dict(self.dataset)),
-            "spans": [dict(payload) for payload in self.spans],
-            "counters": dict(self.counters),
-            "context": to_builtin(dict(self.context)),
-            "memory": dict(self.memory),
+            "params": to_builtin(dict(self.params), finite=True),
+            "dataset": to_builtin(dict(self.dataset), finite=True),
+            "spans": [
+                to_builtin(dict(payload), finite=True)
+                for payload in self.spans
+            ],
+            "counters": to_builtin(dict(self.counters), finite=True),
+            "context": to_builtin(dict(self.context), finite=True),
+            "memory": to_builtin(dict(self.memory), finite=True),
             "versions": dict(self.versions),
         }
 
     def to_json(self) -> str:
         """One-line JSON form (the JSONL record)."""
-        return json.dumps(self.to_dict(), sort_keys=True)
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":

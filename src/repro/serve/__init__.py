@@ -1,0 +1,56 @@
+"""Serving layer: persistable detector artifacts + outlier query service.
+
+DBSCOUT's fitted grid (core points grouped by epsilon-cell, the
+broadcast structure of Algorithms 2/4) is the natural persisted
+"model": it answers "is this new point an outlier?" exactly, without
+refitting.  This package turns that observation into a serving stack:
+
+* :mod:`repro.serve.artifact` — versioned, schema-checked save/load of
+  fitted models (one ``.npz`` file: arrays + JSON header);
+* :mod:`repro.serve.service` — :class:`OutlierService`, a
+  micro-batching request queue with backpressure, per-request
+  deadlines, and a multi-detector LRU registry;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — an asyncio
+  JSON-lines TCP front-end and a blocking client.
+
+Quickstart::
+
+    from repro.serve import DetectorArtifact, OutlierService, fit_artifact
+
+    artifact = fit_artifact(points, eps=0.5, min_pts=10, name="geo")
+    artifact.save("geo.npz")
+
+    service = OutlierService()
+    service.load("geo", "geo.npz")
+    labels = service.query("geo", new_points)   # 1 = outlier
+
+Every request updates ``serve.*`` metrics and (with obs sinks or
+tracing active) emits :mod:`repro.obs` run records, so serving is
+observable end-to-end like the fit engines.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_SCHEMA_VERSION,
+    DetectorArtifact,
+    fit_artifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serve.client import OutlierClient
+from repro.serve.server import OutlierServer, run_server
+from repro.serve.service import OutlierService, QueryOutcome
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_SCHEMA_VERSION",
+    "DetectorArtifact",
+    "fit_artifact",
+    "load_artifact",
+    "save_artifact",
+    "OutlierClient",
+    "OutlierServer",
+    "run_server",
+    "OutlierService",
+    "QueryOutcome",
+]

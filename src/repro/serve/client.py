@@ -1,0 +1,166 @@
+"""Blocking JSON-lines client for the outlier query server.
+
+:class:`OutlierClient` speaks the one-JSON-object-per-line protocol of
+:mod:`repro.serve.server` over a plain TCP socket.  Server-side errors
+come back with an ``error_type`` field that the client maps onto the
+library's exception hierarchy, so remote failures raise the same types
+as local ones (``ServiceOverloadedError`` → back off and retry,
+``UnknownDetectorError`` → wrong name, ...).
+
+Example::
+
+    with OutlierClient("127.0.0.1", 7227) as client:
+        labels = client.query("geo", [[116.3, 39.9], [0.0, 0.0]])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import (
+    DataValidationError,
+    DeadlineExceededError,
+    ParameterError,
+    ServeError,
+    ServiceOverloadedError,
+    UnknownDetectorError,
+)
+
+__all__ = ["OutlierClient"]
+
+#: ``error_type`` values mapped back onto library exceptions.
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "ServeError": ServeError,
+    "ServiceOverloadedError": ServiceOverloadedError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "UnknownDetectorError": UnknownDetectorError,
+    "DataValidationError": DataValidationError,
+    "ParameterError": ParameterError,
+}
+
+
+class OutlierClient:
+    """Blocking client for one server connection.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Socket timeout in seconds for connect and replies
+            (``None`` blocks indefinitely).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7227,
+        timeout: float | None = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"could not connect to {host}:{port}: {exc}"
+            ) from exc
+        self._reader = self._sock.makefile("rb")
+        self._request_id = 0
+
+    # -- protocol ------------------------------------------------------
+
+    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, await and decode one response."""
+        self._request_id += 1
+        payload = {"id": self._request_id, **payload}
+        try:
+            self._sock.sendall(
+                json.dumps(payload).encode("utf-8") + b"\n"
+            )
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeError(f"connection failed: {exc}") from exc
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"malformed response from server: {exc}"
+            ) from exc
+        if not response.get("ok"):
+            error_cls = _ERROR_TYPES.get(
+                response.get("error_type", ""), ServeError
+            )
+            raise error_cls(response.get("error", "unknown server error"))
+        return response
+
+    # -- operations ----------------------------------------------------
+
+    def query(
+        self,
+        detector: str,
+        points: Any,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Classify ``points``; returns int64 labels (1 = outlier).
+
+        ``timeout`` becomes the server-side micro-batching deadline.
+        """
+        array = np.asarray(points, dtype=np.float64)
+        request: dict[str, Any] = {
+            "op": "query",
+            "detector": detector,
+            "points": array.tolist(),
+        }
+        if timeout is not None:
+            request["timeout"] = float(timeout)
+        response = self.call(request)
+        return np.asarray(response["labels"], dtype=np.int64)
+
+    def query_one(self, detector: str, point: Any) -> int:
+        """Classify a single point; returns its label (1 = outlier)."""
+        labels = self.query(detector, np.atleast_2d(
+            np.asarray(point, dtype=np.float64)
+        ))
+        return int(labels[0])
+
+    def detectors(self) -> list[str]:
+        """Names registered with the remote service."""
+        return list(self.call({"op": "list"})["detectors"])
+
+    def stats(self) -> dict[str, Any]:
+        """The remote service's ``serve.*`` stats snapshot."""
+        return dict(self.call({"op": "stats"})["stats"])
+
+    def ping(self) -> bool:
+        """Liveness check; ``True`` when the server answers."""
+        return bool(self.call({"op": "ping"})["ok"])
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        except OSError:  # pragma: no cover - close best effort
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close best effort
+            pass
+
+    def __enter__(self) -> "OutlierClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"OutlierClient(host={self.host!r}, port={self.port})"

@@ -1,0 +1,214 @@
+"""Asyncio JSON-lines TCP front-end over an :class:`OutlierService`.
+
+The wire protocol is one JSON object per line, both ways.  Requests:
+
+* ``{"op": "query", "detector": "name", "points": [[...], ...]}`` —
+  classify; optional ``"timeout"`` (seconds) becomes the request's
+  micro-batching deadline; optional ``"id"`` is echoed back.
+* ``{"op": "stats"}`` — the service's ``serve.*`` counter snapshot with
+  latency quantiles.
+* ``{"op": "list"}`` — registered detector names.
+* ``{"op": "ping"}`` — liveness check.
+
+Responses carry ``"ok": true`` plus the payload, or ``"ok": false``
+with ``"error"`` and ``"error_type"`` (the exception class name, which
+:mod:`repro.serve.client` maps back to the library's exceptions —
+``ServiceOverloadedError`` means "back off and retry").  One bad
+request does not drop the connection; clients pipeline freely.
+
+The event loop never blocks on classification: queries enqueue into the
+service's micro-batcher and the handler awaits the future, so many
+concurrent connections coalesce into shared vectorized batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ReproError, ServeError
+from repro.serve.service import OutlierService
+
+__all__ = ["OutlierServer", "run_server"]
+
+#: Refuse request lines larger than this many bytes (64 MiB of JSON is
+#: ~2M two-dimensional points — beyond micro-batching territory).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class OutlierServer:
+    """JSON-lines TCP server wrapping an :class:`OutlierService`.
+
+    Args:
+        service: The (already populated) query service to front.
+        host: Interface to bind.
+        port: Port to bind; ``0`` picks a free one (see :attr:`port`
+            after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        service: OutlierService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> "OutlierServer":
+        """Bind and start accepting connections; resolves :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (call :meth:`start` first)."""
+        if self._server is None:
+            raise ServeError("call start() before serve_forever()")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized line
+                    await self._send(
+                        writer,
+                        _error_payload(
+                            None,
+                            ServeError(
+                                f"request line exceeds {MAX_LINE_BYTES} "
+                                "bytes"
+                            ),
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, payload: dict[str, Any]
+    ) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        request_id: Any = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServeError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "query")
+            if op == "ping":
+                return _ok_payload(request_id, op="ping")
+            if op == "list":
+                return _ok_payload(
+                    request_id, detectors=self.service.detectors()
+                )
+            if op == "stats":
+                return _ok_payload(request_id, stats=self.service.stats())
+            if op == "query":
+                return await self._handle_query(request, request_id)
+            raise ServeError(f"unknown op {op!r}")
+        except json.JSONDecodeError as exc:
+            return _error_payload(
+                request_id, ServeError(f"malformed JSON request: {exc}")
+            )
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return _error_payload(request_id, exc)
+
+    async def _handle_query(
+        self, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        detector = request.get("detector")
+        if not isinstance(detector, str):
+            raise ServeError("query needs a string 'detector' field")
+        points = np.asarray(request.get("points"), dtype=np.float64)
+        if points.ndim == 1 and points.size:
+            points = points[None, :]  # single point convenience
+        timeout = request.get("timeout")
+        future = self.service.submit(
+            detector, points, timeout=timeout
+        )
+        labels = await asyncio.wrap_future(future)
+        return _ok_payload(
+            request_id,
+            labels=[int(label) for label in labels],
+            n_outliers=int(labels.sum()),
+        )
+
+
+def _ok_payload(request_id: Any, **payload: Any) -> dict[str, Any]:
+    out: dict[str, Any] = {"ok": True}
+    if request_id is not None:
+        out["id"] = request_id
+    out.update(payload)
+    return out
+
+
+def _error_payload(request_id: Any, exc: BaseException) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "ok": False,
+        "error": str(exc) or type(exc).__name__,
+        "error_type": type(exc).__name__
+        if isinstance(exc, ReproError)
+        else "ServeError",
+    }
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def run_server(
+    service: OutlierService, host: str = "127.0.0.1", port: int = 7227
+) -> None:
+    """Blocking convenience runner used by ``repro serve``."""
+
+    async def _run() -> None:
+        server = await OutlierServer(service, host, port).start()
+        print(f"serving {len(service.detectors())} detector(s) "
+              f"on {host}:{server.port}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass

@@ -1,0 +1,467 @@
+"""The outlier query service: micro-batching over loaded artifacts.
+
+:class:`OutlierService` turns fitted detectors into a query-serving
+component built for heavy concurrent traffic:
+
+* **Micro-batching.**  Requests land in a bounded FIFO queue; a worker
+  thread drains consecutive requests for the same detector and
+  coalesces them into *one* vectorized
+  :meth:`~repro.core.classify.CoreModel.classify` call, then splits the
+  label array back per request.  Per-point classification is
+  independent, so batching never changes a label.
+* **Backpressure.**  The queue holds at most ``max_queue`` pending
+  requests; a submit beyond that raises
+  :class:`~repro.exceptions.ServiceOverloadedError` immediately so
+  callers shed load instead of stacking latency.
+* **Deadlines.**  A request may carry a ``timeout``; if a batch picks
+  it up past its deadline it fails with
+  :class:`~repro.exceptions.DeadlineExceededError` without wasting
+  classify work on an answer nobody is waiting for.
+* **Multi-detector registry.**  Models register under names with LRU
+  eviction beyond ``max_models``, so one service can front many fitted
+  detectors within a bounded memory budget.
+
+Every batch updates ``serve.*`` counters on the service's
+:class:`~repro.obs.MetricsRegistry` (requests, batches, rows, queue
+depth, deadline misses) and a sliding latency window that
+:meth:`OutlierService.stats` summarizes as p50/p90/p99.  When obs sinks
+are installed or tracing is on, each batch additionally emits a
+``repro.obs`` run record with ``serve.batch`` spans — the same
+pipeline the fit engines feed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.classify import CoreModel
+from repro.core.grid import validate_points
+from repro.exceptions import (
+    DataValidationError,
+    DeadlineExceededError,
+    ServeError,
+    ServiceOverloadedError,
+    UnknownDetectorError,
+)
+from repro.obs import MetricsRegistry, RunRecorder, tracing_enabled
+from repro.obs.record import installed_sinks
+
+__all__ = ["OutlierService", "QueryOutcome"]
+
+
+@dataclass
+class _Request:
+    """One queued classify request."""
+
+    detector: str
+    points: np.ndarray
+    future: Future
+    enqueued_at: float
+    deadline: float | None = None
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.points.shape[0])
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Labels plus per-request serving facts returned by :meth:`query`."""
+
+    labels: np.ndarray
+    batch_rows: int
+    latency_s: float
+
+    @property
+    def n_outliers(self) -> int:
+        return int(self.labels.sum())
+
+
+class OutlierService:
+    """Micro-batching outlier query service over registered models.
+
+    Args:
+        max_models: Registry capacity; registering beyond it evicts the
+            least recently used detector.
+        max_queue: Bound on pending requests (backpressure threshold).
+        max_batch_rows: Cap on the number of points coalesced into one
+            classify call.
+        batch_wait_s: After picking up a first request, wait up to this
+            long for more same-detector requests to coalesce.  ``0``
+            (default) serves immediately — lowest latency; raise it to
+            trade latency for throughput under bursty load.
+        latency_window: Number of recent request latencies kept for the
+            p50/p90/p99 summary.
+    """
+
+    def __init__(
+        self,
+        max_models: int = 8,
+        max_queue: int = 1024,
+        max_batch_rows: int = 65536,
+        batch_wait_s: float = 0.0,
+        latency_window: int = 4096,
+    ) -> None:
+        if max_models < 1:
+            raise ServeError(f"max_models must be >= 1, got {max_models}")
+        if max_queue < 0:
+            raise ServeError(f"max_queue must be >= 0, got {max_queue}")
+        if max_batch_rows < 1:
+            raise ServeError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}"
+            )
+        self.max_models = int(max_models)
+        self.max_queue = int(max_queue)
+        self.max_batch_rows = int(max_batch_rows)
+        self.batch_wait_s = float(batch_wait_s)
+        self.metrics = MetricsRegistry()
+        self._models: OrderedDict[str, CoreModel] = OrderedDict()
+        self._queue: deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._latencies: deque[float] = deque(maxlen=int(latency_window))
+        self._paused = False
+        self._closed = False
+        self._worker: threading.Thread | None = None
+
+    # -- registry ------------------------------------------------------
+
+    def register(self, name: str, model: CoreModel | Any) -> None:
+        """Register ``model`` (or an artifact) under ``name``.
+
+        Accepts a :class:`~repro.core.classify.CoreModel` or anything
+        with a ``.model`` attribute holding one (a
+        :class:`~repro.serve.artifact.DetectorArtifact`).  Registering
+        past ``max_models`` evicts the least recently used entry.
+        """
+        resolved = getattr(model, "model", model)
+        if not isinstance(resolved, CoreModel):
+            raise ServeError(
+                f"cannot register {type(model).__name__}; expected a "
+                "CoreModel or DetectorArtifact"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServeError("service is closed")
+            self._models[name] = resolved
+            self._models.move_to_end(name)
+            while len(self._models) > self.max_models:
+                self._models.popitem(last=False)
+                self.metrics.increment("serve.models_evicted")
+            self.metrics.set("serve.models_registered", len(self._models))
+
+    def load(self, name: str, path) -> None:
+        """Load an artifact file and register it under ``name``."""
+        from repro.serve.artifact import DetectorArtifact
+
+        self.register(name, DetectorArtifact.load(path))
+
+    def detectors(self) -> list[str]:
+        """Registered detector names, least recently used first."""
+        with self._lock:
+            return list(self._models)
+
+    def model(self, name: str) -> CoreModel:
+        """The registered model for ``name`` (marks it recently used)."""
+        with self._lock:
+            try:
+                model = self._models[name]
+            except KeyError:
+                raise UnknownDetectorError(
+                    f"unknown detector {name!r}; registered: "
+                    f"{list(self._models) or 'none'}"
+                ) from None
+            self._models.move_to_end(name)
+            return model
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        detector: str,
+        points: np.ndarray,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue a classify request; returns a ``Future`` of labels.
+
+        Validation (shape, dimensionality, unknown detector) happens
+        synchronously so the caller gets those errors immediately; the
+        future resolves to an ``(n,)`` int64 label array, or raises
+        :class:`~repro.exceptions.DeadlineExceededError` /
+        :class:`~repro.exceptions.ServeError`.
+
+        Raises:
+            ServiceOverloadedError: If the queue is at ``max_queue``.
+        """
+        model = self.model(detector)  # raises UnknownDetectorError
+        array = validate_points(points)
+        if array.shape[1] != model.n_dims:
+            raise DataValidationError(
+                f"detector {detector!r} expects {model.n_dims}-D points, "
+                f"got {array.shape[1]}-D"
+            )
+        now = time.perf_counter()
+        request = _Request(
+            detector=detector,
+            points=array,
+            future=Future(),
+            enqueued_at=now,
+            deadline=None if timeout is None else now + float(timeout),
+        )
+        with self._wake:
+            if self._closed:
+                raise ServeError("service is closed")
+            if len(self._queue) >= self.max_queue:
+                self.metrics.increment("serve.rejected_overload")
+                raise ServiceOverloadedError(
+                    f"queue is full ({self.max_queue} pending requests)"
+                )
+            self._queue.append(request)
+            depth = len(self._queue)
+            self.metrics.increment("serve.requests")
+            self.metrics.increment("serve.rows_submitted", request.n_rows)
+            self.metrics.set("serve.queue_depth", depth)
+            peak = self.metrics.get("serve.queue_depth_peak")
+            if depth > peak:
+                self.metrics.set("serve.queue_depth_peak", depth)
+            self._ensure_worker()
+            self._wake.notify_all()
+        return request.future
+
+    def query(
+        self,
+        detector: str,
+        points: np.ndarray,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking classify: labels (1 outlier, 0 inlier) per point."""
+        return self.submit(detector, points, timeout=timeout).result()
+
+    def query_outcome(
+        self,
+        detector: str,
+        points: np.ndarray,
+        timeout: float | None = None,
+    ) -> QueryOutcome:
+        """Blocking classify returning labels plus serving facts."""
+        start = time.perf_counter()
+        labels = self.query(detector, points, timeout=timeout)
+        return QueryOutcome(
+            labels=labels,
+            batch_rows=int(self.metrics.get("serve.last_batch_rows")),
+            latency_s=time.perf_counter() - start,
+        )
+
+    # -- draining control ---------------------------------------------
+
+    def pause(self) -> None:
+        """Stop draining the queue (requests keep accumulating)."""
+        with self._wake:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Resume draining after :meth:`pause`."""
+        with self._wake:
+            self._paused = False
+            self._wake.notify_all()
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of ``serve.*`` counters plus latency quantiles."""
+        snapshot = self.metrics.snapshot()
+        with self._lock:
+            latencies = sorted(self._latencies)
+            snapshot["serve.queue_depth"] = len(self._queue)
+            snapshot["serve.models"] = list(self._models)
+        if latencies:
+            def quantile(q: float) -> float:
+                index = min(
+                    len(latencies) - 1, int(q * (len(latencies) - 1))
+                )
+                return latencies[index]
+
+            snapshot["serve.latency_p50_ms"] = quantile(0.50) * 1e3
+            snapshot["serve.latency_p90_ms"] = quantile(0.90) * 1e3
+            snapshot["serve.latency_p99_ms"] = quantile(0.99) * 1e3
+            snapshot["serve.latency_mean_ms"] = (
+                sum(latencies) / len(latencies) * 1e3
+            )
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Stop the worker and fail every still-pending request."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._wake.notify_all()
+            worker = self._worker
+        for request in pending:
+            request.future.set_exception(ServeError("service closed"))
+        if worker is not None and worker is not threading.current_thread():
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "OutlierService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    # -- worker --------------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        """Start the drain thread lazily (caller holds the lock)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._drain_loop,
+                name="repro-serve-worker",
+                daemon=True,
+            )
+            self._worker.start()
+
+    def _next_batch(self) -> list[_Request] | None:
+        """Block until a batch is available; ``None`` when closed."""
+        with self._wake:
+            while not self._closed and (not self._queue or self._paused):
+                self._wake.wait(timeout=0.1)
+            if self._closed:
+                return None
+            if self.batch_wait_s > 0 and len(self._queue) == 1:
+                # Coalescing window: give concurrent submitters a beat
+                # to land in the same batch before serving.
+                self._wake.wait(timeout=self.batch_wait_s)
+                if self._closed or self._paused or not self._queue:
+                    return None
+            batch = [self._queue.popleft()]
+            detector = batch[0].detector
+            rows = batch[0].n_rows
+            while (
+                self._queue
+                and self._queue[0].detector == detector
+                and rows + self._queue[0].n_rows <= self.max_batch_rows
+            ):
+                request = self._queue.popleft()
+                batch.append(request)
+                rows += request.n_rows
+            self.metrics.set("serve.queue_depth", len(self._queue))
+            return batch
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                if self._closed:
+                    return
+                continue
+            try:
+                self._run_batch(batch)
+            except Exception as exc:  # pragma: no cover - defensive
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        """Classify one coalesced batch and resolve its futures."""
+        now = time.perf_counter()
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                self.metrics.increment("serve.deadline_exceeded")
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"request for {request.detector!r} waited "
+                        f"{now - request.enqueued_at:.3f}s, past its "
+                        "deadline"
+                    )
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+        detector = live[0].detector
+        try:
+            model = self.model(detector)
+        except UnknownDetectorError as exc:
+            # Evicted between submit and drain.
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        stacked = (
+            live[0].points
+            if len(live) == 1
+            else np.concatenate([request.points for request in live])
+        )
+        counters: dict[str, int] = {}
+        emit_record = bool(installed_sinks()) or tracing_enabled()
+        recorder = None
+        if emit_record:
+            recorder = RunRecorder(
+                engine="serve",
+                params={"eps": model.eps, "min_pts": model.min_pts},
+                context={
+                    "detector": detector,
+                    "batch_requests": len(live),
+                    "batch_rows": int(stacked.shape[0]),
+                },
+            )
+        try:
+            if recorder is not None:
+                with recorder.activate():
+                    with recorder.span(
+                        "serve.batch", detector=detector
+                    ):
+                        labels = model.classify(stacked, counters=counters)
+            else:
+                labels = model.classify(stacked, counters=counters)
+        except Exception as exc:
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        finally:
+            if recorder is not None:
+                recorder.metrics.merge(counters, namespace="serve")
+                recorder.finish(
+                    n_points=int(stacked.shape[0]), n_dims=model.n_dims
+                )
+        done = time.perf_counter()
+        n_rows = int(stacked.shape[0])
+        self.metrics.increment("serve.batches")
+        self.metrics.increment("serve.rows_classified", n_rows)
+        self.metrics.increment(
+            "serve.outliers_found", int(labels.sum())
+        )
+        self.metrics.merge(counters, namespace="serve")
+        self.metrics.set("serve.last_batch_rows", n_rows)
+        peak = self.metrics.get("serve.max_batch_rows")
+        if n_rows > peak:
+            self.metrics.set("serve.max_batch_rows", n_rows)
+        with self._lock:
+            for request in live:
+                self._latencies.append(done - request.enqueued_at)
+        offset = 0
+        for request in live:
+            request.future.set_result(
+                labels[offset : offset + request.n_rows]
+            )
+            offset += request.n_rows
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"OutlierService(models={list(self._models)}, "
+                f"queue_depth={len(self._queue)}, "
+                f"max_queue={self.max_queue})"
+            )

@@ -112,7 +112,9 @@ class DetectionResult:
     record: "RunRecord | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "stats", to_builtin(dict(self.stats)))
+        object.__setattr__(
+            self, "stats", to_builtin(dict(self.stats), finite=True)
+        )
         mask = np.asarray(self.outlier_mask, dtype=bool)
         if mask.shape != (self.n_points,):
             raise ValueError(

@@ -1,0 +1,161 @@
+"""Exact out-of-sample classification: ``classify`` vs ``fit``.
+
+The serving contract is bit-consistency: ``classify(X_train)`` must
+reproduce the training labels of ``fit(X_train)`` exactly — not
+approximately — for both engines, across parameter and dimension
+grids.  Out-of-sample labels must match the paper's Definition 3
+(outlier iff strictly farther than eps from every core point) checked
+by brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBSCOUT, CoreModel, classify
+from repro.core.cellmap import CellMap
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+def _dataset(rng: np.random.Generator, n_dims: int) -> np.ndarray:
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.4, size=(180, n_dims)),
+            rng.normal(5.0, 0.6, size=(120, n_dims)),
+            rng.uniform(-10.0, 14.0, size=(40, n_dims)),
+        ]
+    )
+
+
+def _brute_force_labels(
+    queries: np.ndarray, core_points: np.ndarray, eps: float
+) -> np.ndarray:
+    """Definition 3 by brute force: outlier iff > eps from every core."""
+    labels = np.ones(queries.shape[0], dtype=np.int64)
+    if core_points.size == 0:
+        return labels
+    for i, q in enumerate(queries):
+        sq = ((core_points - q) ** 2).sum(axis=1)
+        if (sq <= eps * eps).any():
+            labels[i] = 0
+    return labels
+
+
+@pytest.mark.parametrize("engine", ["vectorized", "distributed"])
+@pytest.mark.parametrize("n_dims", [1, 2, 3])
+@pytest.mark.parametrize(
+    "eps,min_pts", [(0.3, 3), (0.8, 10), (2.0, 25)]
+)
+def test_classify_reproduces_fit_labels_exactly(
+    rng, engine, n_dims, eps, min_pts
+):
+    points = _dataset(rng, n_dims)
+    detector = DBSCOUT(eps=eps, min_pts=min_pts, engine=engine)
+    result = detector.fit(points)
+    labels = detector.classify(points)
+    assert labels.dtype == np.int64
+    np.testing.assert_array_equal(labels, result.labels())
+
+
+@pytest.mark.parametrize("engine", ["vectorized", "distributed"])
+def test_classify_out_of_sample_matches_definition_3(rng, engine):
+    points = _dataset(rng, 2)
+    queries = np.vstack(
+        [
+            rng.normal(0.0, 0.5, size=(60, 2)),  # around cluster 1
+            rng.uniform(-12.0, 16.0, size=(60, 2)),  # scatter
+            points[:10],  # exact training points
+        ]
+    )
+    detector = DBSCOUT(eps=0.8, min_pts=10, engine=engine)
+    result = detector.fit(points)
+    model = detector.core_model_
+    expected = _brute_force_labels(
+        queries, points[result.core_mask], eps=0.8
+    )
+    np.testing.assert_array_equal(model.classify(queries), expected)
+    np.testing.assert_array_equal(classify(model, queries), expected)
+    np.testing.assert_array_equal(
+        model.classify_mask(queries), expected.astype(bool)
+    )
+
+
+def test_core_model_from_fit_round_trip_fields(rng):
+    points = _dataset(rng, 2)
+    detector = DBSCOUT(eps=0.8, min_pts=10)
+    result = detector.fit(points)
+    model = detector.core_model_
+    assert isinstance(model, CoreModel)
+    assert model.eps == 0.8 and model.min_pts == 10
+    assert model.n_dims == 2
+    assert model.n_train == points.shape[0]
+    assert model.n_core_points == result.n_core_points
+    assert model.core_starts[0] == 0
+    assert model.core_starts[-1] == model.n_core_points
+    assert model.nbytes() > 0
+    # the same object is cached across accesses
+    assert detector.core_model_ is model
+
+
+def test_classify_requires_fit_first():
+    detector = DBSCOUT(eps=0.5, min_pts=5)
+    with pytest.raises(NotFittedError):
+        detector.classify(np.zeros((3, 2)))
+    with pytest.raises(NotFittedError):
+        detector.core_model_
+
+
+def test_classify_rejects_dimension_mismatch(rng):
+    points = _dataset(rng, 2)
+    detector = DBSCOUT(eps=0.8, min_pts=10)
+    detector.fit(points)
+    with pytest.raises(DataValidationError):
+        detector.classify(np.zeros((4, 3)))
+
+
+def test_classify_with_no_core_points_labels_everything_outlier(rng):
+    points = rng.uniform(-100.0, 100.0, size=(40, 2))
+    detector = DBSCOUT(eps=0.01, min_pts=10)
+    result = detector.fit(points)
+    assert result.n_core_points == 0
+    labels = detector.classify(points)
+    np.testing.assert_array_equal(labels, np.ones(40, dtype=np.int64))
+
+
+def test_classify_counters_report_work(rng):
+    points = _dataset(rng, 2)
+    detector = DBSCOUT(eps=0.8, min_pts=10)
+    detector.fit(points)
+    counters: dict[str, int] = {}
+    detector.core_model_.classify(points, counters=counters)
+    assert counters["cells_settled_core"] > 0
+    assert counters["distance_computations"] >= 0
+
+
+def test_cellmap_classify_matches_distributed_fit(rng):
+    points = _dataset(rng, 2)
+    detector = DBSCOUT(eps=0.8, min_pts=10, engine="distributed")
+    result = detector.fit(points)
+    model = detector.core_model_
+    cellmap = CellMap(n_dims=2)
+    for cell in model.core_cells:
+        cellmap.mark_core(tuple(cell))
+    core_by_cell = {
+        tuple(cell): model.core_points[
+            model.core_starts[i] : model.core_starts[i + 1]
+        ]
+        for i, cell in enumerate(model.core_cells)
+    }
+    labels = cellmap.classify(points, core_by_cell, eps=0.8)
+    np.testing.assert_array_equal(labels, result.labels())
+
+
+def test_classify_single_and_empty_query(rng):
+    points = _dataset(rng, 2)
+    detector = DBSCOUT(eps=0.8, min_pts=10)
+    detector.fit(points)
+    single = detector.classify(points[:1])
+    assert single.shape == (1,)
+    empty = detector.classify(np.empty((0, 2)))
+    assert empty.shape == (0,) and empty.dtype == np.int64

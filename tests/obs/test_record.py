@@ -171,3 +171,71 @@ def test_timing_breakdown_from_spans_classmethod():
 def test_memory_snapshot_reports_rss():
     snapshot = obs.memory_snapshot()
     assert snapshot.get("peak_rss_bytes", 0) > 0
+
+
+def test_to_builtin_finite_maps_nonfinite_to_none():
+    value = {
+        "nan": float("nan"),
+        "np_nan": np.float64("nan"),
+        "inf": float("inf"),
+        "neg_inf": np.float32("-inf"),
+        "ok": 1.5,
+        "array": np.array([1.0, np.nan, np.inf]),
+        "nested": {"deep": [float("nan"), (np.inf, 2.0)]},
+    }
+    result = to_builtin(value, finite=True)
+    assert result["nan"] is None
+    assert result["np_nan"] is None
+    assert result["inf"] is None
+    assert result["neg_inf"] is None
+    assert result["ok"] == 1.5
+    assert result["array"] == [1.0, None, None]
+    assert result["nested"] == {"deep": [None, (None, 2.0)]}
+    json.dumps(result, allow_nan=False)  # strict encoders accept it
+
+
+def test_to_builtin_default_propagates_nan_for_arithmetic():
+    # The MetricsRegistry arithmetic path must not see None.
+    value = to_builtin(np.float64("nan"))
+    assert isinstance(value, float) and value != value
+
+
+def test_detection_result_stats_json_safe_with_nonfinite():
+    from repro.types import DetectionResult
+
+    result = DetectionResult(
+        n_points=3,
+        outlier_mask=np.zeros(3, dtype=bool),
+        stats={
+            "elbow_curvature": float("nan"),
+            "ratio": np.float64("inf"),
+            "nested": {"scores": np.array([0.5, np.nan])},
+            "count": np.int64(7),
+        },
+    )
+    assert result.stats["elbow_curvature"] is None
+    assert result.stats["ratio"] is None
+    assert result.stats["nested"] == {"scores": [0.5, None]}
+    assert result.stats["count"] == 7
+    json.dumps(result.stats, allow_nan=False)
+
+
+def test_run_record_to_json_strict_with_nonfinite_everywhere():
+    record = obs.RunRecord(
+        engine="vectorized",
+        params={"eps": float("nan")},
+        counters={"engine.budget": float("inf")},
+        context={"curvature": np.float64("-inf")},
+        spans=[{"name": "grid", "depth": 0, "duration_s": float("nan")}],
+        memory={"peak_rss_bytes": 1},
+    )
+    payload = record.to_dict()
+    assert payload["params"]["eps"] is None
+    assert payload["counters"]["engine.budget"] is None
+    assert payload["context"]["curvature"] is None
+    assert payload["spans"][0]["duration_s"] is None
+    # strict: would raise ValueError if any NaN/Inf survived
+    line = record.to_json()
+    assert "NaN" not in line and "Infinity" not in line
+    restored = obs.RunRecord.from_dict(json.loads(line))
+    assert restored.engine == "vectorized"

@@ -1,0 +1,213 @@
+"""OutlierService: micro-batching, backpressure, deadlines, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DBSCOUT, obs
+from repro.exceptions import (
+    DataValidationError,
+    DeadlineExceededError,
+    ServeError,
+    ServiceOverloadedError,
+    UnknownDetectorError,
+)
+from repro.serve import DetectorArtifact, OutlierService, QueryOutcome
+
+
+@pytest.fixture
+def fitted(clustered_2d):
+    detector = DBSCOUT(eps=0.8, min_pts=10)
+    result = detector.fit(clustered_2d)
+    return detector, result, clustered_2d
+
+
+@pytest.fixture
+def service(fitted):
+    detector, _, _ = fitted
+    with OutlierService() as service:
+        service.register("geo", detector.core_model_)
+        yield service
+
+
+def test_query_matches_fit_labels(service, fitted):
+    _, result, points = fitted
+    labels = service.query("geo", points)
+    np.testing.assert_array_equal(labels, result.labels())
+    stats = service.stats()
+    assert stats["serve.requests"] == 1
+    assert stats["serve.rows_classified"] == points.shape[0]
+    assert stats["serve.latency_p50_ms"] > 0
+
+
+def test_register_accepts_artifacts(fitted):
+    detector, result, points = fitted
+    artifact = DetectorArtifact.from_model(detector.core_model_)
+    with OutlierService() as service:
+        service.register("geo", artifact)
+        np.testing.assert_array_equal(
+            service.query("geo", points), result.labels()
+        )
+
+
+def test_register_rejects_non_models():
+    with OutlierService() as service:
+        with pytest.raises(ServeError, match="cannot register"):
+            service.register("bad", object())
+
+
+def test_unknown_detector_raises_synchronously(service):
+    with pytest.raises(UnknownDetectorError):
+        service.submit("nope", np.zeros((2, 2)))
+
+
+def test_dimension_mismatch_raises_synchronously(service):
+    with pytest.raises(DataValidationError):
+        service.submit("geo", np.zeros((2, 5)))
+
+
+def test_concurrent_requests_coalesce_into_one_batch(fitted):
+    detector, result, points = fitted
+    with OutlierService() as service:
+        service.register("geo", detector.core_model_)
+        service.pause()  # let requests pile up in the queue
+        futures = [
+            service.submit("geo", points[i * 30 : (i + 1) * 30])
+            for i in range(5)
+        ]
+        service.resume()
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(
+                future.result(timeout=10),
+                result.labels()[i * 30 : (i + 1) * 30],
+            )
+        stats = service.stats()
+        assert stats["serve.batches"] == 1  # all five coalesced
+        assert stats["serve.last_batch_rows"] == 150
+        assert stats["serve.queue_depth_peak"] == 5
+
+
+def test_max_batch_rows_splits_batches(fitted):
+    detector, result, points = fitted
+    with OutlierService(max_batch_rows=60) as service:
+        service.register("geo", detector.core_model_)
+        service.pause()
+        futures = [
+            service.submit("geo", points[i * 30 : (i + 1) * 30])
+            for i in range(4)
+        ]
+        service.resume()
+        for future in futures:
+            future.result(timeout=10)
+        assert service.stats()["serve.batches"] == 2
+
+
+def test_backpressure_rejects_when_queue_full(fitted):
+    detector, _, points = fitted
+    with OutlierService(max_queue=2) as service:
+        service.register("geo", detector.core_model_)
+        service.pause()
+        service.submit("geo", points[:5])
+        service.submit("geo", points[5:10])
+        with pytest.raises(ServiceOverloadedError):
+            service.submit("geo", points[10:15])
+        assert service.stats()["serve.rejected_overload"] == 1
+        service.resume()
+
+
+def test_deadline_exceeded_while_paused(fitted):
+    detector, _, points = fitted
+    with OutlierService() as service:
+        service.register("geo", detector.core_model_)
+        service.pause()
+        future = service.submit("geo", points[:5], timeout=0.0)
+        fresh = service.submit("geo", points[5:10])  # no deadline
+        import time
+
+        time.sleep(0.02)  # let the zero deadline lapse
+        service.resume()
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=10)
+        assert fresh.result(timeout=10).shape == (5,)
+        assert service.stats()["serve.deadline_exceeded"] == 1
+
+
+def test_lru_eviction_beyond_max_models(fitted):
+    detector, _, _ = fitted
+    model = detector.core_model_
+    with OutlierService(max_models=2) as service:
+        service.register("a", model)
+        service.register("b", model)
+        service.model("a")  # touch: "b" becomes least recently used
+        service.register("c", model)
+        assert service.detectors() == ["a", "c"]
+        with pytest.raises(UnknownDetectorError):
+            service.model("b")
+        assert service.stats()["serve.models_evicted"] == 1
+
+
+def test_query_outcome_reports_serving_facts(service, fitted):
+    _, result, points = fitted
+    outcome = service.query_outcome("geo", points)
+    assert isinstance(outcome, QueryOutcome)
+    np.testing.assert_array_equal(outcome.labels, result.labels())
+    assert outcome.batch_rows == points.shape[0]
+    assert outcome.latency_s > 0
+    assert outcome.n_outliers == result.n_outliers
+
+
+def test_batches_emit_run_records_when_sinks_installed(service, fitted):
+    _, result, points = fitted
+    with obs.recording() as sink:
+        service.query("geo", points)
+    assert len(sink.records) == 1
+    record = sink.records[0]
+    assert record.engine == "serve"
+    assert record.context["detector"] == "geo"
+    assert record.context["batch_rows"] == points.shape[0]
+    assert any(
+        span["name"] == "serve.batch" for span in record.spans
+    )
+    assert record.counters.get("serve.cells_settled_core", 0) > 0
+
+
+def test_no_records_without_sinks(service, fitted):
+    _, _, points = fitted
+    with obs.recording() as sink:
+        pass  # recording scope closed before the query
+    service.query("geo", points)
+    assert sink.records == []
+
+
+def test_close_fails_pending_and_rejects_new(fitted):
+    detector, _, points = fitted
+    service = OutlierService()
+    service.register("geo", detector.core_model_)
+    service.pause()
+    future = service.submit("geo", points[:5])
+    service.close()
+    with pytest.raises(ServeError, match="closed"):
+        future.result(timeout=10)
+    with pytest.raises(ServeError, match="closed"):
+        service.submit("geo", points[:5])
+    with pytest.raises(ServeError, match="closed"):
+        service.register("geo2", detector.core_model_)
+    service.close()  # idempotent
+
+
+def test_constructor_validates_bounds():
+    with pytest.raises(ServeError):
+        OutlierService(max_models=0)
+    with pytest.raises(ServeError):
+        OutlierService(max_queue=-1)
+    with pytest.raises(ServeError):
+        OutlierService(max_batch_rows=0)
+
+
+def test_batch_wait_coalesces_trickled_requests(fitted):
+    detector, _, points = fitted
+    with OutlierService(batch_wait_s=0.05) as service:
+        service.register("geo", detector.core_model_)
+        labels = service.query("geo", points[:10])
+        assert labels.shape == (10,)

@@ -191,3 +191,168 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestFit:
+    def test_fit_writes_artifact(self, points_file, tmp_path, capsys):
+        artifact_path = tmp_path / "det.npz"
+        code = main(
+            [
+                "fit",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--save-artifact",
+                str(artifact_path),
+            ]
+        )
+        assert code == 0
+        assert artifact_path.exists()
+        err = capsys.readouterr().err
+        assert "artifact 'det' written" in err
+        from repro.serve import load_artifact
+
+        loaded = load_artifact(artifact_path)
+        assert loaded.name == "det"
+        assert loaded.model.eps == 1.0
+
+    def test_fit_artifact_classifies_like_detect(
+        self, points_file, tmp_path, capsys
+    ):
+        artifact_path = tmp_path / "det.npz"
+        assert main(
+            [
+                "fit",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--save-artifact",
+                str(artifact_path),
+                "--name",
+                "custom",
+            ]
+        ) == 0
+        from repro.datasets.io import load_points
+        from repro.serve import load_artifact
+
+        artifact = load_artifact(artifact_path)
+        assert artifact.name == "custom"
+        points = load_points(points_file)
+        labels = artifact.classify(points)
+        assert sorted(np.flatnonzero(labels == 1)) == [150, 151]
+
+    def test_fit_requires_eps_or_auto(self, points_file, tmp_path, capsys):
+        code = main(
+            [
+                "fit",
+                str(points_file),
+                "--min-pts",
+                "5",
+                "--save-artifact",
+                str(tmp_path / "x.npz"),
+            ]
+        )
+        assert code == 2
+        assert "provide --eps or --auto-eps" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_against_live_server(
+        self, points_file, tmp_path, capsys
+    ):
+        import asyncio
+        import threading
+
+        from repro.datasets.io import load_points
+        from repro.serve import OutlierServer, OutlierService, load_artifact
+
+        artifact_path = tmp_path / "det.npz"
+        assert main(
+            [
+                "fit",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--save-artifact",
+                str(artifact_path),
+            ]
+        ) == 0
+        service = OutlierService()
+        service.register("det", load_artifact(artifact_path))
+        server = OutlierServer(service, port=0)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        try:
+            code = main(
+                [
+                    "query",
+                    str(points_file),
+                    "--detector",
+                    "det",
+                    "--port",
+                    str(server.port),
+                    "--stats",
+                ]
+            )
+            assert code == 0
+            captured = capsys.readouterr()
+            assert captured.out.split() == ["150", "151"]
+            assert "2 outliers in 152 points" in captured.err
+            assert "serve.requests" in captured.err
+
+            out = tmp_path / "outliers.txt"
+            code = main(
+                [
+                    "query",
+                    str(points_file),
+                    "--detector",
+                    "det",
+                    "--port",
+                    str(server.port),
+                    "--output",
+                    str(out),
+                ]
+            )
+            assert code == 0
+            assert out.read_text().split() == ["150", "151"]
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            service.close()
+
+    def test_query_connection_refused_is_clean_error(
+        self, points_file, capsys
+    ):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(
+            [
+                "query",
+                str(points_file),
+                "--detector",
+                "det",
+                "--port",
+                str(free_port),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -11,8 +11,10 @@ import pytest
 
 EXPECTED_TOP_LEVEL = [
     "DBSCOUT",
+    "CoreModel",
     "IncrementalDBSCOUT",
     "DistanceBasedDetector",
+    "classify",
     "detect_outliers",
     "detect_with_scores",
     "detect_geographic",
@@ -26,6 +28,11 @@ EXPECTED_TOP_LEVEL = [
     "DataValidationError",
     "NotFittedError",
     "SparkLiteError",
+    "ArtifactError",
+    "ServeError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "UnknownDetectorError",
 ]
 
 EXPECTED_BY_MODULE = {
@@ -117,6 +124,26 @@ EXPECTED_BY_MODULE = {
         "format_diff",
         "format_record",
         "format_span_tree",
+    ],
+    "repro.core": [
+        "CoreModel",
+        "classify",
+        "CellMap",
+        "Grid",
+        "NeighborStencil",
+    ],
+    "repro.serve": [
+        "ARTIFACT_MAGIC",
+        "ARTIFACT_SCHEMA_VERSION",
+        "DetectorArtifact",
+        "fit_artifact",
+        "load_artifact",
+        "save_artifact",
+        "OutlierClient",
+        "OutlierServer",
+        "run_server",
+        "OutlierService",
+        "QueryOutcome",
     ],
     "repro.experiments": [
         "run_timed",
