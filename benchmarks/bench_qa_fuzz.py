@@ -1,0 +1,91 @@
+"""QA fuzz throughput — differential cases per second, per engine family.
+
+Not a paper table: this bench sizes the standing exactness oracle
+(:mod:`repro.qa`).  It measures how many adversarial differential
+cases per second the full engine matrix sustains (which bounds how
+many seeds a time-boxed CI fuzz session covers) and breaks the cost
+down per variant so a regression in one engine's throughput is
+visible.  The run doubles as a smoke check: any divergence fails the
+bench outright.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import format_table
+from repro.qa import DifferentialRunner, generate_dataset
+from repro.qa.runner import VARIANT_NAMES
+
+N_SEEDS = 150
+FIRST_SEED = 0
+
+#: Machine-readable results for run_all.py --json, filled by main().
+BENCH_STATS: dict[str, object] = {}
+
+
+def _run_matrix(n_seeds: int) -> dict[str, float]:
+    """Per-variant wall time over ``n_seeds`` differential cases."""
+    datasets = [
+        generate_dataset(seed)
+        for seed in range(FIRST_SEED, FIRST_SEED + n_seeds)
+    ]
+    per_variant: dict[str, float] = {}
+    for name in VARIANT_NAMES:
+        runner = DifferentialRunner(variants=(name,), emit_records=False)
+        start = time.perf_counter()
+        for dataset in datasets:
+            result = runner.run_case(dataset)
+            assert result.ok, [str(d) for d in result.divergences]
+        per_variant[name] = time.perf_counter() - start
+    return per_variant
+
+
+def main() -> None:
+    start = time.perf_counter()
+    per_variant = _run_matrix(N_SEEDS)
+    total = time.perf_counter() - start
+    rows = [
+        [name, f"{wall:.2f}", f"{N_SEEDS / wall:.0f}"]
+        for name, wall in sorted(
+            per_variant.items(), key=lambda item: -item[1]
+        )
+    ]
+    print(
+        format_table(
+            ["variant", "wall (s)", "cases/s"],
+            rows,
+            title=f"Differential fuzz throughput ({N_SEEDS} seeds/variant)",
+        )
+    )
+    print(
+        f"full matrix: {N_SEEDS} seeds x {len(per_variant)} variants "
+        f"in {total:.1f}s ({N_SEEDS * len(per_variant) / total:.0f} "
+        "variant-cases/s), zero divergences"
+    )
+    BENCH_STATS.clear()
+    BENCH_STATS.update(
+        {
+            "n_seeds": N_SEEDS,
+            "n_variants": len(per_variant),
+            "total_wall_s": total,
+            "per_variant_wall_s": per_variant,
+        }
+    )
+
+
+def test_differential_case_throughput(benchmark):
+    """Time one full-matrix differential case (all variants, one seed)."""
+    runner = DifferentialRunner(emit_records=False)
+    dataset = generate_dataset(11)
+
+    def one_case():
+        result = runner.run_case(dataset)
+        assert result.ok
+        return result
+
+    benchmark(one_case)
+
+
+if __name__ == "__main__":
+    main()

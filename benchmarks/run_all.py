@@ -37,6 +37,7 @@ FAST_BENCHES = [
     "bench_ablation_pruning",
     "bench_extension_geospatial_quality",
     "bench_serving_throughput",
+    "bench_qa_fuzz",
 ]
 
 SLOW_BENCHES = [

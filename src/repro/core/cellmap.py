@@ -23,6 +23,7 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.grid import cell_side_length, check_grid_domain
 from repro.core.neighbors import NeighborStencil
 from repro.exceptions import ParameterError
 
@@ -157,12 +158,16 @@ class CellMap:
             ``(n,)`` int64 label array: 1 for outliers, 0 for inliers.
         """
         array = np.ascontiguousarray(points, dtype=np.float64)
+        if array.size == 0 and array.ndim <= 2:
+            # Empty query batch: zero labels (matches CoreModel.classify).
+            return np.zeros(0, dtype=np.int64)
         if array.ndim != 2 or array.shape[1] != self.n_dims:
             raise ParameterError(
                 f"points must have shape (n, {self.n_dims}), "
                 f"got {array.shape}"
             )
-        side = eps / math.sqrt(self.n_dims)
+        side = cell_side_length(eps, self.n_dims)
+        check_grid_domain(array, side)
         eps_sq = eps * eps
         labels = np.zeros(array.shape[0], dtype=np.int64)
         for i, row in enumerate(array):

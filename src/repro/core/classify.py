@@ -314,6 +314,11 @@ class CoreModel:
         """
         from repro.core.vectorized import _flat_ranges, _segmented_pair_counts
 
+        # An empty query batch — (0, d), (0,), [] — has exactly zero
+        # labels, whatever its shape claims about dimensionality.
+        probe = np.asarray(points, dtype=np.float64)
+        if probe.size == 0 and probe.ndim <= 2:
+            return np.zeros(0, dtype=np.int64)
         array = validate_points(points)
         if array.shape[1] != self.n_dims:
             raise DataValidationError(
@@ -322,8 +327,6 @@ class CoreModel:
             )
         n_queries = array.shape[0]
         labels = np.zeros(n_queries, dtype=np.int64)
-        if n_queries == 0:
-            return labels
         if counters is None:
             counters = {}
         counters.setdefault("distance_computations", 0)

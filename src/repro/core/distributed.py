@@ -38,7 +38,11 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.cellmap import CellMap, CellType
-from repro.core.grid import cell_side_length, validate_points
+from repro.core.grid import (
+    cell_side_length,
+    check_grid_domain,
+    validate_points,
+)
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import ParameterError
@@ -183,6 +187,7 @@ class DistributedEngine:
     def _create_grid(self, array: np.ndarray, eps: float) -> RDD:
         """MAP each point to ``(cell, (index, coords))``."""
         side = cell_side_length(eps, array.shape[1])
+        check_grid_domain(array, side)
         records: list[tuple[Cell, Point]] = [
             (
                 tuple(int(math.floor(value / side)) for value in row),
@@ -241,6 +246,12 @@ class DistributedEngine:
         Returns an RDD of ``(point_index, (count, (cell, point)))``.
         The count is capped at ``min_pts`` under the grouped strategy
         (early termination), which preserves the ``>= min_pts`` test.
+
+        A pair meeting on the checked point's *own* cell is a neighbor
+        by Lemma 1 without a distance test — the operational predicate
+        of ``repro.core.reference`` — keeping all three strategies
+        bit-consistent with the reference and the other engines at the
+        float boundary.
         """
         eps_sq = eps * eps
 
@@ -248,8 +259,10 @@ class DistributedEngine:
             pairs = grid.join(to_check)
 
             def score(record):
-                _cell, ((_qi, q), (cell, point)) = record
-                near = _sq_dist(point[1], q) <= eps_sq
+                join_cell, ((_qi, q), (cell, point)) = record
+                near = (
+                    join_cell == cell or _sq_dist(point[1], q) <= eps_sq
+                )
                 return (point[0], (1 if near else 0, (cell, point)))
 
             return pairs.map(score).reduce_by_key(_merge_counts)
@@ -259,10 +272,11 @@ class DistributedEngine:
             pairs = grouped.join(to_check)
 
             def score_group(record):
-                _cell, (neighbors, (cell, point)) = record
+                join_cell, (neighbors, (cell, point)) = record
+                same_cell = join_cell == cell
                 count = 0
                 for _qi, q in neighbors:
-                    if _sq_dist(point[1], q) <= eps_sq:
+                    if same_cell or _sq_dist(point[1], q) <= eps_sq:
                         count += 1
                         if count >= min_pts:
                             break  # early termination (Sec. III-G2)
@@ -280,7 +294,10 @@ class DistributedEngine:
             cell, (_qi, q) = record
             out = []
             for checked_cell, point in check_broadcast.value.get(cell, ()):
-                near = _sq_dist(point[1], q) <= eps_sq
+                near = (
+                    checked_cell == cell
+                    or _sq_dist(point[1], q) <= eps_sq
+                )
                 out.append((point[0], (1 if near else 0, (checked_cell, point))))
             return out
 

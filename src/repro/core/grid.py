@@ -22,11 +22,21 @@ import numpy as np
 from repro.exceptions import DataValidationError, ParameterError
 
 __all__ = [
+    "MAX_ABS_CELL_COORD",
     "cell_side_length",
     "cell_coordinates",
+    "check_grid_domain",
     "validate_points",
     "Grid",
 ]
+
+#: Largest admissible |coordinate / side| quotient.  Beyond 2**52 the
+#: float64 quotient has ulp >= 1, so ``floor(x / l)`` loses cell
+#: resolution (points a full cell apart can collapse into one cell,
+#: breaking Lemma 1), and past 2**63 the int64 cast overflows into
+#: garbage coordinates.  Below 2**52 the quotient error is at most a
+#: quarter cell, which the engines' boundary-inclusive stencil absorbs.
+MAX_ABS_CELL_COORD = 2**52
 
 
 def cell_side_length(eps: float, n_dims: int) -> float:
@@ -71,6 +81,36 @@ def validate_points(points: np.ndarray) -> np.ndarray:
     return array
 
 
+def check_grid_domain(points: np.ndarray, side: float) -> None:
+    """Reject coordinates too large for an exact epsilon-cell grid.
+
+    Every path that assigns cells — the engines, the reference, the
+    incremental detector, and both classify implementations — applies
+    this same guard, so out-of-domain inputs fail uniformly with
+    :class:`~repro.exceptions.DataValidationError` instead of any path
+    silently computing wrong cells.
+
+    Args:
+        points: Validated ``(n, d)`` float64 array (may be empty).
+        side: Cell side length ``eps / sqrt(d)``.
+
+    Raises:
+        DataValidationError: If any ``|x / side|`` reaches
+            :data:`MAX_ABS_CELL_COORD` (2**52), where float64 division
+            no longer resolves individual cells.
+    """
+    if points.size == 0:
+        return
+    extreme = float(np.abs(points).max())
+    if extreme / side >= MAX_ABS_CELL_COORD:
+        raise DataValidationError(
+            f"coordinate magnitude {extreme:g} exceeds the exact grid "
+            f"domain for eps-cell side {side:g}: |x / side| must stay "
+            f"below 2**52 (~{MAX_ABS_CELL_COORD * side:g}) for cell "
+            "assignment to be exact. Rescale the data or increase eps."
+        )
+
+
 def cell_coordinates(points: np.ndarray, eps: float) -> np.ndarray:
     """Compute the epsilon-cell coordinates of each point (Algorithm 1).
 
@@ -86,6 +126,7 @@ def cell_coordinates(points: np.ndarray, eps: float) -> np.ndarray:
     """
     array = validate_points(points)
     side = cell_side_length(eps, array.shape[1])
+    check_grid_domain(array, side)
     return np.floor(array / side).astype(np.int64)
 
 
@@ -144,6 +185,7 @@ class Grid:
         self.eps = float(eps)
         n_dims = self.points.shape[1]
         self.side = cell_side_length(eps, n_dims)
+        check_grid_domain(self.points, self.side)
         self.coords = np.floor(self.points / self.side).astype(np.int64)
         self._build_index()
 

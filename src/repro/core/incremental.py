@@ -38,7 +38,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.grid import cell_side_length, validate_points
+from repro.core.grid import (
+    cell_side_length,
+    check_grid_domain,
+    validate_points,
+)
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import DataValidationError, ParameterError
@@ -48,6 +52,21 @@ from repro.types import DetectionResult
 __all__ = ["IncrementalDBSCOUT"]
 
 Cell = tuple[int, ...]
+
+
+def _sq_dists(targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Squared distances accumulated per dimension, in order.
+
+    All engines and the reference oracle share this accumulation order
+    (``sq += delta * delta`` over dimensions); reductions with a
+    different association (``einsum``, BLAS dot) can round one ulp
+    away and flip an exactly-at-eps comparison.
+    """
+    sq = np.zeros((targets.shape[0], candidates.shape[0]), dtype=np.float64)
+    for dim in range(targets.shape[1]):
+        delta = targets[:, dim, None] - candidates[None, :, dim]
+        sq += delta * delta
+    return sq
 
 
 class IncrementalDBSCOUT:
@@ -137,6 +156,7 @@ class IncrementalDBSCOUT:
         if batch.shape[0] == 0:
             return
         self._ensure_geometry(batch)
+        check_grid_domain(batch, self._side)
         self._grow_buffer(self._n_points + batch.shape[0])
         start = self._n_points
         self._buffer[start : start + batch.shape[0]] = batch
@@ -248,6 +268,7 @@ class IncrementalDBSCOUT:
             dirty = archive["dirty"]
         detector = cls(eps, min_pts, initial_capacity=max(points.shape[0], 1))
         detector._ensure_geometry(points)
+        check_grid_domain(points, detector._side)
         detector._buffer[: points.shape[0]] = points
         detector._n_points = points.shape[0]
         detector._core_mask = core_mask.astype(bool)
@@ -294,28 +315,35 @@ class IncrementalDBSCOUT:
         for cell in cells:
             members = np.array(self._cells[cell], dtype=np.int64)
             before = self._core_mask[members].copy()
-            if len(members) >= self.min_pts:
-                after = np.ones(len(members), dtype=bool)  # Lemma 1
+            own = len(members)
+            if own >= self.min_pts:
+                after = np.ones(own, dtype=bool)  # Lemma 1
             else:
-                neighbor_cells = self._neighbor_cells(cell)
-                candidate_count = sum(
-                    len(self._cells[c]) for c in neighbor_cells
+                # Same-cell points count by Lemma 1 without a distance
+                # test (the operational predicate of
+                # ``repro.core.reference``); only cross-cell candidates
+                # go through the kernel.
+                cross_cells = [
+                    c for c in self._neighbor_cells(cell) if c != cell
+                ]
+                candidate_count = own + sum(
+                    len(self._cells[c]) for c in cross_cells
                 )
                 if candidate_count < self.min_pts:
-                    after = np.zeros(len(members), dtype=bool)
+                    # own < min_pts here, so this also covers the
+                    # no-cross-cells case.
+                    after = np.zeros(own, dtype=bool)
                 else:
                     candidates = np.concatenate(
                         [
                             np.array(self._cells[c], dtype=np.int64)
-                            for c in neighbor_cells
+                            for c in cross_cells
                         ]
                     )
-                    diffs = (
-                        points[members][:, None, :]
-                        - points[candidates][None, :, :]
+                    sq = _sq_dists(points[members], points[candidates])
+                    after = (
+                        own + (sq <= eps_sq).sum(axis=1) >= self.min_pts
                     )
-                    sq = np.einsum("ijk,ijk->ij", diffs, diffs)
-                    after = (sq <= eps_sq).sum(axis=1) >= self.min_pts
             if not np.array_equal(before, after):
                 changed.add(cell)
             self._core_mask[members] = after
@@ -343,10 +371,7 @@ class IncrementalDBSCOUT:
                 self._outlier_mask[members] = True
                 continue
             candidates = np.concatenate(core_candidates)
-            diffs = (
-                points[members][:, None, :] - points[candidates][None, :, :]
-            )
-            sq = np.einsum("ijk,ijk->ij", diffs, diffs)
+            sq = _sq_dists(points[members], points[candidates])
             covered = (sq <= eps_sq).any(axis=1)
             self._outlier_mask[members] = ~covered
 

@@ -18,6 +18,35 @@ The number of neighbor offsets depends only on ``d`` and is denoted
 ``(2 * ceil(sqrt(d)) + 1) ** d`` of Lemma 3; ``count_neighbor_offsets``
 computes the exact ``k_d`` without enumerating offsets (closed-form
 polynomial convolution), matching the "Actual" column of Table I.
+
+Floating point and the boundary ring
+------------------------------------
+
+The strict inequality above is a *real-arithmetic* argument.  The
+engines' distance kernel works in float64: it accumulates
+``sq += delta * delta`` per dimension and tests ``sq <= fl(eps^2)``,
+and rounding can pull a pair whose true distance is a hair above
+``eps`` down onto exactly ``fl(eps^2)``.  Such a pair may live in
+cells at *exactly* the excluded minimum gap — offsets with
+``min_cell_gap_squared(offset) == d``, the "boundary ring" (e.g.
+``(+-2, +-2)`` in 2-D, whose corner gap is ``sqrt(2) * l = eps``).  A
+strict stencil would never compare the pair, silently disagreeing
+with the reference kernel (a real divergence found by the
+``repro.qa`` differential fuzzer: two 1-D points at distance
+``0.7 + 5e-17`` with ``eps = 0.7`` compute ``sq == eps^2`` yet sit
+two cells apart).
+
+Offsets at ``min_cell_gap_squared >= d + 1`` have a minimum gap of
+``sqrt((d+1)/d) * eps`` — at least 6% above ``eps`` for ``d <= 16``
+and always a relative ``1/(2d)`` margin, astronomically beyond the
+few-ulp slop of the kernel — so including the boundary ring makes the
+candidate enumeration exhaustive for the float kernel.
+
+:func:`neighbor_offsets` / :func:`count_neighbor_offsets` keep the
+paper's strict definition (Table I is quoted digit-for-digit in tests
+and reports).  :class:`NeighborStencil` — what the engines actually
+iterate — includes the boundary ring by default, so ``stencil.k_d``
+is slightly larger than Table I (25 vs 21 in 2-D).
 """
 
 from __future__ import annotations
@@ -128,19 +157,34 @@ def count_neighbor_offsets(n_dims: int) -> int:
 
 
 @lru_cache(maxsize=16)
-def _offsets_cached(n_dims: int) -> np.ndarray:
+def _offsets_cached(n_dims: int, include_boundary: bool) -> np.ndarray:
     reach = math.isqrt(n_dims - 1) + 1
+    limit = n_dims if include_boundary else n_dims - 1
+    if include_boundary and math.isqrt(n_dims) ** 2 == n_dims:
+        # When d is a perfect square the ring contains |j| = reach + 1
+        # along a single axis ((|j| - 1)^2 == d), e.g. +-2 in 1-D.
+        reach += 1
     per_dim = range(-reach, reach + 1)
     rows = [
         offset
         for offset in itertools.product(per_dim, repeat=n_dims)
-        if min_cell_gap_squared(offset) < n_dims
+        if min_cell_gap_squared(offset) <= limit
     ]
     return np.array(rows, dtype=np.int64)
 
 
-def neighbor_offsets(n_dims: int) -> np.ndarray:
+def neighbor_offsets(
+    n_dims: int, *, include_boundary: bool = False
+) -> np.ndarray:
     """Enumerate all neighbor offsets for ``d`` dimensions.
+
+    Args:
+        n_dims: Dimensionality ``d``.
+        include_boundary: When True, also include the boundary ring —
+            offsets whose minimum cell gap is *exactly* ``eps``
+            (``min_cell_gap_squared(offset) == d``).  The paper's
+            strict definition excludes them; float64 kernels need them
+            (see the module docstring).
 
     Returns:
         Integer array of shape ``(k_d, d)``.  The zero offset (the cell
@@ -158,7 +202,7 @@ def neighbor_offsets(n_dims: int) -> np.ndarray:
             f"d <= {MAX_ENUMERATION_DIMS}; got d={n_dims}. "
             "Use count_neighbor_offsets for the count only."
         )
-    return _offsets_cached(n_dims).copy()
+    return _offsets_cached(n_dims, bool(include_boundary)).copy()
 
 
 class NeighborStencil:
@@ -167,17 +211,33 @@ class NeighborStencil:
     Wraps the offset table with convenience iterators used by both the
     vectorized and the distributed DBSCOUT engines, as well as by the
     RP-DBSCAN baseline.
+
+    Args:
+        n_dims: Dimensionality ``d``.
+        include_boundary: Include the boundary ring of offsets at
+            minimum gap exactly ``eps`` (default True).  Required for
+            exactness against the float64 distance kernel — see the
+            module docstring.  ``False`` gives the paper's strict
+            Table-I stencil for analysis/reporting purposes.
     """
 
-    def __init__(self, n_dims: int) -> None:
+    def __init__(self, n_dims: int, include_boundary: bool = True) -> None:
         _check_dims(n_dims)
         self.n_dims = int(n_dims)
-        self.offsets = neighbor_offsets(n_dims)
+        self.include_boundary = bool(include_boundary)
+        self.offsets = neighbor_offsets(
+            n_dims, include_boundary=self.include_boundary
+        )
         self._offset_tuples: list[tuple[int, ...]] | None = None
 
     @property
     def k_d(self) -> int:
-        """Number of neighbor offsets (the constant ``k_d`` of the paper)."""
+        """Number of offsets in this stencil.
+
+        With the default boundary ring this is slightly larger than the
+        paper's ``k_d`` constant (use :func:`count_neighbor_offsets`
+        for the strict Table-I value).
+        """
         return int(self.offsets.shape[0])
 
     def covered_offset_mask(self) -> np.ndarray:

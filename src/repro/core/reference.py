@@ -1,15 +1,52 @@
 """Brute-force reference implementation of Definitions 2 and 3.
 
-Quadratic in the number of points; used as ground truth in tests and to
-validate the fast engines on small inputs.  Kept deliberately simple —
-a direct transcription of the definitions.
+Quadratic in the number of points; used as ground truth in tests, by
+the ``repro.qa`` differential fuzzer, and to validate the fast engines
+on small inputs.  Kept deliberately simple — a direct transcription of
+the definitions, made float-precise.
+
+The exactness contract
+----------------------
+
+DBSCOUT's engines and this reference must agree *bit for bit*.  In
+real arithmetic the neighbor predicate is simply ``dist(a, b) <= eps``;
+in float64 that predicate is ambiguous within a few ulps of the
+boundary, and the paper's two pillars pull in opposite directions
+there:
+
+* **Lemma 1** (same cell => within ``eps``) is a real-arithmetic fact:
+  the computed squared distance of two points sharing a diagonal-eps
+  cell can still exceed ``fl(eps^2)`` by an ulp (points at opposite
+  corners, unlucky ``eps``).  Every engine counts same-cell pairs
+  without computing distances — dense-cell shortcut, covered self
+  pair, classify's core-cell shortcut — as the paper prescribes.
+* **The distance kernel** accumulates ``sq += delta * delta`` per
+  dimension and tests ``sq <= fl(eps^2)``; rounding can also pull a
+  pair whose true distance is a hair *above* ``eps`` down onto the
+  boundary.
+
+So the operational neighbor predicate, implemented identically by
+every path in this repository, is::
+
+    neighbor(a, b)  <=>  cell(a) == cell(b)  OR  kernel_sq(a, b) <= fl(eps^2)
+
+with ``cell(x) = floor(fl(x / l))`` per dimension and ``l`` from
+:func:`repro.core.grid.cell_side_length`.  The first clause is Lemma 1
+taken at face value; the second is the shared float kernel.  On
+anything farther than an ulp from the boundary the two clauses agree
+with the real-arithmetic predicate.  This module is the executable
+specification of that contract.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.grid import validate_points
+from repro.core.grid import (
+    cell_side_length,
+    check_grid_domain,
+    validate_points,
+)
 from repro.core.validation import validate_parameters
 from repro.types import DetectionResult
 
@@ -33,6 +70,20 @@ def _pairwise_sq_dists(points: np.ndarray) -> np.ndarray:
     return sq_dists
 
 
+def _neighbor_matrix(
+    points: np.ndarray, eps: float
+) -> np.ndarray:
+    """Boolean (n, n) matrix of the operational neighbor predicate.
+
+    ``same cell OR kernel_sq <= fl(eps^2)`` — see the module docstring.
+    """
+    side = cell_side_length(eps, points.shape[1])
+    check_grid_domain(points, side)
+    coords = np.floor(points / side).astype(np.int64)
+    same_cell = (coords[:, None, :] == coords[None, :, :]).all(axis=2)
+    return same_cell | (_pairwise_sq_dists(points) <= eps * eps)
+
+
 def brute_force_core_mask(
     points: np.ndarray, eps: float, min_pts: int
 ) -> np.ndarray:
@@ -41,8 +92,7 @@ def brute_force_core_mask(
     validate_parameters(eps, min_pts)
     if array.shape[0] == 0:
         return np.zeros(0, dtype=bool)
-    sq_dists = _pairwise_sq_dists(array)
-    neighbor_counts = (sq_dists <= eps * eps).sum(axis=1)
+    neighbor_counts = _neighbor_matrix(array, eps).sum(axis=1)
     return neighbor_counts >= min_pts
 
 
@@ -59,8 +109,7 @@ def brute_force_detect(
             outlier_mask=np.zeros(0, dtype=bool),
             core_mask=np.zeros(0, dtype=bool),
         )
-    sq_dists = _pairwise_sq_dists(array)
-    within = sq_dists <= eps * eps
+    within = _neighbor_matrix(array, eps)
     core_mask = within.sum(axis=1) >= min_pts
     if core_mask.any():
         covered = within[:, core_mask].any(axis=1)

@@ -310,6 +310,7 @@ def _plan_cell_jobs(
     eps_sq: float,
     counters: dict[str, int],
     settle_threshold: int | None = None,
+    seed_self: bool = False,
 ) -> tuple[
     np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
     np.ndarray | None,
@@ -320,6 +321,15 @@ def _plan_cell_jobs(
     indices and (b) the member point indices of its neighboring cells
     (optionally restricted to cells where ``candidate_cell_mask`` holds
     and points where ``candidate_point_mask`` holds).
+
+    With ``seed_self``, the work cell's own (mask-restricted)
+    population is credited to ``base_counts`` and the self pair never
+    reaches the distance kernel: Lemma 1 counts same-cell pairs as
+    neighbors *by definition*, independent of float slop in the kernel
+    (see ``repro.core.reference`` for the contract).  Both the pruned
+    and the pruning-free engine paths rely on this so their counts
+    agree bit-for-bit with the reference and with the dense-cell
+    shortcut.
 
     When ``bounds`` is given, neighbor cells are first classified by
     :func:`_classify_cell_pairs`: covered cells contribute their
@@ -354,21 +364,40 @@ def _plan_cell_jobs(
     m_sizes = grid.counts[work_cells]
     base_counts = np.zeros(n_work, dtype=np.int64)
     settled: np.ndarray | None = None
+    if candidate_point_mask is not None:
+        # Candidate-side boxes shrink to the masked (core) points:
+        # tighter boxes cover and exclude strictly more cell pairs.
+        cell_cand_counts = _masked_cell_counts(grid, candidate_point_mask)
+        cand_bounds = (
+            _masked_cell_bounds(grid, candidate_point_mask)
+            if bounds is not None
+            else None
+        )
+    else:
+        cell_cand_counts = grid.counts
+        cand_bounds = bounds
+    if seed_self and ncell_flat.size:
+        source = np.repeat(np.arange(n_work, dtype=np.int64), adj_lens)
+        self_pair = ncell_flat == work_cells[source]
+        if self_pair.any():
+            self_pops = cell_cand_counts[ncell_flat[self_pair]]
+            base_counts += np.bincount(
+                source[self_pair], weights=self_pops, minlength=n_work
+            ).astype(np.int64)
+            _bump(
+                counters, "pairs_self_covered",
+                int((m_sizes[source[self_pair]] * self_pops).sum()),
+            )
+            keep = ~self_pair
+            adj_lens = _segment_sums(keep.astype(np.int64), adj_lens)
+            ncell_flat = ncell_flat[keep]
     if bounds is not None and ncell_flat.size:
-        if candidate_point_mask is not None:
-            # Candidate-side boxes shrink to the masked (core) points:
-            # tighter boxes cover and exclude strictly more cell pairs.
-            cell_cand_counts = _masked_cell_counts(grid, candidate_point_mask)
-            cand_bounds = _masked_cell_bounds(grid, candidate_point_mask)
-        else:
-            cell_cand_counts = grid.counts
-            cand_bounds = bounds
         source = np.repeat(np.arange(n_work, dtype=np.int64), adj_lens)
         covered, excluded = _classify_cell_pairs(
             bounds, cand_bounds, work_cells[source], ncell_flat, eps_sq
         )
         cand_pops = cell_cand_counts[ncell_flat]
-        base_counts = np.bincount(
+        base_counts = base_counts + np.bincount(
             source[covered], weights=cand_pops[covered], minlength=n_work
         ).astype(np.int64)
         _bump(
@@ -603,6 +632,7 @@ class VectorizedEngine:
             counters = {
                 "distance_computations": 0,
                 "pruned_cells": 0,
+                "pairs_self_covered": 0,
                 "pairs_skipped_covered": 0,
                 "pairs_skipped_excluded": 0,
                 "cells_settled_covered": 0,
@@ -690,7 +720,7 @@ class VectorizedEngine:
         members_flat, m_sizes, cands_flat, c_sizes, base_counts, _ = (
             _plan_cell_jobs(
                 grid, adjacency, work, None, None, bounds, eps_sq, counters,
-                settle_threshold=min_pts,
+                settle_threshold=min_pts, seed_self=True,
             )
         )
         counts = _pair_counts(
@@ -744,6 +774,7 @@ class VectorizedEngine:
                 eps_sq=eps_sq,
                 counters=counters,
                 settle_threshold=1,
+                seed_self=True,
             )
         )
         counts = _pair_counts(

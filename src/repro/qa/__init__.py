@@ -1,0 +1,56 @@
+"""Correctness tooling: differential fuzzing of the exactness contract.
+
+DBSCOUT's value proposition is *exact* outlier detection, and the repo
+now has four independent implementations that must agree bit-for-bit
+(vectorized, distributed, incremental, out-of-sample classify).  This
+package is the standing oracle that keeps them honest:
+
+* :mod:`repro.qa.generators` — seeded adversarial dataset generators
+  targeting the boundaries where grid implementations silently diverge
+  (exact-eps pairs, cell-boundary lattices, same-cell float corners,
+  huge magnitudes, duplicates, degenerate sizes);
+* :mod:`repro.qa.runner` — the differential runner: every engine plus
+  both classify paths against the brute-force reference, diffing full
+  label vectors and error semantics;
+* :mod:`repro.qa.shrink` — greedy row-removal minimization of failing
+  datasets down to human-readable witnesses;
+* :mod:`repro.qa.corpus` — the committed witness corpus
+  (``tests/qa/corpus/``) replayed on every pytest run.
+
+Run a fuzz session from the command line::
+
+    python -m repro.qa --seeds 0:200 --budget 120
+
+which exits non-zero on any divergence, shrinks each failure, and
+writes the witnesses for committing.  See ``docs/testing.md``.
+"""
+
+from repro.qa.corpus import Witness, iter_corpus, load_witness, save_witness
+from repro.qa.generators import (
+    GENERATOR_KINDS,
+    AdversarialDataset,
+    generate_dataset,
+)
+from repro.qa.runner import (
+    VARIANT_NAMES,
+    CaseResult,
+    DifferentialRunner,
+    Divergence,
+)
+from repro.qa.shrink import shrink_dataset, shrink_rows
+
+__all__ = [
+    "AdversarialDataset",
+    "CaseResult",
+    "DifferentialRunner",
+    "Divergence",
+    "GENERATOR_KINDS",
+    "VARIANT_NAMES",
+    "Witness",
+    "generate_dataset",
+    "iter_corpus",
+    "load_witness",
+    "save_witness",
+    "shrink_dataset",
+    "shrink_rows",
+]

@@ -1,0 +1,193 @@
+"""Command-line fuzz sessions: ``python -m repro.qa --seeds 0:200``.
+
+Runs the differential engine matrix over a seed range (time-boxed by
+``--budget``), prints a per-kind summary, and exits non-zero if any
+divergence is found.  Failures are shrunk to minimal witnesses and
+written to ``--out`` (default ``tests/qa/corpus/`` when run from the
+repo root) ready to be committed for permanent regression replay.
+
+``--replay DIR`` instead replays an existing witness corpus — the same
+check the tier-1 test suite performs on every pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.qa.corpus import iter_corpus, save_witness
+from repro.qa.generators import GENERATOR_KINDS
+from repro.qa.runner import VARIANT_NAMES, DifferentialRunner
+from repro.qa.shrink import shrink_dataset
+
+__all__ = ["main"]
+
+
+def _parse_seed_range(text: str) -> range:
+    if ":" in text:
+        low, high = text.split(":", 1)
+        start = int(low or 0)
+        stop = int(high)
+        if stop <= start:
+            raise argparse.ArgumentTypeError(
+                f"empty seed range {text!r}: need start < stop"
+            )
+        return range(start, stop)
+    single = int(text)
+    return range(single, single + 1)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa",
+        description=(
+            "Differential exactness fuzzing: every DBSCOUT engine plus "
+            "classify against the brute-force reference."
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seed_range,
+        default=range(0, 200),
+        metavar="A:B",
+        help="Seed range to fuzz, half-open (default 0:200).",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="Stop starting new seeds after this many seconds.",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=sorted(GENERATOR_KINDS),
+        default=None,
+        help="Force one generator kind instead of per-seed selection.",
+    )
+    parser.add_argument(
+        "--variants",
+        nargs="+",
+        choices=list(VARIANT_NAMES),
+        default=None,
+        help="Engine variants to run (default: all).",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("tests/qa/corpus"),
+        metavar="DIR",
+        help="Directory for shrunk witnesses of new failures.",
+    )
+    parser.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="Replay an existing witness corpus instead of fuzzing.",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="Only print the summary."
+    )
+    return parser
+
+
+def _shrink_and_save(runner, result, out_dir: Path, quiet: bool) -> Path:
+    dataset = result.dataset
+
+    def still_failing(candidate) -> bool:
+        return not runner.run_case(candidate).ok
+
+    witness = shrink_dataset(dataset, still_failing)
+    first = result.divergences[0]
+    name = f"seed{dataset.seed}_{dataset.kind}_{first.variant}"
+    path = save_witness(
+        out_dir,
+        name,
+        witness.points,
+        witness.eps,
+        witness.min_pts,
+        kind=dataset.kind,
+        seed=dataset.seed,
+        note="; ".join(str(d) for d in result.divergences[:3]),
+    )
+    if not quiet:
+        print(
+            f"  shrunk {dataset.n_points} -> {witness.n_points} rows, "
+            f"wrote {path}"
+        )
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    runner = DifferentialRunner(
+        variants=tuple(args.variants) if args.variants else None,
+        emit_records=False,
+    )
+    started = time.perf_counter()
+    kind_counts: Counter[str] = Counter()
+    failures = []
+
+    if args.replay is not None:
+        witnesses = list(iter_corpus(args.replay))
+        if not witnesses:
+            print(f"no witnesses found under {args.replay}")
+            return 2
+        for witness in witnesses:
+            result = runner.run_case(witness.dataset())
+            kind_counts[witness.kind] += 1
+            if not result.ok:
+                failures.append(result)
+                for divergence in result.divergences:
+                    print(f"DIVERGENCE [{witness.name}] {divergence}")
+        n_cases = len(witnesses)
+    else:
+
+        def on_case(result) -> None:
+            kind_counts[result.dataset.kind] += 1
+            if not result.ok:
+                failures.append(result)
+                for divergence in result.divergences:
+                    print(f"DIVERGENCE {divergence}")
+                _shrink_and_save(runner, result, args.out, args.quiet)
+            elif not args.quiet and result.dataset.seed % 50 == 0:
+                print(f"  seed {result.dataset.seed} ok")
+
+        if args.kind is None:
+            results = runner.run_seeds(
+                args.seeds, budget_s=args.budget, on_case=on_case
+            )
+        else:
+            results = []
+            for seed in args.seeds:
+                if (
+                    args.budget is not None
+                    and time.perf_counter() - started > args.budget
+                ):
+                    break
+                result = runner.run_seed(seed, kind=args.kind)
+                on_case(result)
+                results.append(result)
+        n_cases = len(results)
+
+    elapsed = time.perf_counter() - started
+    per_kind = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(kind_counts.items())
+    )
+    print(
+        f"ran {n_cases} case(s) x {len(runner.variants)} variant(s) "
+        f"in {elapsed:.1f}s ({per_kind})"
+    )
+    if failures:
+        print(f"FAIL: {len(failures)} case(s) diverged")
+        return 1
+    print("OK: zero divergences")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

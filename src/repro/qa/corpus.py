@@ -1,0 +1,125 @@
+"""The witness corpus: shrunk failing datasets kept for permanent replay.
+
+Every divergence the fuzzer ever finds is minimized
+(:mod:`repro.qa.shrink`) and saved here as one ``.npz`` file holding
+the points plus a JSON header (eps, min_pts, generator kind and seed,
+and a human note about the bug it witnessed).  The committed corpus
+lives in ``tests/qa/corpus/`` and is replayed through the
+differential runner on every pytest invocation — a fixed bug stays
+fixed, across every engine, forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.qa.generators import AdversarialDataset
+
+__all__ = ["Witness", "save_witness", "load_witness", "iter_corpus"]
+
+_HEADER_KEY = "header_json"
+_POINTS_KEY = "points"
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One corpus entry: a minimal dataset plus its provenance."""
+
+    name: str
+    points: np.ndarray
+    eps: float
+    min_pts: int
+    kind: str = "manual"
+    seed: int = -1
+    note: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def dataset(self) -> AdversarialDataset:
+        """View this witness as a runnable differential case."""
+        return AdversarialDataset(
+            kind=self.kind,
+            seed=self.seed,
+            points=self.points,
+            eps=self.eps,
+            min_pts=self.min_pts,
+            notes={"witness": self.name, **self.extra},
+        )
+
+
+def save_witness(
+    directory,
+    name: str,
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    kind: str = "manual",
+    seed: int = -1,
+    note: str = "",
+    **extra: Any,
+) -> Path:
+    """Write one witness file and return its path.
+
+    Coordinates are stored as raw float64 bits inside the ``.npz``, so
+    sub-ulp geometry (jittered lattices, nextafter corners) survives
+    the round-trip exactly.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    array = np.ascontiguousarray(
+        np.atleast_2d(np.asarray(points, dtype=np.float64))
+    )
+    header = {
+        "schema": _SCHEMA_VERSION,
+        "name": str(name),
+        "eps": float(eps),
+        "min_pts": int(min_pts),
+        "kind": str(kind),
+        "seed": int(seed),
+        "note": str(note),
+        "extra": extra,
+    }
+    path = directory / f"{name}.npz"
+    with open(path, "wb") as handle:
+        np.savez(
+            handle,
+            **{
+                _POINTS_KEY: array,
+                _HEADER_KEY: np.frombuffer(
+                    json.dumps(header).encode(), dtype=np.uint8
+                ),
+            },
+        )
+    return path
+
+
+def load_witness(path) -> Witness:
+    """Load one witness file."""
+    path = Path(path)
+    with np.load(path) as archive:
+        points = np.ascontiguousarray(archive[_POINTS_KEY])
+        header = json.loads(bytes(archive[_HEADER_KEY]).decode())
+    return Witness(
+        name=str(header.get("name", path.stem)),
+        points=points,
+        eps=float(header["eps"]),
+        min_pts=int(header["min_pts"]),
+        kind=str(header.get("kind", "manual")),
+        seed=int(header.get("seed", -1)),
+        note=str(header.get("note", "")),
+        extra=dict(header.get("extra", {})),
+    )
+
+
+def iter_corpus(directory) -> Iterator[Witness]:
+    """Iterate the witnesses in a corpus directory, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.npz")):
+        yield load_witness(path)

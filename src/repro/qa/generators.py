@@ -1,0 +1,221 @@
+"""Adversarial dataset generators for differential exactness testing.
+
+Every generator targets a boundary that grid-exact DBSCAN
+implementations historically get wrong (see GriT-DBSCAN and
+Wang/Gu/Shun's parallel-exact DBSCAN):
+
+* pairs at distance *exactly* eps (the ``<= eps`` predicate edge);
+* coincident duplicates and constant columns (degenerate geometry);
+* points on cell boundaries ``k * l`` for side ``l = eps / sqrt(d)``,
+  with sub-ulp jitter so ``floor(x / l)`` lands on either side;
+* cell-corner diagonals where the computed same-cell distance can
+  exceed ``eps**2`` by one ulp (the Lemma 1 float edge);
+* huge magnitudes near the >62-bit packer fallback and at the 2**52
+  exact-grid-domain limit (where every path must reject uniformly);
+* degenerate sizes ``n in {0, 1, min_pts - 1}``.
+
+Determinism contract: :func:`generate_dataset` is a pure function of
+``seed`` — it draws every random value from one
+``np.random.default_rng(seed)`` stream in a fixed order, so a failing
+seed reproduces the exact same dataset forever.  Do not reorder rng
+calls inside a generator without bumping the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.grid import MAX_ABS_CELL_COORD, cell_side_length
+
+__all__ = ["AdversarialDataset", "GENERATOR_KINDS", "generate_dataset"]
+
+#: Sub-ulp nudge used to land on either side of a cell boundary.
+_JITTER = 5e-17
+
+
+@dataclass(frozen=True)
+class AdversarialDataset:
+    """One generated differential-test case."""
+
+    kind: str
+    seed: int
+    points: np.ndarray
+    eps: float
+    min_pts: int
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def n_dims(self) -> int:
+        return int(self.points.shape[1]) if self.points.ndim == 2 else 0
+
+
+def _clustered(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """Plain gaussian mixture + uniform noise (the control group)."""
+    n_dims = int(rng.integers(1, 5))
+    n_clusters = int(rng.integers(1, 4))
+    centers = rng.uniform(-10.0, 10.0, size=(n_clusters, n_dims))
+    rows = [
+        centers[int(rng.integers(n_clusters))]
+        + rng.normal(scale=0.5, size=n_dims)
+        for _ in range(int(rng.integers(8, 40)))
+    ]
+    rows.extend(rng.uniform(-15.0, 15.0, size=(int(rng.integers(0, 5)), n_dims)))
+    points = np.asarray(rows, dtype=np.float64).round(3)
+    return points, float(rng.uniform(0.3, 2.0)), int(rng.integers(2, 7))
+
+
+def _exact_eps_pairs(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """Points placed at float-exactly eps apart along random axes."""
+    n_dims = int(rng.integers(1, 4))
+    eps = float(rng.choice([0.5, 0.7, 1.0, 1.5, 3.0]))
+    anchors = rng.integers(-3, 4, size=(int(rng.integers(2, 6)), n_dims))
+    rows = []
+    for anchor in anchors.astype(np.float64):
+        rows.append(anchor)
+        axis = int(rng.integers(n_dims))
+        partner = anchor.copy()
+        partner[axis] += eps * float(rng.choice([-1.0, 1.0]))
+        rows.append(partner)
+    return np.asarray(rows, dtype=np.float64), eps, int(rng.integers(2, 5))
+
+
+def _duplicates(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """Coincident duplicates, some with constant columns."""
+    n_dims = int(rng.integers(1, 4))
+    n_sites = int(rng.integers(1, 4))
+    sites = rng.uniform(-5.0, 5.0, size=(n_sites, n_dims)).round(2)
+    if n_dims > 1 and rng.random() < 0.5:
+        sites[:, int(rng.integers(n_dims))] = 7.0  # constant column
+    rows = [
+        sites[int(rng.integers(n_sites))]
+        for _ in range(int(rng.integers(4, 20)))
+    ]
+    return np.asarray(rows, dtype=np.float64), float(rng.uniform(0.1, 1.0)), int(
+        rng.integers(2, 8)
+    )
+
+
+def _boundary_lattice(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """Points on cell boundaries ``k * l`` with sub-ulp jitter.
+
+    This generator found the exact-eps stencil bug: jittered lattice
+    points can sit at a float distance of exactly eps while living two
+    cells apart.
+    """
+    n_dims = int(rng.integers(1, 4))
+    eps = float(rng.uniform(0.1, 4.0))
+    side = cell_side_length(eps, n_dims)
+    n = int(rng.integers(4, 16))
+    ks = rng.integers(-3, 4, size=(n, n_dims)).astype(np.float64)
+    jitter = rng.choice([0.0, _JITTER, -_JITTER], size=(n, n_dims))
+    return ks * side + jitter, eps, int(rng.integers(2, 6))
+
+
+def _corner_diagonal(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """Same-cell corner pairs whose computed distance can exceed eps**2.
+
+    Both corners of one epsilon-cell: ``(0, ..., 0)`` and
+    ``(nextafter(l, 0), ...)``.  Real distance is below the cell
+    diagonal eps, but the float kernel can round the squared sum one
+    ulp above ``eps**2`` — the case that forces the same-cell clause of
+    the exactness contract.
+    """
+    n_dims = int(rng.integers(1, 4))
+    eps = float(rng.uniform(0.5, 5.0))
+    side = cell_side_length(eps, n_dims)
+    base = rng.integers(-2, 3, size=n_dims).astype(np.float64) * side
+    low = base
+    high = base + np.nextafter(side, 0.0)
+    copies = int(rng.integers(1, 4))
+    rows = [low, high] * copies
+    rows.extend(
+        base + rng.uniform(0.0, side, size=(int(rng.integers(0, 4)), n_dims))
+    )
+    return np.asarray(rows, dtype=np.float64), eps, int(rng.integers(2, 5))
+
+
+def _huge_magnitude(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """Coordinates near the packer fallback and the 2**52 domain limit.
+
+    Most draws stay in-domain (up to ~2**45 cells — far past the
+    62-bit packer, well below 2**52); occasionally the offset crosses
+    the domain limit, where every path must reject uniformly.
+    """
+    n_dims = int(rng.integers(1, 3))
+    eps = float(rng.choice([0.5, 1.0, 2.0]))
+    side = cell_side_length(eps, n_dims)
+    exponent = int(rng.integers(35, 46))
+    if rng.random() < 0.15:  # out-of-domain draw
+        exponent = 53
+    offset = float(2.0**exponent) * side
+    assert (offset / side >= MAX_ABS_CELL_COORD) == (exponent >= 52)
+    n = int(rng.integers(3, 10))
+    near = rng.uniform(-2.0 * eps, 2.0 * eps, size=(n, n_dims)).round(2)
+    points = near + offset
+    if rng.random() < 0.5:
+        points = np.vstack([points, np.zeros((1, n_dims))])
+    return points, eps, int(rng.integers(2, 5))
+
+
+def _degenerate(rng: np.random.Generator) -> tuple[np.ndarray, float, int]:
+    """n in {0, 1, min_pts - 1} across small dimensionalities."""
+    n_dims = int(rng.integers(1, 5))
+    min_pts = int(rng.integers(2, 8))
+    n = int(rng.choice([0, 1, max(1, min_pts - 1)]))
+    points = rng.uniform(-3.0, 3.0, size=(n, n_dims)).round(2)
+    return points, float(rng.uniform(0.2, 2.0)), min_pts
+
+
+#: Registered generator kinds, in rng-draw order.  Append only — the
+#: selection index below is part of the determinism contract.
+GENERATOR_KINDS: dict[
+    str, Callable[[np.random.Generator], tuple[np.ndarray, float, int]]
+] = {
+    "clustered": _clustered,
+    "exact_eps_pairs": _exact_eps_pairs,
+    "duplicates": _duplicates,
+    "boundary_lattice": _boundary_lattice,
+    "corner_diagonal": _corner_diagonal,
+    "huge_magnitude": _huge_magnitude,
+    "degenerate": _degenerate,
+}
+
+
+def generate_dataset(seed: int, kind: str | None = None) -> AdversarialDataset:
+    """Deterministically generate the adversarial dataset for ``seed``.
+
+    Args:
+        seed: Any non-negative integer; fully determines the output.
+        kind: Optional generator name from :data:`GENERATOR_KINDS` to
+            force; by default the seed picks the kind (first rng draw).
+
+    Returns:
+        The generated :class:`AdversarialDataset`.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(GENERATOR_KINDS)
+    chosen = names[int(rng.integers(len(names)))] if kind is None else kind
+    if chosen not in GENERATOR_KINDS:
+        raise KeyError(
+            f"unknown generator kind {chosen!r}; known: {names}"
+        )
+    points, eps, min_pts = GENERATOR_KINDS[chosen](rng)
+    points = np.ascontiguousarray(
+        np.atleast_2d(np.asarray(points, dtype=np.float64))
+    )
+    if points.size == 0:
+        points = points.reshape(0, max(1, points.shape[-1] if points.ndim else 1))
+    return AdversarialDataset(
+        kind=chosen,
+        seed=int(seed),
+        points=points,
+        eps=float(eps),
+        min_pts=int(min_pts),
+    )

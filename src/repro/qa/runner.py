@@ -1,0 +1,366 @@
+"""The differential runner: every engine against the brute-force oracle.
+
+For each dataset the runner executes the full engine matrix —
+vectorized (pruned and unpruned), distributed (all three join
+strategies), incremental (split insert and insert+remove churn) — plus
+both out-of-sample classification paths
+(:meth:`repro.core.classify.CoreModel.classify` on the training points
+and :meth:`repro.core.cellmap.CellMap.classify`), and diffs the *full*
+core and outlier label vectors against
+:func:`repro.core.reference.brute_force_detect`.  Outlier counts are
+never compared alone: two engines can agree on the count while
+disagreeing on which points are outliers.
+
+Error semantics are part of the contract: when the reference rejects a
+dataset (e.g. coordinates beyond the exact grid domain) every variant
+must raise the same exception type — an engine that silently returns
+labels for data the oracle refuses is a divergence.
+
+Each case emits a :mod:`repro.obs` run record (engine ``qa.diff``)
+carrying the generator seed and kind, so any discrepancy is
+reproducible with ``generate_dataset(seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.cellmap import CellMap
+from repro.core.classify import CoreModel
+from repro.core.distributed import DistributedEngine
+from repro.core.grid import Grid, cell_side_length
+from repro.core.incremental import IncrementalDBSCOUT
+from repro.core.reference import brute_force_detect
+from repro.core.vectorized import VectorizedEngine
+from repro.exceptions import ReproError
+from repro.obs import RunRecorder
+from repro.qa.generators import AdversarialDataset, generate_dataset
+
+__all__ = [
+    "Divergence",
+    "CaseResult",
+    "DifferentialRunner",
+    "VARIANT_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One engine/oracle disagreement on one dataset."""
+
+    seed: int
+    kind: str
+    variant: str
+    field: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"seed={self.seed} kind={self.kind} variant={self.variant} "
+            f"field={self.field}: {self.detail}"
+        )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one differential case."""
+
+    dataset: AdversarialDataset
+    divergences: list[Divergence] = field(default_factory=list)
+    record: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class _Outcome:
+    """Label masks or the exception type a variant produced."""
+
+    core: np.ndarray | None = None
+    outlier: np.ndarray | None = None
+    error: type | None = None
+
+
+def _masks(result: Any, n: int) -> _Outcome:
+    return _Outcome(
+        core=np.asarray(result.core_mask, dtype=bool)[:n],
+        outlier=np.asarray(result.outlier_mask, dtype=bool)[:n],
+    )
+
+
+def _run_vectorized(pruning: bool):
+    def run(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
+        result = VectorizedEngine(pruning=pruning).detect(points, eps, min_pts)
+        return _masks(result, points.shape[0])
+
+    return run
+
+
+def _run_distributed(join_strategy: str):
+    def run(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
+        engine = DistributedEngine(
+            num_partitions=2, join_strategy=join_strategy
+        )
+        return _masks(engine.detect(points, eps, min_pts), points.shape[0])
+
+    return run
+
+
+def _run_incremental_split(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
+    detector = IncrementalDBSCOUT(eps, min_pts)
+    n = points.shape[0]
+    if n > 1:
+        detector.insert(points[: n // 2])
+        detector.insert(points[n // 2 :])
+    elif n:
+        detector.insert(points)
+    return _masks(detector.detect(), n)
+
+
+def _run_incremental_churn(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
+    """Insert everything plus decoys, then remove the decoys.
+
+    Exercises the dirty-region recomputation: the surviving prefix must
+    match a from-scratch fit exactly.
+    """
+    n = points.shape[0]
+    if n == 0:
+        return _run_incremental_split(points, eps, min_pts)
+    detector = IncrementalDBSCOUT(eps, min_pts)
+    detector.insert(points)
+    decoys = points[: max(1, n // 2)] + 0.25 * eps
+    detector.insert(decoys)
+    detector.remove(range(n, n + decoys.shape[0]))
+    return _masks(detector.detect(), n)
+
+
+def _run_classify(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
+    """CoreModel.classify over the training points themselves.
+
+    The model is built from the *reference* fit, so this isolates the
+    classify path: its labels must reproduce the oracle's outlier mask
+    bit-for-bit on the training data.
+    """
+    reference = brute_force_detect(points, eps, min_pts)
+    model = CoreModel.from_fit(points, reference, eps, min_pts)
+    labels = model.classify(points)
+    return _Outcome(
+        core=np.asarray(reference.core_mask, dtype=bool),
+        outlier=np.asarray(labels, dtype=bool),
+    )
+
+
+def _run_cellmap(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
+    """Record-at-a-time CellMap.classify against the reference fit."""
+    reference = brute_force_detect(points, eps, min_pts)
+    if points.shape[0] == 0:
+        return _Outcome(
+            core=np.zeros(0, dtype=bool), outlier=np.zeros(0, dtype=bool)
+        )
+    grid = Grid(points, eps)
+    counts = {
+        tuple(int(c) for c in cell): int(count)
+        for cell, count in zip(grid.cells, grid.counts)
+    }
+    cell_map = CellMap.from_counts(counts, min_pts)
+    side = cell_side_length(eps, points.shape[1])
+    coords = np.floor(points / side).astype(np.int64)
+    core_by_cell: dict[tuple, list[list[float]]] = {}
+    for index in np.flatnonzero(reference.core_mask):
+        cell = tuple(int(c) for c in coords[index])
+        core_by_cell.setdefault(cell, []).append(
+            [float(v) for v in points[index]]
+        )
+        cell_map.mark_core(cell)
+    labels = cell_map.classify(points, core_by_cell, eps)
+    return _Outcome(
+        core=np.asarray(reference.core_mask, dtype=bool),
+        outlier=np.asarray(labels, dtype=bool),
+    )
+
+
+#: The engine matrix, name -> runner(points, eps, min_pts) -> _Outcome.
+_VARIANTS: dict[str, Callable[[np.ndarray, float, int], _Outcome]] = {
+    "vectorized_pruned": _run_vectorized(True),
+    "vectorized_unpruned": _run_vectorized(False),
+    "distributed_group": _run_distributed("group"),
+    "distributed_plain": _run_distributed("plain"),
+    "distributed_broadcast": _run_distributed("broadcast"),
+    "incremental_split": _run_incremental_split,
+    "incremental_churn": _run_incremental_churn,
+    "classify": _run_classify,
+    "cellmap_classify": _run_cellmap,
+}
+
+VARIANT_NAMES: tuple[str, ...] = tuple(_VARIANTS)
+
+
+def _mask_diff(expected: np.ndarray, got: np.ndarray) -> str:
+    if expected.shape != got.shape:
+        return f"shape {got.shape} != expected {expected.shape}"
+    bad = np.flatnonzero(expected != got)
+    return (
+        f"{bad.size} label(s) differ at indices {bad[:10].tolist()}"
+        + ("..." if bad.size > 10 else "")
+    )
+
+
+class DifferentialRunner:
+    """Runs the engine matrix differentially against the oracle.
+
+    Args:
+        variants: Optional subset of :data:`VARIANT_NAMES` to run.
+        emit_records: Emit a ``qa.diff`` run record per case (on by
+            default; records reach installed :mod:`repro.obs` sinks).
+    """
+
+    def __init__(
+        self,
+        variants: tuple[str, ...] | None = None,
+        emit_records: bool = True,
+    ) -> None:
+        names = VARIANT_NAMES if variants is None else tuple(variants)
+        unknown = set(names) - set(_VARIANTS)
+        if unknown:
+            raise KeyError(
+                f"unknown variants {sorted(unknown)}; known: "
+                f"{list(VARIANT_NAMES)}"
+            )
+        self.variants = {name: _VARIANTS[name] for name in names}
+        self.emit_records = bool(emit_records)
+
+    # ------------------------------------------------------------------
+
+    def run_case(self, dataset: AdversarialDataset) -> CaseResult:
+        """Run every variant on one dataset and diff against the oracle."""
+        recorder = None
+        if self.emit_records:
+            recorder = RunRecorder(
+                engine="qa.diff",
+                params={"eps": dataset.eps, "min_pts": dataset.min_pts},
+                context={"seed": dataset.seed, "kind": dataset.kind},
+            )
+        oracle = self._invoke(
+            lambda: _masks(
+                brute_force_detect(
+                    dataset.points, dataset.eps, dataset.min_pts
+                ),
+                dataset.n_points,
+            )
+        )
+        divergences: list[Divergence] = []
+        for name, run in self.variants.items():
+            outcome = self._invoke(
+                lambda run=run: run(
+                    dataset.points, dataset.eps, dataset.min_pts
+                )
+            )
+            divergences.extend(self._diff(dataset, name, oracle, outcome))
+        record = None
+        if recorder is not None:
+            recorder.add_context(
+                variants=list(self.variants),
+                n_divergences=len(divergences),
+                divergent_variants=sorted(
+                    {d.variant for d in divergences}
+                ),
+            )
+            record = recorder.finish(
+                dataset.n_points, n_dims=dataset.n_dims or None
+            )
+        return CaseResult(
+            dataset=dataset, divergences=divergences, record=record
+        )
+
+    def run_seed(self, seed: int, kind: str | None = None) -> CaseResult:
+        """Generate the dataset for ``seed`` and run it."""
+        return self.run_case(generate_dataset(seed, kind=kind))
+
+    def run_seeds(
+        self,
+        seeds,
+        budget_s: float | None = None,
+        on_case: Callable[[CaseResult], None] | None = None,
+    ) -> list[CaseResult]:
+        """Run a seed range, stopping early when the budget expires."""
+        started = time.perf_counter()
+        results: list[CaseResult] = []
+        for seed in seeds:
+            if (
+                budget_s is not None
+                and time.perf_counter() - started > budget_s
+            ):
+                break
+            result = self.run_seed(int(seed))
+            results.append(result)
+            if on_case is not None:
+                on_case(result)
+        return results
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _invoke(thunk: Callable[[], _Outcome]) -> _Outcome:
+        try:
+            return thunk()
+        except ReproError as exc:
+            return _Outcome(error=type(exc))
+
+    @staticmethod
+    def _diff(
+        dataset: AdversarialDataset,
+        variant: str,
+        oracle: _Outcome,
+        outcome: _Outcome,
+    ) -> list[Divergence]:
+        def divergence(field_name: str, detail: str) -> Divergence:
+            return Divergence(
+                seed=dataset.seed,
+                kind=dataset.kind,
+                variant=variant,
+                field=field_name,
+                detail=detail,
+            )
+
+        if oracle.error is not None:
+            if outcome.error is not oracle.error:
+                got = (
+                    "no error"
+                    if outcome.error is None
+                    else outcome.error.__name__
+                )
+                return [
+                    divergence(
+                        "error",
+                        f"reference raised {oracle.error.__name__}, "
+                        f"variant raised {got}",
+                    )
+                ]
+            return []
+        if outcome.error is not None:
+            return [
+                divergence(
+                    "error",
+                    f"variant raised {outcome.error.__name__} but the "
+                    "reference succeeded",
+                )
+            ]
+        found: list[Divergence] = []
+        if not np.array_equal(oracle.core, outcome.core):
+            found.append(
+                divergence("core_mask", _mask_diff(oracle.core, outcome.core))
+            )
+        if not np.array_equal(oracle.outlier, outcome.outlier):
+            found.append(
+                divergence(
+                    "outlier_mask",
+                    _mask_diff(oracle.outlier, outcome.outlier),
+                )
+            )
+        return found

@@ -1,0 +1,101 @@
+"""Greedy witness minimization for failing differential cases.
+
+A fuzz failure on a 40-point dataset is noise; the same failure on 3
+points is a witness a human can read off.  :func:`shrink_dataset`
+performs ddmin-style greedy row removal: try dropping large chunks
+first, halve the chunk size when nothing removable remains, and stop
+at granularity one.  The predicate decides "still failing", so the
+shrinker is oblivious to *why* a case fails — it works for label
+divergences and error-semantics mismatches alike.
+
+The shrinker never changes coordinates, eps, or min_pts: the witness
+stays a literal subset of the generated dataset, so the generator seed
+plus the kept row indices fully explain it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.qa.generators import AdversarialDataset
+
+__all__ = ["shrink_rows", "shrink_dataset"]
+
+
+def shrink_rows(
+    points: np.ndarray,
+    still_failing: Callable[[np.ndarray], bool],
+    max_evaluations: int = 1000,
+) -> np.ndarray:
+    """Minimize ``points`` row-wise while ``still_failing`` holds.
+
+    Args:
+        points: ``(n, d)`` array of a failing dataset.
+        still_failing: Predicate over candidate subsets; must be True
+            for ``points`` itself.
+        max_evaluations: Hard cap on predicate calls.
+
+    Returns:
+        A row subset (in original order) that still fails and from
+        which no single chunk at the final granularity can be removed.
+    """
+    current = np.asarray(points)
+    evaluations = 0
+
+    def check(candidate: np.ndarray) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return still_failing(candidate)
+
+    chunk = max(1, current.shape[0] // 2)
+    while chunk >= 1 and evaluations < max_evaluations:
+        removed_any = False
+        start = 0
+        while start < current.shape[0] and evaluations < max_evaluations:
+            if current.shape[0] <= 1:
+                break
+            candidate = np.delete(
+                current, slice(start, start + chunk), axis=0
+            )
+            if candidate.shape[0] and check(candidate):
+                current = candidate
+                removed_any = True
+                # Do not advance: the next chunk slid into this slot.
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return current
+
+
+def shrink_dataset(
+    dataset: AdversarialDataset,
+    still_failing: Callable[[AdversarialDataset], bool],
+    max_evaluations: int = 1000,
+) -> AdversarialDataset:
+    """Shrink a failing :class:`AdversarialDataset` to a small witness."""
+
+    def predicate(points: np.ndarray) -> bool:
+        return still_failing(_with_points(dataset, points))
+
+    minimized = shrink_rows(
+        dataset.points, predicate, max_evaluations=max_evaluations
+    )
+    return _with_points(dataset, minimized)
+
+
+def _with_points(
+    dataset: AdversarialDataset, points: np.ndarray
+) -> AdversarialDataset:
+    return AdversarialDataset(
+        kind=dataset.kind,
+        seed=dataset.seed,
+        points=np.ascontiguousarray(points, dtype=np.float64),
+        eps=dataset.eps,
+        min_pts=dataset.min_pts,
+        notes=dict(dataset.notes),
+    )

@@ -13,10 +13,13 @@ component built for heavy concurrent traffic:
   requests; a submit beyond that raises
   :class:`~repro.exceptions.ServiceOverloadedError` immediately so
   callers shed load instead of stacking latency.
-* **Deadlines.**  A request may carry a ``timeout``; if a batch picks
-  it up past its deadline it fails with
-  :class:`~repro.exceptions.DeadlineExceededError` without wasting
-  classify work on an answer nobody is waiting for.
+* **Deadlines.**  A request may carry a ``timeout``; expired requests
+  fail with :class:`~repro.exceptions.DeadlineExceededError` without
+  wasting classify work on an answer nobody is waiting for.  The
+  deadline is checked everywhere a request changes hands: at submit
+  (a non-positive timeout is dead on arrival and never enqueued), at
+  batch pickup, and when :meth:`OutlierService.close` drains the
+  queue — all three paths count under ``serve.deadline_exceeded``.
 * **Multi-detector registry.**  Models register under names with LRU
   eviction beyond ``max_models``, so one service can front many fitted
   detectors within a bounded memory budget.
@@ -201,12 +204,31 @@ class OutlierService:
             ServiceOverloadedError: If the queue is at ``max_queue``.
         """
         model = self.model(detector)  # raises UnknownDetectorError
+        probe = np.asarray(points, dtype=np.float64)
+        if probe.size == 0 and probe.ndim <= 2:
+            # Empty query batch: resolve immediately with empty labels
+            # (matching CoreModel.classify) instead of erroring.
+            future: Future = Future()
+            future.set_result(np.zeros(0, dtype=np.int64))
+            return future
         array = validate_points(points)
         if array.shape[1] != model.n_dims:
             raise DataValidationError(
                 f"detector {detector!r} expects {model.n_dims}-D points, "
                 f"got {array.shape[1]}-D"
             )
+        if timeout is not None and float(timeout) <= 0:
+            # Dead on arrival: fail at submit time rather than letting
+            # the request occupy queue capacity until batch pickup.
+            self.metrics.increment("serve.deadline_exceeded")
+            expired: Future = Future()
+            expired.set_exception(
+                DeadlineExceededError(
+                    f"request for {detector!r} submitted with "
+                    f"non-positive timeout {timeout!r}"
+                )
+            )
+            return expired
         now = time.perf_counter()
         request = _Request(
             detector=detector,
@@ -308,8 +330,21 @@ class OutlierService:
             self._queue.clear()
             self._wake.notify_all()
             worker = self._worker
+        now = time.perf_counter()
         for request in pending:
-            request.future.set_exception(ServeError("service closed"))
+            if request.deadline is not None and now > request.deadline:
+                # A request that expired while queued misses its
+                # deadline, it is not a casualty of the shutdown.
+                self.metrics.increment("serve.deadline_exceeded")
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"request for {request.detector!r} waited "
+                        f"{now - request.enqueued_at:.3f}s, past its "
+                        "deadline (service closed while queued)"
+                    )
+                )
+            else:
+                request.future.set_exception(ServeError("service closed"))
         if worker is not None and worker is not threading.current_thread():
             worker.join(timeout=timeout)
 

@@ -155,8 +155,30 @@ class TestOffsets:
 
 class TestNeighborStencil:
     def test_kd_property(self):
+        # The engine stencil includes the boundary ring (min cell gap
+        # exactly eps), so k_d exceeds the paper-strict count of 21.
         stencil = NeighborStencil(2)
+        assert stencil.k_d == 25
+
+    def test_strict_stencil_matches_table_i(self):
+        stencil = NeighborStencil(2, include_boundary=False)
         assert stencil.k_d == 21
+
+    @pytest.mark.parametrize("n_dims", [1, 2, 3, 4])
+    def test_inclusive_stencil_is_superset_of_strict(self, n_dims):
+        strict = {
+            tuple(row) for row in neighbor_offsets(n_dims)
+        }
+        inclusive = {
+            tuple(row)
+            for row in neighbor_offsets(n_dims, include_boundary=True)
+        }
+        assert strict < inclusive
+        # The extra offsets are exactly the boundary ring: cells whose
+        # minimal gap equals eps (min_cell_gap_squared == d in units of
+        # the squared side length).
+        for offset in inclusive - strict:
+            assert min_cell_gap_squared(offset) == n_dims
 
     def test_neighbors_of_translation(self):
         stencil = NeighborStencil(2)
@@ -190,7 +212,7 @@ class TestNeighborStencil:
         assert int(mask.sum()) == 1
 
     def test_repr(self):
-        assert "k_d=21" in repr(NeighborStencil(2))
+        assert "k_d=25" in repr(NeighborStencil(2))
 
 
 class TestPairCoverage:

@@ -158,23 +158,32 @@ class TestResultMetadata:
     def test_stats_present(self, clustered_2d):
         result = detect(clustered_2d, 0.8, 10)
         assert result.stats["engine"] == "vectorized"
-        assert result.stats["k_d"] == 21
+        assert result.stats["k_d"] == 25  # boundary-inclusive stencil
         assert result.stats["n_cells"] > 0
         assert result.stats["n_core_cells"] <= result.stats["n_cells"]
 
     def test_large_coordinates_fallback_path(self):
-        # Huge spread forces the dict-based adjacency fallback.
+        # Huge spread forces the dict-based adjacency fallback: the
+        # cell span (~2**47 cells per dim) overflows the 62-bit packer
+        # while staying inside the exact grid domain (< 2**52 cells).
         rng = np.random.default_rng(3)
         points = np.vstack(
             [
                 rng.normal(0.0, 1e-4, (50, 2)),
-                rng.normal(1e15, 1e-4, (50, 2)),
-                np.array([[5e14, 5e14]]),
+                rng.normal(1e11, 1e-4, (50, 2)),
+                np.array([[5e10, 5e10]]),
             ]
         )
         result = detect(points, 1e-3, 10)
         expected = brute_force_detect(points, 1e-3, 10)
         assert np.array_equal(result.outlier_mask, expected.outlier_mask)
+
+    def test_out_of_domain_coordinates_rejected(self):
+        # Beyond 2**52 cells float division cannot resolve cell
+        # coordinates; every path rejects uniformly.
+        points = np.array([[1e15, 0.0], [0.0, 0.0]])
+        with pytest.raises(DataValidationError):
+            detect(points, 1e-3, 2)
 
 
 class TestEpsMonotonicity:

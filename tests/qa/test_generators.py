@@ -1,0 +1,71 @@
+"""Adversarial generators: determinism, kind coverage, geometry claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.grid import MAX_ABS_CELL_COORD, cell_side_length
+from repro.qa import GENERATOR_KINDS, generate_dataset
+
+
+def test_same_seed_same_dataset_bit_for_bit():
+    for seed in (0, 7, 223, 1828):
+        first = generate_dataset(seed)
+        second = generate_dataset(seed)
+        assert first.kind == second.kind
+        assert first.eps == second.eps
+        assert first.min_pts == second.min_pts
+        assert first.points.shape == second.points.shape
+        # Bit-level equality, not approximate: sub-ulp jitter matters.
+        assert np.array_equal(
+            first.points.view(np.uint64), second.points.view(np.uint64)
+        )
+
+
+def test_seed_range_covers_every_kind():
+    kinds = {generate_dataset(seed).kind for seed in range(120)}
+    assert kinds == set(GENERATOR_KINDS)
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATOR_KINDS))
+def test_forced_kind_is_respected(kind):
+    dataset = generate_dataset(5, kind=kind)
+    assert dataset.kind == kind
+    assert dataset.points.ndim == 2
+    assert dataset.eps > 0
+    assert dataset.min_pts >= 1
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(KeyError):
+        generate_dataset(0, kind="nope")
+
+
+def test_boundary_lattice_sits_on_cell_edges():
+    dataset = generate_dataset(3, kind="boundary_lattice")
+    side = cell_side_length(dataset.eps, dataset.n_dims)
+    # Every coordinate is within a sub-ulp jitter of a lattice node.
+    remainder = dataset.points - np.round(dataset.points / side) * side
+    assert np.abs(remainder).max() <= 1e-10
+
+
+def test_huge_magnitude_occasionally_leaves_the_domain():
+    in_domain = out_of_domain = 0
+    for seed in range(300):
+        dataset = generate_dataset(seed, kind="huge_magnitude")
+        side = cell_side_length(dataset.eps, dataset.n_dims)
+        extreme = float(np.abs(dataset.points).max())
+        if extreme / side >= MAX_ABS_CELL_COORD:
+            out_of_domain += 1
+        else:
+            in_domain += 1
+    assert in_domain > 0 and out_of_domain > 0
+
+
+def test_degenerate_sizes_appear():
+    sizes = {
+        generate_dataset(seed, kind="degenerate").n_points
+        for seed in range(60)
+    }
+    assert 0 in sizes and 1 in sizes

@@ -1,0 +1,81 @@
+"""Greedy shrinker: minimizes failing datasets, preserves coordinates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qa import AdversarialDataset, shrink_dataset, shrink_rows
+
+
+def test_shrinks_to_the_two_essential_rows():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(40, 2))
+    # "Failure" = rows 13 and 29 both present.
+    a, b = points[13].copy(), points[29].copy()
+
+    def still_failing(candidate):
+        has_a = (candidate == a).all(axis=1).any()
+        has_b = (candidate == b).all(axis=1).any()
+        return bool(has_a and has_b)
+
+    minimized = shrink_rows(points, still_failing)
+    assert minimized.shape[0] == 2
+    assert still_failing(minimized)
+
+
+def test_rows_are_subset_in_original_order():
+    points = np.arange(20, dtype=np.float64).reshape(10, 2)
+
+    def still_failing(candidate):
+        return candidate.shape[0] >= 3
+
+    minimized = shrink_rows(points, still_failing)
+    assert minimized.shape[0] == 3
+    positions = [
+        int(np.flatnonzero((points == row).all(axis=1))[0])
+        for row in minimized
+    ]
+    assert positions == sorted(positions)
+
+
+def test_never_returns_empty():
+    points = np.zeros((5, 1))
+    minimized = shrink_rows(points, lambda candidate: True)
+    assert minimized.shape[0] == 1
+
+
+def test_evaluation_cap_respected():
+    points = np.arange(64, dtype=np.float64).reshape(64, 1)
+    calls = 0
+
+    def counting(candidate):
+        nonlocal calls
+        calls += 1
+        return True
+
+    shrink_rows(points, counting, max_evaluations=10)
+    assert calls <= 10
+
+
+def test_shrink_dataset_keeps_parameters_and_bits():
+    points = np.array([[0.0], [5e-17], [0.7], [1.4], [100.0]])
+    dataset = AdversarialDataset(
+        kind="manual", seed=42, points=points, eps=0.7, min_pts=2
+    )
+
+    def still_failing(candidate):
+        # Failure requires the sub-ulp row and the exact-eps row.
+        rows = {row.tobytes() for row in candidate.points}
+        return (
+            np.array([5e-17]).tobytes() in rows
+            and np.array([0.7]).tobytes() in rows
+        )
+
+    witness = shrink_dataset(dataset, still_failing)
+    assert witness.eps == dataset.eps
+    assert witness.min_pts == dataset.min_pts
+    assert witness.seed == dataset.seed
+    assert witness.points.shape[0] == 2
+    assert np.array([5e-17]).tobytes() in {
+        row.tobytes() for row in witness.points
+    }

@@ -211,3 +211,51 @@ def test_batch_wait_coalesces_trickled_requests(fitted):
         service.register("geo", detector.core_model_)
         labels = service.query("geo", points[:10])
         assert labels.shape == (10,)
+
+
+def test_non_positive_timeout_fails_at_submit(fitted):
+    detector, _, points = fitted
+    with OutlierService() as service:
+        service.register("geo", detector.core_model_)
+        service.pause()  # nothing gets picked up
+        future = service.submit("geo", points[:5], timeout=0.0)
+        assert future.done()  # failed synchronously, never enqueued
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=0)
+        negative = service.submit("geo", points[:5], timeout=-1.0)
+        with pytest.raises(DeadlineExceededError):
+            negative.result(timeout=0)
+        stats = service.stats()
+        assert stats["serve.deadline_exceeded"] == 2
+        assert stats["serve.queue_depth"] == 0  # no queue slot consumed
+        service.resume()
+
+
+def test_close_drain_counts_expired_deadlines(fitted):
+    import time
+
+    detector, _, points = fitted
+    service = OutlierService()
+    service.register("geo", detector.core_model_)
+    service.pause()
+    expired = service.submit("geo", points[:5], timeout=0.005)
+    fresh = service.submit("geo", points[5:10])  # no deadline
+    time.sleep(0.02)  # let the first deadline lapse while queued
+    service.close()
+    with pytest.raises(DeadlineExceededError):
+        expired.result(timeout=10)
+    with pytest.raises(ServeError, match="closed"):
+        fresh.result(timeout=10)
+    assert service.stats()["serve.deadline_exceeded"] == 1
+
+
+def test_empty_query_batch_returns_empty_labels(fitted):
+    detector, _, _ = fitted
+    with OutlierService() as service:
+        service.register("geo", detector.core_model_)
+        labels = service.query("geo", np.zeros((0, 2)))
+        assert labels.shape == (0,)
+        assert labels.dtype == np.int64
+        # 1-D empties and plain lists resolve the same way.
+        assert service.query("geo", np.array([])).shape == (0,)
+        assert service.query("geo", []).shape == (0,)
