@@ -6,7 +6,12 @@ neighbors per cell stay far below the theoretical stencil size because
 data gets sparser with d.  This ablation runs DBSCOUT on Gaussian
 mixtures of fixed size across d = 1..5 and reports both the stencil
 constant and the realized work (distance computations per point,
-non-empty neighbor statistics).
+non-empty neighbor statistics), plus the grid-tree cell planner's
+``planner.cell_pairs_examined`` counter against the stencil planner's
+— the tree stops paying the full ``k_d`` enumeration per cell once
+the grid gets sparse.
+
+Exposes ``BENCH_STATS`` for ``run_all.py --json``.
 """
 
 from __future__ import annotations
@@ -16,11 +21,14 @@ import time
 import numpy as np
 
 from repro.core.neighbors import count_neighbor_offsets
-from repro.core.vectorized import detect
+from repro.core.vectorized import VectorizedEngine, detect
 from repro.experiments import format_table
 
 N_POINTS = 20_000
 DIMENSIONS = (1, 2, 3, 4, 5)
+
+#: Machine-readable results for run_all.py --json, filled by main().
+BENCH_STATS: dict[str, object] = {}
 
 
 def dataset(n_dims: int, seed: int = 0) -> np.ndarray:
@@ -70,6 +78,27 @@ def test_realized_work_grows_slower_than_kd():
     assert realized_growth < kd_growth
 
 
+def run_planner(n_dims: int, cell_planner: str):
+    points = dataset(n_dims)
+    engine = VectorizedEngine(kernel="numpy", cell_planner=cell_planner)
+    start = time.perf_counter()
+    result = engine.detect(points, eps_for(n_dims), 10)
+    return time.perf_counter() - start, result
+
+
+def test_tree_planner_prunes_high_dims():
+    """At d >= 4 the grid tree must examine fewer cell pairs than the
+    full-stencil enumeration, with bit-identical labels."""
+    _, stencil = run_planner(4, "stencil")
+    _, tree = run_planner(4, "tree")
+    assert np.array_equal(stencil.outlier_mask, tree.outlier_mask)
+    assert np.array_equal(stencil.core_mask, tree.core_mask)
+    assert (
+        tree.stats["planner.cell_pairs_examined"]
+        < stencil.stats["planner.cell_pairs_examined"]
+    )
+
+
 def main() -> None:
     rows = []
     for n_dims in DIMENSIONS:
@@ -100,6 +129,57 @@ def main() -> None:
                 f"realized work (n={N_POINTS})"
             ),
         )
+    )
+
+    planner_rows = []
+    pairs_by_dim: dict[str, dict[str, int]] = {}
+    for n_dims in DIMENSIONS:
+        stencil_wall, stencil = run_planner(n_dims, "stencil")
+        tree_wall, tree = run_planner(n_dims, "tree")
+        assert np.array_equal(stencil.outlier_mask, tree.outlier_mask)
+        assert np.array_equal(stencil.core_mask, tree.core_mask)
+        s_pairs = stencil.stats["planner.cell_pairs_examined"]
+        t_pairs = tree.stats["planner.cell_pairs_examined"]
+        pairs_by_dim[str(n_dims)] = {
+            "stencil": int(s_pairs),
+            "tree": int(t_pairs),
+        }
+        planner_rows.append(
+            [
+                n_dims,
+                s_pairs,
+                t_pairs,
+                round(s_pairs / max(1, t_pairs), 1),
+                round(stencil_wall, 3),
+                round(tree_wall, 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "d",
+                "pairs (stencil)",
+                "pairs (tree)",
+                "reduction",
+                "stencil (s)",
+                "tree (s)",
+            ],
+            planner_rows,
+            title=(
+                "Ablation A5b: cell-pair enumeration — full stencil vs "
+                "grid-tree planner (labels bit-identical)"
+            ),
+        )
+    )
+
+    BENCH_STATS.clear()
+    BENCH_STATS.update(
+        {
+            "n_points": N_POINTS,
+            "dimensions": list(DIMENSIONS),
+            "planner_cell_pairs_examined": pairs_by_dim,
+        }
     )
 
 

@@ -144,6 +144,9 @@ def main() -> None:
             "n_points": N_POINTS,
             "eps": EPS,
             "min_pts": MIN_PTS,
+            # Which distance kernel actually ran (kernel="auto" resolves
+            # per machine) — captures are only comparable per kernel.
+            "kernel": pruned.record.context["kernel"],
             "distance_computations_pruned": int(
                 pruned.stats["distance_computations"]
             ),

@@ -86,6 +86,9 @@ def run_signature(record: RunRecord) -> str:
         "join_strategy",
         "num_partitions",
         "pruning",
+        "kernel",
+        "cell_planner",
+        "pair_budget",
     )
     config = {
         key: record.context[key]

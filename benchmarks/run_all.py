@@ -35,6 +35,7 @@ FAST_BENCHES = [
     "bench_ablation_clustering_cost",
     "bench_ablation_dimensionality",
     "bench_ablation_pruning",
+    "bench_ablation_kernels",
     "bench_extension_geospatial_quality",
     "bench_serving_throughput",
     "bench_qa_fuzz",

@@ -99,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial, -1 = all cores; results are identical)",
     )
     detect.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "c"),
+        default="auto",
+        help="distance-kernel tier (auto picks the compiled C kernel "
+        "when a compiler is available; labels are identical)",
+    )
+    detect.add_argument(
+        "--pair-budget",
+        type=int,
+        metavar="PAIRS",
+        help="kernel batch size in point pairs for the vectorized "
+        "engine (bounds peak memory; labels are identical)",
+    )
+    detect.add_argument(
+        "--cell-planner",
+        choices=("auto", "stencil", "tree"),
+        default="auto",
+        help="neighbor-cell adjacency builder for the vectorized "
+        "engine (auto uses the grid tree in high dimensions)",
+    )
+    detect.add_argument(
         "--output", help="write outlier indices here instead of stdout"
     )
     detect.add_argument(
@@ -152,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("vectorized", "distributed"),
         default="vectorized",
+    )
+    fit.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "c"),
+        default="auto",
+        help="distance-kernel tier (labels are identical)",
     )
     fit.add_argument(
         "--save-artifact",
@@ -250,11 +277,18 @@ def _run_detect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    engine_options = (
-        {"num_partitions": args.num_partitions}
-        if args.engine == "distributed"
-        else {"n_jobs": args.n_jobs}
-    )
+    if args.engine == "distributed":
+        engine_options = {
+            "num_partitions": args.num_partitions,
+            "kernel": args.kernel,
+        }
+    else:
+        engine_options = {
+            "n_jobs": args.n_jobs,
+            "kernel": args.kernel,
+            "pair_budget": args.pair_budget,
+            "cell_planner": args.cell_planner,
+        }
     detector = DBSCOUT(
         eps=eps, min_pts=args.min_pts, engine=args.engine, **engine_options
     )
@@ -377,7 +411,9 @@ def _run_fit(args: argparse.Namespace) -> int:
     else:
         print("error: provide --eps or --auto-eps", file=sys.stderr)
         return 2
-    detector = DBSCOUT(eps=eps, min_pts=args.min_pts, engine=args.engine)
+    detector = DBSCOUT(
+        eps=eps, min_pts=args.min_pts, engine=args.engine, kernel=args.kernel
+    )
     result = detector.fit(points)
     name = args.name or pathlib.Path(args.save_artifact).stem
     artifact = DetectorArtifact.from_model(

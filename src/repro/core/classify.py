@@ -294,6 +294,7 @@ class CoreModel:
         self,
         points: np.ndarray,
         counters: dict[str, int] | None = None,
+        kernel: Any = "auto",
     ) -> np.ndarray:
         """Exact labels for (possibly unseen) points: 1 outlier, 0 inlier.
 
@@ -307,12 +308,16 @@ class CoreModel:
             counters: Optional dict accumulating
                 ``distance_computations`` / ``cells_settled_core`` /
                 ``cells_no_candidates`` work counters.
+            kernel: Distance-kernel selection (see
+                :func:`repro.core.kernels.resolve_kernel`); labels are
+                bit-identical for every choice.
 
         Returns:
             ``(n,)`` int64 label array matching
             :meth:`repro.types.DetectionResult.labels`.
         """
-        from repro.core.vectorized import _flat_ranges, _segmented_pair_counts
+        from repro.core.kernels import resolve_kernel
+        from repro.core.vectorized import _flat_ranges
 
         # An empty query batch — (0, d), (0,), [] — has exactly zero
         # labels, whatever its shape claims about dimensionality.
@@ -374,7 +379,7 @@ class CoreModel:
         # kernel run unchanged: targets index the query block,
         # candidates index the core block at offset n_queries.
         stacked = np.concatenate([array, self.core_points], axis=0)
-        counts = _segmented_pair_counts(
+        counts = resolve_kernel(kernel, counters).segmented_pair_counts(
             stacked,
             members_flat,
             qgrid.counts[work],

@@ -52,10 +52,15 @@ class DBSCOUT:
         engine: ``"vectorized"`` or ``"distributed"``.
         **engine_options: Extra keyword arguments per engine.  The
             vectorized engine accepts ``n_jobs`` (worker processes for
-            the distance kernel; ``1`` = serial, ``-1`` = all cores —
-            results are bit-identical for every value).  The
-            distributed engine accepts ``num_partitions``,
-            ``max_workers``, ``join_strategy``, ``context``.
+            the distance kernel; ``1`` = serial, ``-1`` = all cores),
+            ``kernel`` (``"auto"``/``"numpy"``/``"c"`` distance-kernel
+            tier), ``pair_budget`` (kernel batch size in point pairs),
+            ``cell_planner`` (``"auto"``/``"stencil"``/``"tree"``
+            neighbor-cell adjacency builder), and ``pruning``
+            (cell-geometry pruning toggle) — results are bit-identical
+            for every combination.  The distributed engine accepts
+            ``num_partitions``, ``max_workers``, ``join_strategy``,
+            ``context``, ``kernel``.
     """
 
     def __init__(
@@ -72,15 +77,26 @@ class DBSCOUT:
             )
         if engine == "vectorized":
             n_jobs = engine_options.pop("n_jobs", 1)
+            kernel = engine_options.pop("kernel", "auto")
+            pair_budget = engine_options.pop("pair_budget", None)
+            cell_planner = engine_options.pop("cell_planner", "auto")
+            pruning = engine_options.pop("pruning", True)
             if engine_options:
                 raise ParameterError(
-                    "the vectorized engine accepts only the n_jobs "
-                    "option; got " + ", ".join(sorted(engine_options))
+                    "the vectorized engine accepts only the n_jobs, "
+                    "kernel, pair_budget, cell_planner, and pruning "
+                    "options; got " + ", ".join(sorted(engine_options))
                 )
-            # normalize_n_jobs (via the engine) raises ParameterError
-            # for non-integer or zero values.
+            # The engine's normalizers raise ParameterError for invalid
+            # n_jobs / kernel / pair_budget / cell_planner values.
             self._engine: VectorizedEngine | DistributedEngine = (
-                VectorizedEngine(n_jobs=n_jobs)
+                VectorizedEngine(
+                    n_jobs=n_jobs,
+                    pruning=pruning,
+                    kernel=kernel,
+                    pair_budget=pair_budget,
+                    cell_planner=cell_planner,
+                )
             )
         else:
             self._engine = DistributedEngine(**engine_options)
@@ -114,7 +130,9 @@ class DBSCOUT:
         labels bit-identically.  See
         :class:`repro.core.classify.CoreModel`.
         """
-        return self.core_model_.classify(points)
+        return self.core_model_.classify(
+            points, kernel=getattr(self._engine, "kernel", "auto")
+        )
 
     @property
     def result_(self) -> DetectionResult:

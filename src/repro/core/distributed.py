@@ -43,6 +43,7 @@ from repro.core.grid import (
     check_grid_domain,
     validate_points,
 )
+from repro.core.kernels import Kernel, normalize_kernel, resolve_kernel
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import ParameterError
@@ -70,6 +71,10 @@ class DistributedEngine:
             ``context.metrics`` keep accumulating across fits (the
             cumulative cluster view); each ``DetectionResult`` reports
             this run's *delta* in ``stats``/``record``.
+        kernel: Distance-kernel tier for the per-record tasks
+            (``"auto"``/``"numpy"``/``"c"`` or a
+            :class:`~repro.core.kernels.Kernel`); labels are
+            bit-identical for every choice.
     """
 
     name = "distributed"
@@ -80,6 +85,7 @@ class DistributedEngine:
         max_workers: int = 1,
         join_strategy: str = "group",
         context: Context | None = None,
+        kernel: str | Kernel | None = "auto",
     ) -> None:
         if join_strategy not in JOIN_STRATEGIES:
             raise ParameterError(
@@ -92,6 +98,7 @@ class DistributedEngine:
             )
         self.num_partitions = int(num_partitions)
         self.join_strategy = join_strategy
+        self.kernel = normalize_kernel(kernel)
         self.context = context or Context(
             default_parallelism=num_partitions, max_workers=max_workers
         )
@@ -115,6 +122,8 @@ class DistributedEngine:
             )
         n_dims = array.shape[1]
         stencil = NeighborStencil(n_dims)
+        kernel_counters: dict[str, int] = {}
+        kernel = resolve_kernel(self.kernel, kernel_counters)
         recorder = RunRecorder(
             engine=self.name,
             params={"eps": eps, "min_pts": min_pts},
@@ -122,6 +131,7 @@ class DistributedEngine:
                 "engine": self.name,
                 "join_strategy": self.join_strategy,
                 "num_partitions": self.num_partitions,
+                "kernel": kernel.name,
             },
         )
         # With an externally supplied context, the context metrics keep
@@ -143,7 +153,7 @@ class DistributedEngine:
             # Phase 3: core points identification.
             with recorder.span("core_points"):
                 core_points = self._find_core_points(
-                    grid, eps, min_pts, cell_map
+                    grid, eps, min_pts, cell_map, kernel
                 ).cache()
                 core_records = core_points.collect()
 
@@ -155,11 +165,13 @@ class DistributedEngine:
             # Phase 5: outliers identification.
             with recorder.span("outliers"):
                 outlier_records = self._find_outliers(
-                    grid, eps, cell_map, core_points
+                    grid, eps, cell_map, core_points, kernel
                 ).collect()
 
         run_metrics = self.context.metrics.delta(metrics_before)
         recorder.metrics.merge(run_metrics, namespace="sparklite")
+        if kernel_counters:
+            recorder.metrics.merge(kernel_counters, namespace="engine")
         recorder.add_context(
             n_cells=len(cell_map),
             k_d=stencil.k_d,
@@ -217,7 +229,12 @@ class DistributedEngine:
     # ------------------------------------------------------------------
 
     def _find_core_points(
-        self, grid: RDD, eps: float, min_pts: int, cell_map: CellMap
+        self,
+        grid: RDD,
+        eps: float,
+        min_pts: int,
+        cell_map: CellMap,
+        kernel: Kernel | None = None,
     ) -> RDD:
         """Union of dense-cell core points and join-verified core points."""
         map_broadcast = self.context.broadcast(cell_map)
@@ -231,7 +248,7 @@ class DistributedEngine:
         ).flat_map(
             lambda record: _emit_to_neighbors(record, map_broadcast.value)
         )
-        counts = self._count_near_pairs(grid, to_check, eps, min_pts)
+        counts = self._count_near_pairs(grid, to_check, eps, min_pts, kernel)
         verified = (
             counts.filter(lambda kv: kv[1][0] >= min_pts)
             .map(lambda kv: kv[1][1])
@@ -239,7 +256,12 @@ class DistributedEngine:
         return dense_core.union(verified)
 
     def _count_near_pairs(
-        self, grid: RDD, to_check: RDD, eps: float, min_pts: int
+        self,
+        grid: RDD,
+        to_check: RDD,
+        eps: float,
+        min_pts: int,
+        kernel: Kernel | None = None,
     ) -> RDD:
         """Count, per checked point, neighbors within ``eps``.
 
@@ -254,6 +276,10 @@ class DistributedEngine:
         float boundary.
         """
         eps_sq = eps * eps
+        # The record-at-a-time tasks call the kernel's scalar distance;
+        # the NumPy tier's sq_dist is exactly the legacy module-level
+        # _sq_dist, and every tier returns the identical float.
+        sq_dist = kernel.sq_dist if kernel is not None else _sq_dist
 
         if self.join_strategy == "plain":
             pairs = grid.join(to_check)
@@ -261,7 +287,7 @@ class DistributedEngine:
             def score(record):
                 join_cell, ((_qi, q), (cell, point)) = record
                 near = (
-                    join_cell == cell or _sq_dist(point[1], q) <= eps_sq
+                    join_cell == cell or sq_dist(point[1], q) <= eps_sq
                 )
                 return (point[0], (1 if near else 0, (cell, point)))
 
@@ -276,7 +302,7 @@ class DistributedEngine:
                 same_cell = join_cell == cell
                 count = 0
                 for _qi, q in neighbors:
-                    if same_cell or _sq_dist(point[1], q) <= eps_sq:
+                    if same_cell or sq_dist(point[1], q) <= eps_sq:
                         count += 1
                         if count >= min_pts:
                             break  # early termination (Sec. III-G2)
@@ -296,7 +322,7 @@ class DistributedEngine:
             for checked_cell, point in check_broadcast.value.get(cell, ()):
                 near = (
                     checked_cell == cell
-                    or _sq_dist(point[1], q) <= eps_sq
+                    or sq_dist(point[1], q) <= eps_sq
                 )
                 out.append((point[0], (1 if near else 0, (checked_cell, point))))
             return out
@@ -308,7 +334,12 @@ class DistributedEngine:
     # ------------------------------------------------------------------
 
     def _find_outliers(
-        self, grid: RDD, eps: float, cell_map: CellMap, core_points: RDD
+        self,
+        grid: RDD,
+        eps: float,
+        cell_map: CellMap,
+        core_points: RDD,
+        kernel: Kernel | None = None,
     ) -> RDD:
         """Union of no-core-neighbor outliers and join-verified outliers."""
         map_broadcast = self.context.broadcast(cell_map)
@@ -323,7 +354,9 @@ class DistributedEngine:
         ).flat_map(
             lambda record: _emit_to_core_neighbors(record, map_broadcast.value)
         )
-        flags = self._outlier_flags(grid, cell_map, core_points, to_check, eps)
+        flags = self._outlier_flags(
+            grid, cell_map, core_points, to_check, eps, kernel
+        )
         verified = (
             flags.filter(lambda kv: kv[1][0])
             .map(lambda kv: kv[1][1])
@@ -337,6 +370,7 @@ class DistributedEngine:
         core_points: RDD,
         to_check: RDD,
         eps: float,
+        kernel: Kernel | None = None,
     ) -> RDD:
         """AND-reduce, per checked point, "farther than eps from this core".
 
@@ -345,13 +379,14 @@ class DistributedEngine:
         farther than ``eps`` (Definition 3).
         """
         eps_sq = eps * eps
+        sq_dist = kernel.sq_dist if kernel is not None else _sq_dist
 
         if self.join_strategy == "plain":
             pairs = core_points.join(to_check)
 
             def flag(record):
                 _cell, ((_qi, q), (cell, point)) = record
-                far = _sq_dist(point[1], q) > eps_sq
+                far = sq_dist(point[1], q) > eps_sq
                 return (point[0], (far, (cell, point)))
 
             return pairs.map(flag).reduce_by_key(_merge_flags)
@@ -364,7 +399,7 @@ class DistributedEngine:
                 _cell, (cores, (cell, point)) = record
                 still_outlier = True
                 for _qi, q in cores:
-                    if _sq_dist(point[1], q) <= eps_sq:
+                    if sq_dist(point[1], q) <= eps_sq:
                         still_outlier = False
                         break  # early termination (Sec. III-G2)
                 return (point[0], (still_outlier, (cell, point)))
@@ -380,7 +415,7 @@ class DistributedEngine:
             cell, (_qi, q) = record
             out = []
             for checked_cell, point in check_broadcast.value.get(cell, ()):
-                far = _sq_dist(point[1], q) > eps_sq
+                far = sq_dist(point[1], q) > eps_sq
                 out.append((point[0], (far, (checked_cell, point))))
             return out
 

@@ -43,6 +43,8 @@ from repro.core.grid import (
     check_grid_domain,
     validate_points,
 )
+from repro.core.kernels import normalize_kernel, resolve_kernel
+from repro.core.kernels.numpy_kernel import sq_dists as _sq_dists_kernel
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import DataValidationError, ParameterError
@@ -60,13 +62,12 @@ def _sq_dists(targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     All engines and the reference oracle share this accumulation order
     (``sq += delta * delta`` over dimensions); reductions with a
     different association (``einsum``, BLAS dot) can round one ulp
-    away and flip an exactly-at-eps comparison.
+    away and flip an exactly-at-eps comparison.  Kept as a module
+    function for compatibility; the implementation now lives in
+    :mod:`repro.core.kernels` and the detector routes through its
+    configured kernel tier.
     """
-    sq = np.zeros((targets.shape[0], candidates.shape[0]), dtype=np.float64)
-    for dim in range(targets.shape[1]):
-        delta = targets[:, dim, None] - candidates[None, :, dim]
-        sq += delta * delta
-    return sq
+    return _sq_dists_kernel(targets, candidates)
 
 
 class IncrementalDBSCOUT:
@@ -85,16 +86,25 @@ class IncrementalDBSCOUT:
         eps: Neighborhood radius.
         min_pts: Density threshold (self included).
         initial_capacity: Initial size of the internal point buffer.
+        kernel: Distance-kernel tier (``"auto"``/``"numpy"``/``"c"``
+            or a :class:`~repro.core.kernels.Kernel`); labels are
+            bit-identical for every choice.
     """
 
     def __init__(
-        self, eps: float, min_pts: int, initial_capacity: int = 1024
+        self,
+        eps: float,
+        min_pts: int,
+        initial_capacity: int = 1024,
+        kernel: str | None = "auto",
     ) -> None:
         self.eps, self.min_pts = validate_parameters(eps, min_pts)
         if initial_capacity < 1:
             raise ParameterError(
                 f"initial_capacity must be >= 1, got {initial_capacity}"
             )
+        self.kernel = normalize_kernel(kernel)
+        self._kernel_counters: dict[str, int] = {}
         self._capacity = int(initial_capacity)
         self._n_points = 0
         self._n_dims: int | None = None
@@ -303,6 +313,11 @@ class IncrementalDBSCOUT:
             out.update(self._neighbor_cells(cell))
         return out
 
+    def _sq(self, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Squared distances through the configured kernel tier."""
+        kernel = resolve_kernel(self.kernel, self._kernel_counters)
+        return kernel.sq_dists(targets, candidates)
+
     def _recompute_core(self, cells: set[Cell]) -> set[Cell]:
         """Re-evaluate core status inside ``cells``.
 
@@ -340,7 +355,7 @@ class IncrementalDBSCOUT:
                             for c in cross_cells
                         ]
                     )
-                    sq = _sq_dists(points[members], points[candidates])
+                    sq = self._sq(points[members], points[candidates])
                     after = (
                         own + (sq <= eps_sq).sum(axis=1) >= self.min_pts
                     )
@@ -371,7 +386,7 @@ class IncrementalDBSCOUT:
                 self._outlier_mask[members] = True
                 continue
             candidates = np.concatenate(core_candidates)
-            sq = _sq_dists(points[members], points[candidates])
+            sq = self._sq(points[members], points[candidates])
             covered = (sq <= eps_sq).any(axis=1)
             self._outlier_mask[members] = ~covered
 
@@ -388,6 +403,7 @@ class IncrementalDBSCOUT:
                 outlier_mask=np.zeros(0, dtype=bool),
                 core_mask=np.zeros(0, dtype=bool),
             )
+        kernel = resolve_kernel(self.kernel, self._kernel_counters)
         recorder = RunRecorder(
             engine="incremental",
             params={"eps": self.eps, "min_pts": self.min_pts},
@@ -395,6 +411,7 @@ class IncrementalDBSCOUT:
                 "engine": "incremental",
                 "n_cells": len(self._cells),
                 "dirty_cells": len(self._dirty),
+                "kernel": kernel.name,
             },
         )
         with recorder.activate():
@@ -412,6 +429,9 @@ class IncrementalDBSCOUT:
                     outlier_cells_recomputed=len(outlier_region),
                 )
                 self._dirty.clear()
+        if self._kernel_counters:
+            recorder.metrics.merge(self._kernel_counters, namespace="engine")
+            self._kernel_counters = {}
         record = recorder.finish(self._n_points, n_dims=self._n_dims)
         return DetectionResult(
             n_points=self._n_points,

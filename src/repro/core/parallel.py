@@ -1,7 +1,8 @@
 """Multi-core sharded execution for the vectorized engine's hot loop.
 
 The vectorized engine resolves each work cell with one block of
-pairwise squared distances (``_segmented_pair_counts``).  That work
+pairwise squared distances (``Kernel.segmented_pair_counts``, see
+:mod:`repro.core.kernels`).  That work
 decomposes cleanly across processes: the per-cell member/candidate
 segments are independent, so any contiguous split of the cell list can
 be counted by a separate worker and the per-member counts concatenated
@@ -155,10 +156,17 @@ def _pair_count_shard(
     c_sizes: np.ndarray,
     eps_sq: float,
     pair_budget: int,
+    kernel: str = "numpy",
 ) -> tuple[np.ndarray, int]:
-    """Worker: count one shard of cells against the shared arrays."""
-    # Deferred import: repro.core.vectorized imports this module.
-    from repro.core.vectorized import _segmented_pair_counts
+    """Worker: count one shard of cells against the shared arrays.
+
+    The kernel travels as its *name*: a ctypes-backed kernel object is
+    not picklable, so each worker re-resolves it (with spawn, that may
+    trigger one compile-cache hit; with fork the loaded library is
+    inherited).  A worker that cannot build the C kernel falls back to
+    NumPy — safe, because the kernels are bit-identical.
+    """
+    from repro.core.kernels import resolve_kernel
 
     blocks = []
     try:
@@ -169,7 +177,7 @@ def _pair_count_shard(
         block, cands_flat = _attach(cands_spec)
         blocks.append(block)
         counters = {"distance_computations": 0}
-        counts = _segmented_pair_counts(
+        counts = resolve_kernel(kernel).segmented_pair_counts(
             points,
             members_flat[member_span[0] : member_span[1]],
             m_sizes,
@@ -204,8 +212,9 @@ def run_sharded_pair_counts(
     n_jobs: int,
     pair_budget: int = 4_000_000,
     counters: dict | None = None,
+    kernel: str = "numpy",
 ) -> tuple[np.ndarray, int]:
-    """Sharded, multi-process equivalent of ``_segmented_pair_counts``.
+    """Sharded, multi-process equivalent of the serial distance kernel.
 
     Splits the per-cell segments into up to ``n_jobs`` contiguous
     shards balanced by pair count, publishes the point and flat index
@@ -216,6 +225,9 @@ def run_sharded_pair_counts(
         counters: Optional counter dict that receives the pool-worker
             stats (``pool.dispatches``, ``pool.shards``,
             ``pool.shared_bytes``) under their namespaced keys.
+        kernel: Kernel *name* (``"numpy"``/``"c"``/``"auto"``) each
+            worker resolves for itself; results are bit-identical for
+            every choice.
 
     Returns:
         ``(counts, distance_computations)`` — counts aligned with
@@ -227,10 +239,10 @@ def run_sharded_pair_counts(
         return counts_out, 0
     shards = plan_shards(m_sizes * c_sizes, n_jobs)
     if len(shards) <= 1:
-        from repro.core.vectorized import _segmented_pair_counts
+        from repro.core.kernels import resolve_kernel
 
         counters = {"distance_computations": 0}
-        counts = _segmented_pair_counts(
+        counts = resolve_kernel(kernel).segmented_pair_counts(
             array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
             counters, pair_budget=pair_budget,
         )
@@ -271,6 +283,7 @@ def run_sharded_pair_counts(
                     c_sizes[lo:hi],
                     eps_sq,
                     pair_budget,
+                    kernel,
                 )
                 for lo, hi in shards
             ]

@@ -37,26 +37,65 @@ Two further performance layers sit on top of the exact pipeline (see
   shards and counted by a process pool over shared-memory views of
   the point array (``repro.core.parallel``); per-member counts are
   integers, so any shard layout reproduces the serial result exactly.
+* **Pluggable distance kernel.**  The hot loop itself is a
+  :class:`repro.core.kernels.Kernel`: ``kernel="auto"`` (default)
+  prefers the compiled C tier and falls back to the NumPy reference
+  when no compiler is available.  Both implement the identical float
+  contract, so labels are bit-identical either way.
+* **Grid-tree cell planner.**  ``cell_planner="tree"`` (the ``"auto"``
+  choice at d >= 4) builds the neighbor-cell adjacency by searching a
+  k-d-style tree over the non-empty cells (``repro.core.celltree``)
+  instead of enumerating the ``k_d`` offset stencil per cell; same
+  adjacency set, so labels are again bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.celltree import build_tree_adjacency
 from repro.core.grid import Grid, validate_points
+from repro.core.kernels import (
+    Kernel,
+    normalize_kernel,
+    normalize_pair_budget,
+    resolve_kernel,
+)
+from repro.core.kernels.numpy_kernel import (
+    segmented_pair_counts as _segmented_pair_counts,
+)
 from repro.core.neighbors import NeighborStencil
 from repro.core.parallel import normalize_n_jobs, run_sharded_pair_counts
 from repro.core.validation import validate_parameters
+from repro.exceptions import ParameterError
 from repro.obs import RunRecorder
 from repro.types import DetectionResult
 
-__all__ = ["VectorizedEngine", "detect", "build_cell_adjacency"]
+__all__ = [
+    "VectorizedEngine",
+    "detect",
+    "build_cell_adjacency",
+    "normalize_cell_planner",
+]
+
+#: Accepted values for the ``cell_planner`` engine option.
+CELL_PLANNER_NAMES = ("auto", "stencil", "tree")
+
+#: ``cell_planner="auto"`` switches to the grid-tree at this
+#: dimensionality: the stencil's k_d passes 1000 at d = 4 while real
+#: grids stay sparse, so enumeration starts losing to search there.
+TREE_PLANNER_MIN_DIMS = 4
 
 #: Below this many member/candidate pairs the process-pool dispatch
 #: overhead exceeds the arithmetic; the engine stays serial even when
 #: ``n_jobs > 1``.  Tests monkeypatch this to force the pool on tiny
 #: inputs.
 MIN_PAIRS_FOR_POOL = 200_000
+
+#: Stencil adjacency probes at most this many (cell, offset) keys per
+#: searchsorted batch, bounding the peak int64 scratch at ~3 arrays of
+#: this length regardless of grid size.
+_ADJACENCY_PROBE_BUDGET = 4_000_000
 
 
 def build_cell_adjacency(
@@ -100,14 +139,23 @@ def build_cell_adjacency(
         )
     sort_order = np.argsort(packed, kind="stable")
     sorted_keys = packed[sort_order]
+    # The pack is linear with a guard bit per field (_make_packer) and
+    # offsets stay inside the reach-widened range, so shifting any cell
+    # by a fixed stencil offset shifts its key by a fixed delta: probe
+    # blocks of offsets with one searchsorted each instead of
+    # re-packing (m, d) coordinates k_d times.
+    deltas = packer(cells[0] + stencil.offsets) - packed[0]
     all_sources: list[np.ndarray] = []
     all_targets: list[np.ndarray] = []
-    for offset in stencil.offsets:
-        candidate_keys = packer(cells + offset)
+    block = max(1, _ADJACENCY_PROBE_BUDGET // n_cells)
+    for start in range(0, deltas.shape[0], block):
+        candidate_keys = (
+            packed[None, :] + deltas[start : start + block, None]
+        ).ravel()
         positions = np.searchsorted(sorted_keys, candidate_keys)
-        positions = np.minimum(positions, n_cells - 1)
-        hit = sorted_keys[positions] == candidate_keys
-        all_sources.append(np.flatnonzero(hit))
+        np.minimum(positions, n_cells - 1, out=positions)
+        hit = np.flatnonzero(sorted_keys[positions] == candidate_keys)
+        all_sources.append(hit % n_cells)
         all_targets.append(sort_order[positions[hit]])
     sources = np.concatenate(all_sources)
     targets = np.concatenate(all_targets)
@@ -116,24 +164,62 @@ def build_cell_adjacency(
     return targets[order], np.concatenate(([0], np.cumsum(counts)))
 
 
+def normalize_cell_planner(cell_planner: str | None) -> str:
+    """Validate a ``cell_planner`` option (``None`` means ``"auto"``).
+
+    Raises:
+        ParameterError: If the value is not one of
+            ``"auto"``, ``"stencil"``, ``"tree"``.
+    """
+    if cell_planner is None:
+        return "auto"
+    if (
+        not isinstance(cell_planner, str)
+        or cell_planner not in CELL_PLANNER_NAMES
+    ):
+        raise ParameterError(
+            f"cell_planner must be one of {', '.join(CELL_PLANNER_NAMES)}, "
+            f"got {cell_planner!r}"
+        )
+    return cell_planner
+
+
 class _CellAdjacency:
     """Neighbor-cell adjacency over the non-empty cells of a grid.
 
     For every cell index ``i`` the structure can report the indices of
     the non-empty cells that are neighbors of ``i`` (``i`` included).
-    Built once per detection in O(m * k_d) lookups, where ``m`` is the
-    number of non-empty cells.
+    Built once per detection — in O(m * k_d) stencil lookups, or by
+    grid-tree search (``planner="tree"``) when the stencil's ``k_d``
+    would dwarf the number of non-empty cells ``m``.  Both planners
+    produce the same adjacency *set* (tree row order differs), so
+    every downstream label is identical.
     """
 
-    def __init__(self, grid: Grid, stencil: NeighborStencil) -> None:
+    def __init__(
+        self,
+        grid: Grid,
+        stencil: NeighborStencil,
+        planner: str = "stencil",
+        counters: dict[str, int] | None = None,
+    ) -> None:
         self._grid = grid
         self._stencil = stencil
-        self._build()
-
-    def _build(self) -> None:
-        self._targets, self._starts = build_cell_adjacency(
-            self._grid.cells, self._stencil
-        )
+        self.planner = planner
+        if planner == "tree":
+            self._targets, self._starts = build_tree_adjacency(
+                grid.cells, counters=counters
+            )
+        else:
+            self._targets, self._starts = build_cell_adjacency(
+                grid.cells, stencil
+            )
+            if counters is not None:
+                _bump(
+                    counters,
+                    "planner.cell_pairs_examined",
+                    grid.n_cells * stencil.k_d,
+                )
 
     def neighbors(self, cell_index: int) -> np.ndarray:
         """Indices of non-empty neighbor cells of ``cell_index``."""
@@ -467,89 +553,6 @@ def _gather_cell_jobs(
     return members_flat, m_sizes, cands_flat, c_sizes
 
 
-def _segmented_pair_counts(
-    array: np.ndarray,
-    members_flat: np.ndarray,
-    m_sizes: np.ndarray,
-    cands_flat: np.ndarray,
-    c_sizes: np.ndarray,
-    eps_sq: float,
-    counters: dict[str, int],
-    pair_budget: int = 4_000_000,
-) -> np.ndarray:
-    """Count, per target point, candidates within ``sqrt(eps_sq)``.
-
-    Inputs are the flat per-cell member/candidate arrays produced by
-    :func:`_gather_cell_jobs`.  Cells are processed in batches of up
-    to ``pair_budget`` point pairs with a handful of large vectorized
-    operations (gather, fused squared distance, ``add.reduceat``
-    segment sums), avoiding per-cell Python overhead on sparse grids
-    with many tiny cells.  A cell with zero candidates contributes
-    zero counts for all its members.
-
-    Returns:
-        Counts aligned with ``members_flat``.
-    """
-    n_cells = m_sizes.shape[0]
-    counts_out = np.zeros(members_flat.shape[0], dtype=np.int64)
-    if n_cells == 0 or members_flat.shape[0] == 0:
-        return counts_out
-    member_offsets = np.concatenate(([0], np.cumsum(m_sizes)))
-    cand_offsets = np.concatenate(([0], np.cumsum(c_sizes)))
-    cum_pairs = np.cumsum(m_sizes * c_sizes)
-    n_dims = array.shape[1]
-    start_cell = 0
-    while start_cell < n_cells:
-        base = int(cum_pairs[start_cell - 1]) if start_cell else 0
-        end_cell = (
-            int(np.searchsorted(cum_pairs, base + pair_budget, side="left"))
-            + 1
-        )
-        end_cell = min(max(end_cell, start_cell + 1), n_cells)
-        m_sz = m_sizes[start_cell:end_cell]
-        c_sz = c_sizes[start_cell:end_cell]
-        members = members_flat[
-            member_offsets[start_cell] : member_offsets[end_cell]
-        ]
-        cands = cands_flat[
-            cand_offsets[start_cell] : cand_offsets[end_cell]
-        ]
-        # Each member of cell j owns one contiguous run of c_j pairs.
-        run_lengths = np.repeat(c_sz, m_sz)
-        total_pairs = int(run_lengths.sum())
-        if total_pairs == 0:
-            start_cell = end_cell
-            continue
-        target_idx = np.repeat(members, run_lengths)
-        cand_local_start = np.repeat(
-            np.concatenate(([0], np.cumsum(c_sz)[:-1])), m_sz
-        )
-        run_starts = np.concatenate(([0], np.cumsum(run_lengths)))
-        pos_in_run = np.arange(total_pairs, dtype=np.int64) - np.repeat(
-            run_starts[:-1], run_lengths
-        )
-        cand_idx = cands[
-            np.repeat(cand_local_start, run_lengths) + pos_in_run
-        ]
-        sq = np.zeros(total_pairs, dtype=np.float64)
-        for dim in range(n_dims):
-            delta = array[target_idx, dim] - array[cand_idx, dim]
-            sq += delta * delta
-        counters["distance_computations"] += total_pairs
-        within = (sq <= eps_sq).astype(np.int64)
-        per_member = np.zeros(run_lengths.shape[0], dtype=np.int64)
-        nonempty = run_lengths > 0
-        if nonempty.any():
-            per_member[nonempty] = np.add.reduceat(
-                within, run_starts[:-1][nonempty]
-            )
-        counts_out[
-            member_offsets[start_cell] : member_offsets[end_cell]
-        ] = per_member
-        start_cell = end_cell
-    return counts_out
-
-
 def _pair_counts(
     array: np.ndarray,
     members_flat: np.ndarray,
@@ -559,19 +562,28 @@ def _pair_counts(
     eps_sq: float,
     counters: dict[str, int],
     n_jobs: int,
+    kernel: Kernel,
+    pair_budget: int,
 ) -> np.ndarray:
-    """Serial or sharded dispatch around :func:`_segmented_pair_counts`."""
+    """Serial or sharded dispatch around ``kernel.segmented_pair_counts``.
+
+    The hot loop lives in :mod:`repro.core.kernels`
+    (``_segmented_pair_counts`` is the module-level NumPy form, kept
+    importable here for the pool workers and ``CoreModel.classify``).
+    """
     if n_jobs > 1 and m_sizes.shape[0] > 1:
         total_pairs = int((m_sizes * c_sizes).sum())
         if total_pairs >= MIN_PAIRS_FOR_POOL:
             counts, n_distances = run_sharded_pair_counts(
                 array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
-                n_jobs=n_jobs, counters=counters,
+                n_jobs=n_jobs, pair_budget=pair_budget, counters=counters,
+                kernel=kernel.name,
             )
             _bump(counters, "distance_computations", n_distances)
             return counts
-    return _segmented_pair_counts(
-        array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq, counters
+    return kernel.segmented_pair_counts(
+        array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq, counters,
+        pair_budget=pair_budget,
     )
 
 
@@ -586,15 +598,44 @@ class VectorizedEngine:
         pruning: Enable cell-geometry (bounding-box) pruning.  The
             ``False`` setting is a debug path for parity testing and
             ablations; results are identical either way.
+        kernel: Distance-kernel tier: ``"auto"`` (default; compiled C
+            when a compiler is available, else NumPy), ``"numpy"``,
+            ``"c"``, or a :class:`~repro.core.kernels.Kernel`
+            instance.  Labels are bit-identical for every choice; an
+            unavailable C kernel falls back to NumPy with a
+            ``kernel.fallback`` metric, never an error.
+        pair_budget: Maximum member x candidate pairs a kernel batch
+            may materialize (default 4,000,000); bounds the NumPy
+            kernel's temporary arrays.  Results are identical for
+            every value.
+        cell_planner: Neighbor-cell adjacency builder: ``"auto"``
+            (default; grid-tree search at d >= 4, stencil enumeration
+            below), ``"stencil"``, or ``"tree"``.  Identical labels
+            either way.
     """
 
     name = "vectorized"
 
     def __init__(
-        self, n_jobs: int | None = 1, pruning: bool = True
+        self,
+        n_jobs: int | None = 1,
+        pruning: bool = True,
+        kernel: str | Kernel | None = "auto",
+        pair_budget: int | None = None,
+        cell_planner: str | None = "auto",
     ) -> None:
         self.n_jobs = normalize_n_jobs(n_jobs)
         self.pruning = bool(pruning)
+        self.kernel = normalize_kernel(kernel)
+        self.pair_budget = normalize_pair_budget(pair_budget)
+        self.cell_planner = normalize_cell_planner(cell_planner)
+
+    def _resolve_planner(self, n_dims: int) -> str:
+        if self.cell_planner == "auto":
+            return (
+                "tree" if n_dims >= TREE_PLANNER_MIN_DIMS else "stencil"
+            )
+        return self.cell_planner
 
     def detect(
         self, points: np.ndarray, eps: float, min_pts: int
@@ -610,6 +651,16 @@ class VectorizedEngine:
                 core_mask=np.zeros(0, dtype=bool),
             )
 
+        counters = {
+            "distance_computations": 0,
+            "pruned_cells": 0,
+            "pairs_self_covered": 0,
+            "pairs_skipped_covered": 0,
+            "pairs_skipped_excluded": 0,
+            "cells_settled_covered": 0,
+        }
+        kernel = resolve_kernel(self.kernel, counters)
+        planner = self._resolve_planner(array.shape[1])
         recorder = RunRecorder(
             engine=self.name,
             params={"eps": eps, "min_pts": min_pts},
@@ -617,6 +668,9 @@ class VectorizedEngine:
                 "engine": self.name,
                 "n_jobs": self.n_jobs,
                 "pruning": self.pruning,
+                "kernel": kernel.name,
+                "pair_budget": self.pair_budget,
+                "cell_planner": planner,
             },
         )
         with recorder.activate():
@@ -625,22 +679,17 @@ class VectorizedEngine:
                 stencil = NeighborStencil(grid.n_dims)
 
             with recorder.span("dense_cell_map"):
-                adjacency = _CellAdjacency(grid, stencil)
+                adjacency = _CellAdjacency(
+                    grid, stencil, planner=planner, counters=counters
+                )
                 dense_cells = grid.counts >= min_pts
                 bounds = _cell_bounds(grid) if self.pruning else None
 
-            counters = {
-                "distance_computations": 0,
-                "pruned_cells": 0,
-                "pairs_self_covered": 0,
-                "pairs_skipped_covered": 0,
-                "pairs_skipped_excluded": 0,
-                "cells_settled_covered": 0,
-            }
             with recorder.span("core_points"):
                 core_mask = self._find_core_points(
                     array, grid, adjacency, dense_cells, eps, min_pts,
                     counters, bounds=bounds, n_jobs=self.n_jobs,
+                    kernel=kernel, pair_budget=self.pair_budget,
                 )
 
             with recorder.span("core_cell_map"):
@@ -652,6 +701,7 @@ class VectorizedEngine:
                 outlier_mask = self._find_outliers(
                     array, grid, adjacency, cell_is_core, core_mask, eps,
                     counters, bounds=bounds, n_jobs=self.n_jobs,
+                    kernel=kernel, pair_budget=self.pair_budget,
                 )
 
         recorder.metrics.merge(counters, namespace="engine")
@@ -676,11 +726,11 @@ class VectorizedEngine:
         """Exact out-of-sample labels against a fitted ``CoreModel``.
 
         Delegates to :meth:`repro.core.classify.CoreModel.classify`
-        (whose distance kernel is this engine's own
-        ``_segmented_pair_counts``), so labels are bit-identical to
-        :meth:`detect` on the training data.
+        with this engine's kernel selection (the distance contract is
+        shared), so labels are bit-identical to :meth:`detect` on the
+        training data.
         """
-        return model.classify(points)
+        return model.classify(points, kernel=self.kernel)
 
     @staticmethod
     def _find_core_points(
@@ -694,8 +744,12 @@ class VectorizedEngine:
         *,
         bounds: tuple[np.ndarray, np.ndarray] | None = None,
         n_jobs: int = 1,
+        kernel: Kernel | None = None,
+        pair_budget: int | None = None,
     ) -> np.ndarray:
         """Core-point identification (Algorithm 3, both branches)."""
+        kernel = kernel if kernel is not None else resolve_kernel("numpy")
+        pair_budget = normalize_pair_budget(pair_budget)
         eps_sq = eps * eps
         core_mask = np.zeros(grid.n_points, dtype=bool)
         core_mask[dense_cells[grid.point_cell]] = True  # Lemma 1 shortcut
@@ -725,7 +779,7 @@ class VectorizedEngine:
         )
         counts = _pair_counts(
             array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
-            counters, n_jobs,
+            counters, n_jobs, kernel, pair_budget,
         )
         counts = counts + np.repeat(base_counts, m_sizes)
         core_mask[members_flat[counts >= min_pts]] = True
@@ -753,8 +807,12 @@ class VectorizedEngine:
         *,
         bounds: tuple[np.ndarray, np.ndarray] | None = None,
         n_jobs: int = 1,
+        kernel: Kernel | None = None,
+        pair_budget: int | None = None,
     ) -> np.ndarray:
         """Outlier identification (Algorithm 5, both branches)."""
+        kernel = kernel if kernel is not None else resolve_kernel("numpy")
+        pair_budget = normalize_pair_budget(pair_budget)
         eps_sq = eps * eps
         outlier_mask = np.zeros(grid.n_points, dtype=bool)
         work = np.flatnonzero(~cell_is_core)
@@ -779,7 +837,7 @@ class VectorizedEngine:
         )
         counts = _pair_counts(
             array, members_flat, m_sizes, cands_flat, c_sizes, eps_sq,
-            counters, n_jobs,
+            counters, n_jobs, kernel, pair_budget,
         )
         counts = counts + np.repeat(base_counts, m_sizes)
         outlier_mask[members_flat[counts == 0]] = True
@@ -791,6 +849,9 @@ def detect(
     eps: float,
     min_pts: int,
     n_jobs: int | None = 1,
+    kernel: str | Kernel | None = "auto",
 ) -> DetectionResult:
     """Convenience wrapper: run the vectorized engine on ``points``."""
-    return VectorizedEngine(n_jobs=n_jobs).detect(points, eps, min_pts)
+    return VectorizedEngine(n_jobs=n_jobs, kernel=kernel).detect(
+        points, eps, min_pts
+    )

@@ -23,6 +23,16 @@ class EngineError(ReproError, RuntimeError):
     """A computation engine failed or was configured inconsistently."""
 
 
+class KernelBuildError(EngineError):
+    """The compiled distance kernel could not be built or loaded.
+
+    Raised internally by :mod:`repro.core.kernels`; the public
+    ``resolve_kernel`` entry point catches it and falls back to the
+    NumPy kernel (recording a ``kernel.fallback`` metric), so user code
+    never sees this error unless it builds the C kernel directly.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A result or model attribute was accessed before ``fit`` ran."""
 

@@ -1,8 +1,9 @@
 """The differential runner: every engine against the brute-force oracle.
 
 For each dataset the runner executes the full engine matrix —
-vectorized (pruned and unpruned), distributed (all three join
-strategies), incremental (split insert and insert+remove churn) — plus
+vectorized (pruned and unpruned NumPy, compiled C kernel, grid-tree
+cell planner), distributed (all three join strategies), incremental
+(split insert and insert+remove churn) — plus
 both out-of-sample classification paths
 (:meth:`repro.core.classify.CoreModel.classify` on the training points
 and :meth:`repro.core.cellmap.CellMap.classify`), and diffs the *full*
@@ -94,9 +95,9 @@ def _masks(result: Any, n: int) -> _Outcome:
     )
 
 
-def _run_vectorized(pruning: bool):
+def _run_vectorized(**options):
     def run(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
-        result = VectorizedEngine(pruning=pruning).detect(points, eps, min_pts)
+        result = VectorizedEngine(**options).detect(points, eps, min_pts)
         return _masks(result, points.shape[0])
 
     return run
@@ -186,9 +187,25 @@ def _run_cellmap(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
 
 
 #: The engine matrix, name -> runner(points, eps, min_pts) -> _Outcome.
+#: The vectorized rows pin kernel/planner so each performance layer is
+#: exercised in isolation: the two legacy rows run the NumPy kernel
+#: with the stencil planner, ``vectorized_ckernel`` swaps in the
+#: compiled kernel (NumPy fallback without a compiler — still a valid
+#: differential run), and ``vectorized_tree`` swaps in the grid-tree
+#: cell planner.
 _VARIANTS: dict[str, Callable[[np.ndarray, float, int], _Outcome]] = {
-    "vectorized_pruned": _run_vectorized(True),
-    "vectorized_unpruned": _run_vectorized(False),
+    "vectorized_pruned": _run_vectorized(
+        pruning=True, kernel="numpy", cell_planner="stencil"
+    ),
+    "vectorized_unpruned": _run_vectorized(
+        pruning=False, kernel="numpy", cell_planner="stencil"
+    ),
+    "vectorized_ckernel": _run_vectorized(
+        kernel="c", cell_planner="stencil"
+    ),
+    "vectorized_tree": _run_vectorized(
+        kernel="numpy", cell_planner="tree"
+    ),
     "distributed_group": _run_distributed("group"),
     "distributed_plain": _run_distributed("plain"),
     "distributed_broadcast": _run_distributed("broadcast"),
