@@ -16,6 +16,7 @@ per-partition work.
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from _common import MIN_PTS, OSM_EPS
@@ -27,9 +28,14 @@ from repro.experiments import format_series
 PARTITION_SWEEP = (1, 2, 4, 8, 16, 32)
 N_POINTS = 15_000
 
+#: Published to ``run_all.py --json``; ``--net`` adds the wire-volume
+#: counters (``sparklite.net.bytes_out`` / ``bytes_in``) of a real
+#: loopback multi-process run.
+BENCH_STATS: dict[str, object] = {}
 
-def dataset():
-    return make_openstreetmap_like(N_POINTS, seed=0)
+
+def dataset(n_points: int = N_POINTS):
+    return make_openstreetmap_like(n_points, seed=0)
 
 
 def time_dbscout(points, num_partitions: int) -> float:
@@ -79,8 +85,55 @@ def test_dbscout_stays_flat_with_partitions():
     assert t_many < 3.0 * t_few
 
 
-def main() -> None:
-    points = dataset()
+def time_dbscout_net(points, num_partitions: int, n_workers: int):
+    """One DBSCOUT fit over a real loopback worker cluster.
+
+    Returns ``(elapsed_seconds, net_stats)`` where the stats carry the
+    run's ``net.*`` wire counters (bytes, tasks, latency).
+    """
+    from repro.sparklite.netexec import LoopbackCluster
+
+    with LoopbackCluster(
+        n_workers=n_workers, default_parallelism=num_partitions
+    ) as cluster:
+        engine = DistributedEngine(
+            num_partitions=num_partitions,
+            context=cluster.context,
+            join_strategy="group",
+            partitioner="cells",
+        )
+        start = time.perf_counter()
+        result = engine.detect(points, OSM_EPS, MIN_PTS)
+        elapsed = time.perf_counter() - start
+    net_stats = {
+        f"sparklite.{key}": value
+        for key, value in result.stats.items()
+        if key.startswith("net.")
+    }
+    return elapsed, net_stats
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="also run DBSCOUT over a loopback TCP worker cluster",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for --net (default 2)",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=N_POINTS,
+        help=f"dataset size (default {N_POINTS})",
+    )
+    args = parser.parse_args(argv)
+    points = dataset(args.n)
     series = {"DBSCOUT": {}, "RP-DBSCAN": {}}
     for num_partitions in PARTITION_SWEEP:
         series["DBSCOUT"][num_partitions] = time_dbscout(
@@ -95,10 +148,30 @@ def main() -> None:
             series,
             title=(
                 "Fig. 13: running time (s) vs number of partitions "
-                f"(OSM-like, n={N_POINTS}, eps={OSM_EPS:g}, minPts={MIN_PTS})"
+                f"(OSM-like, n={args.n}, eps={OSM_EPS:g}, minPts={MIN_PTS})"
             ),
         )
     )
+    BENCH_STATS.clear()
+    BENCH_STATS.update(
+        {
+            "n_points": args.n,
+            "partition_sweep": list(PARTITION_SWEEP),
+            "dbscout_seconds": dict(series["DBSCOUT"]),
+            "rp_dbscan_seconds": dict(series["RP-DBSCAN"]),
+        }
+    )
+    if args.net:
+        elapsed, net_stats = time_dbscout_net(points, 8, args.workers)
+        print(
+            f"\nDBSCOUT over {args.workers} TCP worker(s), 8 partitions: "
+            f"{elapsed:.3f}s, "
+            f"{net_stats.get('sparklite.net.bytes_out', 0)} bytes out, "
+            f"{net_stats.get('sparklite.net.bytes_in', 0)} bytes in"
+        )
+        BENCH_STATS["net_workers"] = args.workers
+        BENCH_STATS["net_seconds"] = elapsed
+        BENCH_STATS.update(net_stats)
 
 
 if __name__ == "__main__":

@@ -5,6 +5,14 @@ Usage:
         [--max-wall-regression 0.25] [--max-counter-regression 0.10] \
         [--counters engine.distance_computations,...] [--show-all]
 
+    # Or gate a fresh capture against the committed baselines:
+    python benchmarks/check_regression.py CANDIDATE \
+        [--baseline-dir benchmarks/baselines/c]
+
+With a single positional path it is the *candidate* and the baseline
+comes from ``--baseline-dir`` (default ``benchmarks/baselines/c``,
+the committed compiled-kernel capture) — the one-argument CI form.
+
 ``BASELINE`` and ``CANDIDATE`` each name one of:
 
 * a JSONL run-record file (written by ``python -m repro detect
@@ -132,8 +140,23 @@ def main(argv=None) -> int:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("baseline", help="reference capture")
-    parser.add_argument("candidate", help="capture under scrutiny")
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help=(
+            "BASELINE CANDIDATE, or just CANDIDATE "
+            "(baseline then comes from --baseline-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT / "benchmarks" / "baselines" / "c"),
+        help=(
+            "baseline capture used in the one-argument form "
+            "(default: benchmarks/baselines/c)"
+        ),
+    )
     parser.add_argument(
         "--max-wall-regression",
         type=float,
@@ -147,6 +170,16 @@ def main(argv=None) -> int:
         help="allowed fractional counter growth (default 0.10)",
     )
     parser.add_argument(
+        "--min-wall-seconds",
+        type=float,
+        default=0.05,
+        help=(
+            "ignore wall regressions where both sides are below this "
+            "many seconds — micro-phase scheduler jitter, not a "
+            "slowdown (default 0.05; counters are never filtered)"
+        ),
+    )
+    parser.add_argument(
         "--counters",
         help="comma list restricting which counters are compared",
     )
@@ -156,9 +189,17 @@ def main(argv=None) -> int:
         help="print the full diff table for every pair, not just failures",
     )
     args = parser.parse_args(argv)
+    if len(args.paths) == 1:
+        baseline_path, candidate_path = args.baseline_dir, args.paths[0]
+    elif len(args.paths) == 2:
+        baseline_path, candidate_path = args.paths
+    else:
+        parser.error(
+            f"expected 1 or 2 positional paths, got {len(args.paths)}"
+        )
 
-    baseline = load_records(args.baseline)
-    candidate = load_records(args.candidate)
+    baseline = load_records(baseline_path)
+    candidate = load_records(candidate_path)
     if not baseline or not candidate:
         print(
             f"error: no run records found "
@@ -185,10 +226,16 @@ def main(argv=None) -> int:
     n_flagged = 0
     for base_record, cand_record in pairs:
         diff = diff_records(base_record, cand_record, counters=counters)
-        flagged = diff.regressions(
-            max_wall_fraction=args.max_wall_regression,
-            max_counter_fraction=args.max_counter_regression,
-        )
+        flagged = [
+            entry
+            for entry in diff.regressions(
+                max_wall_fraction=args.max_wall_regression,
+                max_counter_fraction=args.max_counter_regression,
+            )
+            if entry.kind == "counter"
+            or max(entry.baseline, entry.candidate)
+            >= args.min_wall_seconds
+        ]
         label = (
             f"{base_record.engine} "
             f"n={base_record.dataset.get('n_points', '?')} "
@@ -212,8 +259,11 @@ def main(argv=None) -> int:
         elif args.show_all:
             print(f"ok {label}")
             print(format_diff(diff))
+    verdict = "PASS" if n_flagged == 0 else "FAIL"
     print(
-        f"{len(pairs)} pair(s) compared, {n_flagged} regression(s) flagged"
+        f"check_regression: {verdict} — {len(pairs)} pair(s) compared, "
+        f"{n_flagged} regression(s) flagged, {unmatched} unmatched "
+        f"record(s) skipped"
     )
     return min(n_flagged, 125)
 

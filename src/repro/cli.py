@@ -239,6 +239,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the server's serve.* stats snapshot",
     )
 
+    workers = commands.add_parser(
+        "workers",
+        help="run SparkLite worker process(es) against a net driver",
+    )
+    workers.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the driver (a Context with executor='net')",
+    )
+    workers.add_argument(
+        "--n",
+        type=int,
+        default=1,
+        help="number of worker processes (1 runs inline in this process)",
+    )
+    workers.add_argument(
+        "--name",
+        default=None,
+        help="worker name prefix reported to the driver",
+    )
+
     compare = commands.add_parser(
         "compare",
         help="run DBSCOUT and the baselines on a file, print a summary",
@@ -493,6 +515,44 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workers(args: argparse.Namespace) -> int:
+    from repro.sparklite.netexec import run_worker
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --connect needs HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    port = int(port_text)
+    if args.n < 1:
+        print(f"error: --n must be >= 1, got {args.n}", file=sys.stderr)
+        return 2
+    if args.n == 1:
+        run_worker(host, port, args.name)
+        return 0
+    import subprocess
+
+    prefix = args.name or "worker"
+    children = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "workers",
+                "--connect",
+                args.connect,
+                "--name",
+                f"{prefix}-{index}",
+            ]
+        )
+        for index in range(args.n)
+    ]
+    return max(child.wait() for child in children)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -505,6 +565,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fit": _run_fit,
         "serve": _run_serve,
         "query": _run_query,
+        "workers": _run_workers,
     }
     try:
         return handlers[args.command](args)

@@ -60,7 +60,11 @@ class DBSCOUT:
             (cell-geometry pruning toggle) — results are bit-identical
             for every combination.  The distributed engine accepts
             ``num_partitions``, ``max_workers``, ``join_strategy``,
-            ``context``, ``kernel``.
+            ``context``, ``kernel``, ``executor`` (``"local"`` or
+            ``"net"`` — drive registered remote workers over TCP), and
+            ``partitioner`` (``"rows"`` or ``"cells"`` — spatially
+            aware grid sharding); labels are bit-identical for every
+            combination of these too.
     """
 
     def __init__(

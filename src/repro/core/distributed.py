@@ -48,12 +48,20 @@ from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import ParameterError
 from repro.obs import RunRecorder
-from repro.sparklite import Context, RDD
+from repro.sparklite import CellPartitioner, Context, RDD
 from repro.types import DetectionResult
 
-__all__ = ["DistributedEngine", "JOIN_STRATEGIES"]
+__all__ = ["DistributedEngine", "JOIN_STRATEGIES", "PARTITIONERS"]
 
 JOIN_STRATEGIES = ("group", "plain", "broadcast")
+
+#: How phase 1 shards the grid across partitions: ``"rows"`` slices
+#: the input row range evenly (the historical default); ``"cells"``
+#: routes whole grid cells by spatial block
+#: (:class:`~repro.sparklite.CellPartitioner`), so the grouped joins
+#: of phases 3/5 find the grid side already partitioned by cell and
+#: skip that shuffle.
+PARTITIONERS = ("rows", "cells")
 
 Cell = tuple[int, ...]
 #: A grid record is ``(cell, (point_index, point_coordinates))``.
@@ -75,6 +83,16 @@ class DistributedEngine:
             (``"auto"``/``"numpy"``/``"c"`` or a
             :class:`~repro.core.kernels.Kernel`); labels are
             bit-identical for every choice.
+        executor: ``"local"`` (default) or ``"net"`` — forwarded to
+            the engine-owned :class:`~repro.sparklite.Context`.  With
+            ``"net"`` the engine drives registered remote workers (see
+            :mod:`repro.sparklite.netexec`); labels are bit-identical
+            to local execution.  Incompatible with an explicit
+            ``context`` whose executor differs.
+        partitioner: One of :data:`PARTITIONERS` — how the grid is
+            sharded (``"cells"`` enables the spatially-aware
+            :class:`~repro.sparklite.CellPartitioner`).  Labels are
+            identical either way; only data movement changes.
     """
 
     name = "distributed"
@@ -86,6 +104,8 @@ class DistributedEngine:
         join_strategy: str = "group",
         context: Context | None = None,
         kernel: str | Kernel | None = "auto",
+        executor: str | None = None,
+        partitioner: str = "rows",
     ) -> None:
         if join_strategy not in JOIN_STRATEGIES:
             raise ParameterError(
@@ -96,16 +116,48 @@ class DistributedEngine:
             raise ParameterError(
                 f"num_partitions must be >= 1, got {num_partitions}"
             )
+        if partitioner not in PARTITIONERS:
+            raise ParameterError(
+                f"partitioner must be one of {PARTITIONERS}, "
+                f"got {partitioner!r}"
+            )
         self.num_partitions = int(num_partitions)
         self.join_strategy = join_strategy
         self.kernel = normalize_kernel(kernel)
-        self.context = context or Context(
-            default_parallelism=num_partitions, max_workers=max_workers
+        self.partitioner = partitioner
+        self._cell_partitioner = (
+            CellPartitioner(self.num_partitions)
+            if partitioner == "cells"
+            else None
         )
+        self._owns_context = context is None
+        if context is not None:
+            if executor is not None and executor != context.executor:
+                raise ParameterError(
+                    f"executor={executor!r} conflicts with the supplied "
+                    f"context's executor={context.executor!r}"
+                )
+            self.context = context
+        else:
+            self.context = Context(
+                default_parallelism=num_partitions,
+                max_workers=max_workers,
+                executor=executor or "local",
+            )
+        self.executor = self.context.executor
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine-owned context (the net driver's listener).
+
+        No-op for externally supplied contexts — their owner closes
+        them — and always safe to call repeatedly.
+        """
+        if self._owns_context:
+            self.context.close()
 
     def detect(
         self, points: np.ndarray, eps: float, min_pts: int
@@ -132,6 +184,8 @@ class DistributedEngine:
                 "join_strategy": self.join_strategy,
                 "num_partitions": self.num_partitions,
                 "kernel": kernel.name,
+                "executor": self.executor,
+                "partitioner": self.partitioner,
             },
         )
         # With an externally supplied context, the context metrics keep
@@ -169,6 +223,13 @@ class DistributedEngine:
                 ).collect()
 
         run_metrics = self.context.metrics.delta(metrics_before)
+        # Dotted engine counters (net.*) would escape the merge's
+        # bare-key namespacing; qualify them here so the run record
+        # carries sparklite.net.* alongside sparklite.tasks_executed.
+        run_metrics = {
+            key if "." not in key else f"sparklite.{key}": value
+            for key, value in run_metrics.items()
+        }
         recorder.metrics.merge(run_metrics, namespace="sparklite")
         if kernel_counters:
             recorder.metrics.merge(kernel_counters, namespace="engine")
@@ -197,7 +258,13 @@ class DistributedEngine:
     # ------------------------------------------------------------------
 
     def _create_grid(self, array: np.ndarray, eps: float) -> RDD:
-        """MAP each point to ``(cell, (index, coords))``."""
+        """MAP each point to ``(cell, (index, coords))``.
+
+        Under ``partitioner="cells"`` the records are routed to shards
+        by their cell's spatial block, and the returned RDD remembers
+        the partitioner — the grouped joins downstream then reuse the
+        partitioning instead of re-shuffling the grid.
+        """
         side = cell_side_length(eps, array.shape[1])
         check_grid_domain(array, side)
         records: list[tuple[Cell, Point]] = [
@@ -207,7 +274,9 @@ class DistributedEngine:
             )
             for index, row in enumerate(array)
         ]
-        return self.context.parallelize(records, self.num_partitions)
+        return self.context.parallelize(
+            records, self.num_partitions, partitioner=self._cell_partitioner
+        )
 
     # ------------------------------------------------------------------
     # Phase 2 — Algorithm 2
@@ -219,7 +288,9 @@ class DistributedEngine:
         """Count points per cell and classify dense vs other."""
         counts = (
             grid.map(lambda record: (record[0], 1))
-            .reduce_by_key(lambda a, b: a + b)
+            .reduce_by_key(
+                lambda a, b: a + b, partitioner=self._cell_partitioner
+            )
             .collect_as_map()
         )
         return CellMap.from_counts(counts, min_pts, stencil=stencil)
@@ -282,7 +353,7 @@ class DistributedEngine:
         sq_dist = kernel.sq_dist if kernel is not None else _sq_dist
 
         if self.join_strategy == "plain":
-            pairs = grid.join(to_check)
+            pairs = grid.join(to_check, partitioner=self._cell_partitioner)
 
             def score(record):
                 join_cell, ((_qi, q), (cell, point)) = record
@@ -294,8 +365,10 @@ class DistributedEngine:
             return pairs.map(score).reduce_by_key(_merge_counts)
 
         if self.join_strategy == "group":
-            grouped = grid.group_by_key()
-            pairs = grouped.join(to_check)
+            grouped = grid.group_by_key(partitioner=self._cell_partitioner)
+            pairs = grouped.join(
+                to_check, partitioner=self._cell_partitioner
+            )
 
             def score_group(record):
                 join_cell, (neighbors, (cell, point)) = record
@@ -382,7 +455,9 @@ class DistributedEngine:
         sq_dist = kernel.sq_dist if kernel is not None else _sq_dist
 
         if self.join_strategy == "plain":
-            pairs = core_points.join(to_check)
+            pairs = core_points.join(
+                to_check, partitioner=self._cell_partitioner
+            )
 
             def flag(record):
                 _cell, ((_qi, q), (cell, point)) = record
@@ -392,8 +467,12 @@ class DistributedEngine:
             return pairs.map(flag).reduce_by_key(_merge_flags)
 
         if self.join_strategy == "group":
-            grouped = core_points.group_by_key()
-            pairs = grouped.join(to_check)
+            grouped = core_points.group_by_key(
+                partitioner=self._cell_partitioner
+            )
+            pairs = grouped.join(
+                to_check, partitioner=self._cell_partitioner
+            )
 
             def flag_group(record):
                 _cell, (cores, (cell, point)) = record

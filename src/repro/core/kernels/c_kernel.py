@@ -270,6 +270,24 @@ class CKernel(Kernel):
             self._lib.repro_sq_dist(_f64_ptr(a), _f64_ptr(b), a.shape[0])
         )
 
+    def __reduce__(self):
+        # A ctypes CDLL cannot cross a process boundary.  Ship a
+        # re-resolution instead: the receiving process rebuilds (or
+        # reloads) its own compiled kernel, falling back to NumPy —
+        # bit-identical by the kernel contract — when it has no
+        # compiler.
+        return (_rehydrated_kernel, ())
+
+
+def _rehydrated_kernel() -> Kernel:
+    """Worker-side stand-in for a pickled :class:`CKernel`."""
+    try:
+        return get_c_kernel()
+    except KernelBuildError:
+        from repro.core.kernels.numpy_kernel import NumpyKernel
+
+        return NumpyKernel()
+
 
 #: Build outcome cache keyed by (compiler, cache dir): either the
 #: loaded CKernel or the KernelBuildError explaining why there is

@@ -1,0 +1,307 @@
+"""Shared wire-protocol helpers for every TCP subsystem.
+
+Both the serving layer (:mod:`repro.serve`) and the multi-host
+SparkLite executor (:mod:`repro.sparklite.netexec`) speak the same
+two-layer protocol:
+
+* **Control messages** are JSON objects, one per line (UTF-8, ``\\n``
+  terminated) — human-readable, debuggable with ``nc``.
+* **Bulk payloads** (point arrays, partition shards, broadcast values)
+  travel as length-prefixed binary frames *following* the control
+  message that announces them via a ``"frames": N`` field.  Arrays are
+  ``.npz``-packed (raw float64 buffers, never JSON-encoded floats);
+  everything else is pickled.
+
+Error responses carry ``"ok": false`` with ``"error"`` (message) and
+``"error_type"`` (exception class name).  :data:`ERROR_TYPES` maps the
+names back onto the library's exception hierarchy so a remote failure
+raises the same type as a local one — on the query client
+(``ServiceOverloadedError`` → back off and retry) and on the SparkLite
+driver (``TaskFailure`` → re-run the task from lineage).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import pickle
+import struct
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.exceptions import (
+    ArtifactError,
+    BroadcastError,
+    DataValidationError,
+    DeadlineExceededError,
+    EngineError,
+    ExecutorMemoryError,
+    NotFittedError,
+    ParameterError,
+    ReproError,
+    ServeError,
+    ServiceOverloadedError,
+    ShuffleError,
+    SparkLiteError,
+    TaskFailure,
+    UnknownDetectorError,
+)
+
+try:  # Closures need cloudpickle; plain data does not.
+    import cloudpickle as _closure_pickle
+
+    HAVE_CLOUDPICKLE = True
+except ImportError:  # pragma: no cover - depends on environment
+    _closure_pickle = pickle
+    HAVE_CLOUDPICKLE = False
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MAX_FRAME_BYTES",
+    "HAVE_CLOUDPICKLE",
+    "ERROR_TYPES",
+    "encode_line",
+    "decode_line",
+    "ok_payload",
+    "error_payload",
+    "exception_from_payload",
+    "pack_payload",
+    "unpack_payload",
+    "pack_closure",
+    "unpack_closure",
+    "send_message",
+    "read_message",
+]
+
+#: Refuse control lines larger than this many bytes (64 MiB of JSON is
+#: ~2M two-dimensional points — beyond micro-batching territory).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Refuse binary frames larger than this (1 GiB): a corrupted length
+#: prefix must not trigger an unbounded allocation.
+MAX_FRAME_BYTES = 1024 * 1024 * 1024
+
+#: Length prefix of one binary frame: 8-byte big-endian unsigned.
+_LENGTH_PREFIX = struct.Struct(">Q")
+
+#: ``error_type`` names mapped back onto library exceptions.  Shared
+#: by the serve client and the netexec driver so both raise the same
+#: types their local counterparts would.
+ERROR_TYPES: dict[str, type[Exception]] = {
+    "ReproError": ReproError,
+    "ParameterError": ParameterError,
+    "DataValidationError": DataValidationError,
+    "EngineError": EngineError,
+    "NotFittedError": NotFittedError,
+    "ArtifactError": ArtifactError,
+    "ServeError": ServeError,
+    "ServiceOverloadedError": ServiceOverloadedError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "UnknownDetectorError": UnknownDetectorError,
+    "SparkLiteError": SparkLiteError,
+    "ShuffleError": ShuffleError,
+    "TaskFailure": TaskFailure,
+    "BroadcastError": BroadcastError,
+    "ExecutorMemoryError": ExecutorMemoryError,
+}
+
+
+# ----------------------------------------------------------------------
+# JSON-lines control layer
+# ----------------------------------------------------------------------
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One control message as a JSON line (UTF-8, newline-terminated)."""
+    return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one control line; raises :class:`ServeError` when invalid."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"malformed JSON request: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServeError("request must be a JSON object")
+    return payload
+
+
+def ok_payload(request_id: Any, **payload: Any) -> dict[str, Any]:
+    """A success response, echoing the request id when present."""
+    out: dict[str, Any] = {"ok": True}
+    if request_id is not None:
+        out["id"] = request_id
+    out.update(payload)
+    return out
+
+
+def error_payload(
+    request_id: Any,
+    exc: BaseException,
+    default_type: str = "ServeError",
+) -> dict[str, Any]:
+    """An error response carrying the mappable exception class name.
+
+    Library exceptions travel under their own class name; anything
+    else is downgraded to ``default_type`` so the peer never tries to
+    reconstruct an arbitrary type.
+    """
+    out: dict[str, Any] = {
+        "ok": False,
+        "error": str(exc) or type(exc).__name__,
+        "error_type": type(exc).__name__
+        if isinstance(exc, ReproError)
+        else default_type,
+    }
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def exception_from_payload(
+    payload: dict[str, Any],
+    default: type[Exception] = ServeError,
+) -> Exception:
+    """Rebuild the library exception an error response describes."""
+    error_cls = ERROR_TYPES.get(payload.get("error_type", ""), default)
+    return error_cls(payload.get("error", "unknown remote error"))
+
+
+# ----------------------------------------------------------------------
+# Binary payload layer
+# ----------------------------------------------------------------------
+
+
+def _npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _npz_load(frame: bytes) -> dict[str, np.ndarray]:
+    with np.load(io.BytesIO(frame), allow_pickle=False) as bundle:
+        return {name: bundle[name] for name in bundle.files}
+
+
+def pack_payload(obj: Any) -> tuple[str, bytes]:
+    """Serialize a bulk payload; returns ``(encoding, frame)``.
+
+    Arrays (and dicts/lists of arrays) are ``.npz``-packed so float
+    buffers travel raw; anything else is pickled (with cloudpickle
+    when available, so closures survive too).
+    """
+    if isinstance(obj, np.ndarray):
+        return "npz", _npz_bytes({"array": obj})
+    if (
+        isinstance(obj, dict)
+        and obj
+        and all(isinstance(key, str) for key in obj)
+        and all(isinstance(value, np.ndarray) for value in obj.values())
+    ):
+        return "npz-dict", _npz_bytes(dict(obj))
+    if (
+        isinstance(obj, (list, tuple))
+        and obj
+        and all(isinstance(value, np.ndarray) for value in obj)
+    ):
+        return "npz-list", _npz_bytes(
+            {f"a{index}": value for index, value in enumerate(obj)}
+        )
+    return "pickle", _closure_pickle.dumps(
+        obj, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def unpack_payload(encoding: str, frame: bytes) -> Any:
+    """Inverse of :func:`pack_payload`."""
+    if encoding == "npz":
+        return _npz_load(frame)["array"]
+    if encoding == "npz-dict":
+        return _npz_load(frame)
+    if encoding == "npz-list":
+        loaded = _npz_load(frame)
+        return [loaded[f"a{index}"] for index in range(len(loaded))]
+    if encoding == "pickle":
+        return pickle.loads(frame)
+    raise ServeError(f"unknown payload encoding {encoding!r}")
+
+
+def pack_closure(obj: Any) -> bytes:
+    """Serialize a closure chain (requires cloudpickle for lambdas)."""
+    return _closure_pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_closure(frame: bytes) -> Any:
+    """Inverse of :func:`pack_closure`."""
+    return pickle.loads(frame)
+
+
+# ----------------------------------------------------------------------
+# Asyncio stream framing
+# ----------------------------------------------------------------------
+
+
+async def send_message(
+    writer: asyncio.StreamWriter,
+    payload: dict[str, Any],
+    frames: Iterable[bytes] = (),
+) -> int:
+    """Write one control message plus its binary frames; returns bytes.
+
+    When ``frames`` is non-empty the control message is annotated with
+    ``"frames": N`` and each frame follows as an 8-byte big-endian
+    length prefix plus the raw bytes.
+    """
+    frames = list(frames)
+    if frames:
+        payload = {**payload, "frames": len(frames)}
+    line = encode_line(payload)
+    writer.write(line)
+    total = len(line)
+    for frame in frames:
+        writer.write(_LENGTH_PREFIX.pack(len(frame)))
+        writer.write(frame)
+        total += _LENGTH_PREFIX.size + len(frame)
+    await writer.drain()
+    return total
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> tuple[dict[str, Any], list[bytes], int] | None:
+    """Read one control message and its frames.
+
+    Returns ``(payload, frames, n_bytes)`` or ``None`` on a clean EOF
+    at a message boundary.  A connection dropped mid-message raises
+    :class:`ServeError`.
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ServeError(
+            f"control line exceeds the stream limit: {exc}"
+        ) from exc
+    if not line:
+        return None
+    payload = decode_line(line)
+    total = len(line)
+    frames: list[bytes] = []
+    for _ in range(int(payload.get("frames", 0) or 0)):
+        try:
+            header = await reader.readexactly(_LENGTH_PREFIX.size)
+            (length,) = _LENGTH_PREFIX.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ServeError(
+                    f"binary frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES} byte limit"
+                )
+            frames.append(await reader.readexactly(length))
+        except asyncio.IncompleteReadError as exc:
+            raise ServeError(
+                "connection closed mid-frame"
+            ) from exc
+        total += _LENGTH_PREFIX.size + length
+    return payload, frames, total

@@ -20,7 +20,7 @@ from pathlib import Path
 
 from repro.qa.corpus import iter_corpus, save_witness
 from repro.qa.generators import GENERATOR_KINDS
-from repro.qa.runner import VARIANT_NAMES, DifferentialRunner
+from repro.qa.runner import ALL_VARIANT_NAMES, DifferentialRunner
 from repro.qa.shrink import shrink_dataset
 
 __all__ = ["main"]
@@ -71,9 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--variants",
         nargs="+",
-        choices=list(VARIANT_NAMES),
+        choices=list(ALL_VARIANT_NAMES),
         default=None,
-        help="Engine variants to run (default: all).",
+        help=(
+            "Engine variants to run (default: every in-process variant; "
+            "distributed_net — two TCP worker subprocesses — is opt-in)."
+        ),
     )
     parser.add_argument(
         "--out",

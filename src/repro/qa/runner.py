@@ -46,6 +46,7 @@ __all__ = [
     "CaseResult",
     "DifferentialRunner",
     "VARIANT_NAMES",
+    "ALL_VARIANT_NAMES",
 ]
 
 
@@ -111,6 +112,42 @@ def _run_distributed(join_strategy: str):
         return _masks(engine.detect(points, eps, min_pts), points.shape[0])
 
     return run
+
+
+#: Lazily started loopback cluster shared by every ``distributed_net``
+#: case in the process (spawning workers per case would dominate the
+#: fuzz budget).  Reaped at interpreter exit.
+_NET_CLUSTER = None
+
+
+def _net_cluster():
+    global _NET_CLUSTER
+    if _NET_CLUSTER is None:
+        import atexit
+
+        from repro.sparklite.netexec import LoopbackCluster
+
+        _NET_CLUSTER = LoopbackCluster(
+            n_workers=2, default_parallelism=2, task_timeout=60.0
+        )
+        atexit.register(_NET_CLUSTER.close)
+    return _NET_CLUSTER
+
+
+def _run_distributed_net(
+    points: np.ndarray, eps: float, min_pts: int
+) -> _Outcome:
+    """The multi-host executor: two real worker processes over TCP.
+
+    Cell-partitioned on top, so this row exercises both PR surfaces —
+    wire execution and spatial sharding — against the oracle at once.
+    """
+    engine = DistributedEngine(
+        num_partitions=2,
+        context=_net_cluster().context,
+        partitioner="cells",
+    )
+    return _masks(engine.detect(points, eps, min_pts), points.shape[0])
 
 
 def _run_incremental_split(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
@@ -215,7 +252,17 @@ _VARIANTS: dict[str, Callable[[np.ndarray, float, int], _Outcome]] = {
     "cellmap_classify": _run_cellmap,
 }
 
+#: Default matrix: every in-process variant.
 VARIANT_NAMES: tuple[str, ...] = tuple(_VARIANTS)
+
+#: Opt-in variants, selectable by name but not part of the default
+#: matrix: ``distributed_net`` spawns worker subprocesses, which the
+#: tier-1 suite should not pay for on every run.
+_OPT_IN_VARIANTS: dict[str, Callable[[np.ndarray, float, int], _Outcome]] = {
+    "distributed_net": _run_distributed_net,
+}
+
+ALL_VARIANT_NAMES: tuple[str, ...] = VARIANT_NAMES + tuple(_OPT_IN_VARIANTS)
 
 
 def _mask_diff(expected: np.ndarray, got: np.ndarray) -> str:
@@ -242,14 +289,15 @@ class DifferentialRunner:
         variants: tuple[str, ...] | None = None,
         emit_records: bool = True,
     ) -> None:
+        known = {**_VARIANTS, **_OPT_IN_VARIANTS}
         names = VARIANT_NAMES if variants is None else tuple(variants)
-        unknown = set(names) - set(_VARIANTS)
+        unknown = set(names) - set(known)
         if unknown:
             raise KeyError(
                 f"unknown variants {sorted(unknown)}; known: "
-                f"{list(VARIANT_NAMES)}"
+                f"{list(ALL_VARIANT_NAMES)}"
             )
-        self.variants = {name: _VARIANTS[name] for name in names}
+        self.variants = {name: known[name] for name in names}
         self.emit_records = bool(emit_records)
 
     # ------------------------------------------------------------------

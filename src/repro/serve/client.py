@@ -21,26 +21,15 @@ from typing import Any
 
 import numpy as np
 
-from repro.exceptions import (
-    DataValidationError,
-    DeadlineExceededError,
-    ParameterError,
-    ServeError,
-    ServiceOverloadedError,
-    UnknownDetectorError,
-)
+from repro.exceptions import ServeError
+from repro.net import ERROR_TYPES, encode_line, exception_from_payload
 
 __all__ = ["OutlierClient"]
 
-#: ``error_type`` values mapped back onto library exceptions.
-_ERROR_TYPES: dict[str, type[Exception]] = {
-    "ServeError": ServeError,
-    "ServiceOverloadedError": ServiceOverloadedError,
-    "DeadlineExceededError": DeadlineExceededError,
-    "UnknownDetectorError": UnknownDetectorError,
-    "DataValidationError": DataValidationError,
-    "ParameterError": ParameterError,
-}
+#: ``error_type`` values mapped back onto library exceptions (the
+#: shared :data:`repro.net.ERROR_TYPES` table; kept as a module name
+#: for backwards compatibility).
+_ERROR_TYPES: dict[str, type[Exception]] = ERROR_TYPES
 
 
 class OutlierClient:
@@ -79,9 +68,7 @@ class OutlierClient:
         self._request_id += 1
         payload = {"id": self._request_id, **payload}
         try:
-            self._sock.sendall(
-                json.dumps(payload).encode("utf-8") + b"\n"
-            )
+            self._sock.sendall(encode_line(payload))
             line = self._reader.readline()
         except OSError as exc:
             raise ServeError(f"connection failed: {exc}") from exc
@@ -94,10 +81,7 @@ class OutlierClient:
                 f"malformed response from server: {exc}"
             ) from exc
         if not response.get("ok"):
-            error_cls = _ERROR_TYPES.get(
-                response.get("error_type", ""), ServeError
-            )
-            raise error_cls(response.get("error", "unknown server error"))
+            raise exception_from_payload(response, default=ServeError)
         return response
 
     # -- operations ----------------------------------------------------

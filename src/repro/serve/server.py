@@ -29,14 +29,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.exceptions import ReproError, ServeError
+from repro.exceptions import ServeError
+from repro.net import MAX_LINE_BYTES, encode_line, error_payload, ok_payload
 from repro.serve.service import OutlierService
 
-__all__ = ["OutlierServer", "run_server"]
-
-#: Refuse request lines larger than this many bytes (64 MiB of JSON is
-#: ~2M two-dimensional points — beyond micro-batching territory).
-MAX_LINE_BYTES = 64 * 1024 * 1024
+__all__ = ["OutlierServer", "run_server", "MAX_LINE_BYTES"]
 
 
 class OutlierServer:
@@ -100,7 +97,7 @@ class OutlierServer:
                 ):  # oversized line
                     await self._send(
                         writer,
-                        _error_payload(
+                        error_payload(
                             None,
                             ServeError(
                                 f"request line exceeds {MAX_LINE_BYTES} "
@@ -126,7 +123,7 @@ class OutlierServer:
     async def _send(
         writer: asyncio.StreamWriter, payload: dict[str, Any]
     ) -> None:
-        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        writer.write(encode_line(payload))
         await writer.drain()
 
     async def _dispatch(self, line: bytes) -> dict[str, Any]:
@@ -138,22 +135,22 @@ class OutlierServer:
             request_id = request.get("id")
             op = request.get("op", "query")
             if op == "ping":
-                return _ok_payload(request_id, op="ping")
+                return ok_payload(request_id, op="ping")
             if op == "list":
-                return _ok_payload(
+                return ok_payload(
                     request_id, detectors=self.service.detectors()
                 )
             if op == "stats":
-                return _ok_payload(request_id, stats=self.service.stats())
+                return ok_payload(request_id, stats=self.service.stats())
             if op == "query":
                 return await self._handle_query(request, request_id)
             raise ServeError(f"unknown op {op!r}")
         except json.JSONDecodeError as exc:
-            return _error_payload(
+            return error_payload(
                 request_id, ServeError(f"malformed JSON request: {exc}")
             )
         except Exception as exc:  # noqa: BLE001 - protocol boundary
-            return _error_payload(request_id, exc)
+            return error_payload(request_id, exc)
 
     async def _handle_query(
         self, request: dict[str, Any], request_id: Any
@@ -169,32 +166,11 @@ class OutlierServer:
             detector, points, timeout=timeout
         )
         labels = await asyncio.wrap_future(future)
-        return _ok_payload(
+        return ok_payload(
             request_id,
             labels=[int(label) for label in labels],
             n_outliers=int(labels.sum()),
         )
-
-
-def _ok_payload(request_id: Any, **payload: Any) -> dict[str, Any]:
-    out: dict[str, Any] = {"ok": True}
-    if request_id is not None:
-        out["id"] = request_id
-    out.update(payload)
-    return out
-
-
-def _error_payload(request_id: Any, exc: BaseException) -> dict[str, Any]:
-    out: dict[str, Any] = {
-        "ok": False,
-        "error": str(exc) or type(exc).__name__,
-        "error_type": type(exc).__name__
-        if isinstance(exc, ReproError)
-        else "ServeError",
-    }
-    if request_id is not None:
-        out["id"] = request_id
-    return out
 
 
 def run_server(

@@ -7,6 +7,11 @@ over lazy, lineage-based RDDs with hash-partitioned shuffles, broadcast
 variables, accumulators, and optional thread-pool executors, plus
 instrumentation (records shuffled, tasks run) used by the experiment
 harness to reason about communication volumes.
+
+With ``Context(executor="net")`` the same programs run over real TCP
+worker processes (see :mod:`repro.sparklite.netexec`), with spatially
+aware sharding available through :class:`CellPartitioner` — results
+stay bit-identical to local execution.
 """
 
 from repro.sparklite.accumulator import Accumulator
@@ -21,12 +26,13 @@ from repro.sparklite.cluster import (
 from repro.sparklite.context import Context
 from repro.sparklite.failures import FailFirstAttempts, RandomFailures
 from repro.sparklite.metrics import EngineMetrics
-from repro.sparklite.partitioner import HashPartitioner
+from repro.sparklite.partitioner import CellPartitioner, HashPartitioner
 from repro.sparklite.rdd import RDD
 
 __all__ = [
     "Accumulator",
     "Broadcast",
+    "CellPartitioner",
     "ClusterConfig",
     "MemoryModel",
     "CONFIGURATION_1",

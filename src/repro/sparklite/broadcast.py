@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Generic, TypeVar
+from typing import Any, Callable, Generic, TypeVar
 
 from repro.exceptions import BroadcastError
 
@@ -14,11 +14,20 @@ T = TypeVar("T")
 class Broadcast(Generic[T]):
     """A read-only value logically shipped once to every executor.
 
-    In a real cluster the value is serialized and distributed; here it
-    lives in process memory, but access is still funneled through
-    ``.value`` so the engine can meter broadcast usage and enforce the
-    destroy-before-use contract.
+    Locally the value lives in process memory; under the multi-host
+    executor the driver ships the serialized value to every registered
+    worker exactly once, and a pickled ``Broadcast`` carries *only its
+    id* — the worker-side copy rehydrates from the worker's broadcast
+    store via the class-level :attr:`_resolver` hook (installed by
+    :func:`repro.sparklite.netexec.run_worker`).  Either way, access is
+    funneled through ``.value`` so the engine can meter broadcast usage
+    and enforce the destroy-before-use contract.
     """
+
+    #: Process-level hook mapping a broadcast id to its local value.
+    #: ``None`` outside a worker: unpickling a Broadcast then raises on
+    #: first ``.value`` access instead of silently shipping a copy.
+    _resolver: "Callable[[int], Any] | None" = None
 
     def __init__(
         self,
@@ -43,11 +52,32 @@ class Broadcast(Generic[T]):
         """The broadcast value.
 
         Raises:
-            BroadcastError: If the broadcast was destroyed.
+            BroadcastError: If the broadcast was destroyed, or if this
+                is an unresolved remote handle in a process without a
+                broadcast store.
         """
         if self._destroyed:
             raise BroadcastError(f"broadcast {self._id} was destroyed")
+        if self._value is _UNRESOLVED:
+            resolver = type(self)._resolver
+            if resolver is None:
+                raise BroadcastError(
+                    f"broadcast {self._id} crossed a process boundary "
+                    "but no broadcast store is installed here"
+                )
+            self._value = resolver(self._id)
         return self._value  # type: ignore[return-value]
+
+    def __getstate__(self) -> dict:
+        """Ship only the id — never the value — across the wire."""
+        return {"id": self._id}
+
+    def __setstate__(self, state: dict) -> None:
+        self._id = state["id"]
+        self._value = _UNRESOLVED  # type: ignore[assignment]
+        self._destroyed = False
+        self._memory_model = None
+        self._n_bytes = 0
 
     def destroy(self) -> None:
         """Release the value; later ``.value`` accesses raise.
@@ -63,3 +93,13 @@ class Broadcast(Generic[T]):
     def __repr__(self) -> str:
         state = "destroyed" if self._destroyed else "live"
         return f"Broadcast(id={self._id}, {state})"
+
+
+class _Unresolved:
+    """Sentinel value of a Broadcast handle that crossed the wire."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unresolved broadcast value>"
+
+
+_UNRESOLVED = _Unresolved()

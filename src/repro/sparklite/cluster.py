@@ -38,14 +38,21 @@ __all__ = [
 _SAMPLE_LIMIT = 64
 
 
-def estimate_size(obj, _depth: int = 0) -> int:
+def estimate_size(obj, _depth: int = 0, frame_len: int | None = None) -> int:
     """Estimate the in-memory footprint of ``obj`` in bytes.
+
+    When the object has actually been serialized for the wire,
+    ``frame_len`` — the exact length of its serialized frame — is the
+    ground truth and is returned as-is; sampling is the fallback for
+    objects that never leave the process.
 
     Containers are sampled: the first ``64`` elements are measured and
     the mean is extrapolated to the full length, so huge shuffle
     buckets and broadcast tables are charged in O(1) per container.
     NumPy arrays report their true buffer size.
     """
+    if frame_len is not None:
+        return int(frame_len)
     import numpy as np
 
     if _depth > 6:  # cycles / pathological nesting: flat cost only
@@ -170,7 +177,13 @@ class MemoryModel:
             )
 
     def charge_broadcast(self, n_bytes: int) -> None:
-        """Account a broadcast replica on every executor."""
+        """Account a broadcast replica on every executor.
+
+        Called exactly once per broadcast: each executor budget grows
+        by one replica, matching how the net executor ships the value
+        once per registered worker — never once per local thread or
+        per task.
+        """
         with self._lock:
             self._broadcast_bytes += int(n_bytes)
             self._check()

@@ -14,9 +14,11 @@ from repro.sparklite.cluster import ClusterConfig, MemoryModel, estimate_size
 from repro.sparklite.metrics import EngineMetrics
 from repro.sparklite.rdd import RDD, _ParallelizedRDD
 
-__all__ = ["Context"]
+__all__ = ["Context", "EXECUTORS"]
 
 T = TypeVar("T")
+
+EXECUTORS = ("local", "net")
 
 
 class Context:
@@ -29,7 +31,19 @@ class Context:
             partitions concurrently.  ``1`` (the default) evaluates
             sequentially, which is fully deterministic and usually
             fastest in CPython; higher values emulate multi-executor
-            scheduling.
+            scheduling.  Ignored by the ``"net"`` executor.
+        executor: ``"local"`` computes partitions in-process;
+            ``"net"`` starts a TCP driver (see
+            :mod:`repro.sparklite.netexec`) that remote worker
+            processes register with, and ships partition tasks,
+            broadcasts, and shuffle shards over the wire.  Results are
+            bit-identical either way.
+        host / port: Bind address for the ``"net"`` driver listener
+            (``port=0`` picks a free port — read it back from
+            ``context.net.port``).
+        task_timeout: Seconds the ``"net"`` driver waits for one task
+            round-trip before declaring the worker hung and re-running
+            the task elsewhere (``None`` waits forever).
     """
 
     def __init__(
@@ -39,6 +53,10 @@ class Context:
         max_task_retries: int = 3,
         failure_injector: Callable[[Any, int, int], None] | None = None,
         cluster: "ClusterConfig | None" = None,
+        executor: str = "local",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        task_timeout: float | None = None,
     ) -> None:
         if default_parallelism < 1:
             raise SparkLiteError(
@@ -50,9 +68,14 @@ class Context:
             raise SparkLiteError(
                 f"max_task_retries must be >= 0, got {max_task_retries}"
             )
+        if executor not in EXECUTORS:
+            raise SparkLiteError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.default_parallelism = int(default_parallelism)
         self.max_workers = int(max_workers)
         self.max_task_retries = int(max_task_retries)
+        self.executor = executor
         #: Optional fault hook called as ``injector(rdd, partition,
         #: attempt)`` before each task attempt; raising
         #: :class:`~repro.exceptions.TaskFailure` makes the engine
@@ -63,23 +86,63 @@ class Context:
         self.metrics = EngineMetrics()
         self._next_broadcast_id = itertools.count()
         self._next_accumulator_id = itertools.count()
+        #: The network driver (``executor="net"`` only).
+        self.net = None
+        if executor == "net":
+            from repro.sparklite.netexec import NetDriver
+
+            self.net = NetDriver(
+                self,
+                host=host,
+                port=port,
+                task_timeout=task_timeout,
+            )
 
     # ------------------------------------------------------------------
     # Dataset creation
     # ------------------------------------------------------------------
 
     def parallelize(
-        self, data: Iterable[Any], num_partitions: int | None = None
+        self,
+        data: Iterable[Any],
+        num_partitions: int | None = None,
+        partitioner=None,
     ) -> RDD:
-        """Create an RDD from driver-side data, split into even slices."""
+        """Create an RDD from driver-side data.
+
+        Without a ``partitioner`` the records are split into even
+        contiguous slices.  With one (e.g. a
+        :class:`~repro.sparklite.partitioner.CellPartitioner`), records
+        must be ``(key, value)`` pairs: each is routed to the shard
+        ``partitioner.partition_for(key)`` picks, and the resulting
+        RDD remembers the partitioner, so later shuffles by the same
+        partitioner skip the data movement entirely.
+        """
         records = list(data)
         if num_partitions is not None and num_partitions < 1:
             raise SparkLiteError(
                 f"num_partitions must be >= 1, got {num_partitions}"
             )
         n_parts = num_partitions or self.default_parallelism
-        partitions = _split_evenly(records, n_parts)
-        return _ParallelizedRDD(self, partitions)
+        if partitioner is None:
+            partitions = _split_evenly(records, n_parts)
+            return _ParallelizedRDD(self, partitions)
+        if partitioner.num_partitions != n_parts:
+            raise SparkLiteError(
+                f"partitioner covers {partitioner.num_partitions} "
+                f"partitions but {n_parts} were requested"
+            )
+        partitions = [[] for _ in range(n_parts)]
+        for record in records:
+            if not isinstance(record, tuple) or len(record) != 2:
+                raise SparkLiteError(
+                    "parallelize with a partitioner needs (key, value) "
+                    f"pair records, got {record!r}"
+                )
+            partitions[partitioner.partition_for(record[0])].append(record)
+        rdd = _ParallelizedRDD(self, partitions)
+        rdd.partitioner = partitioner
+        return rdd
 
     def empty_rdd(self) -> RDD:
         """An RDD with a single empty partition."""
@@ -92,19 +155,35 @@ class Context:
     def broadcast(self, value: T) -> Broadcast[T]:
         """Create a read-only broadcast variable visible to every task.
 
+        Under the ``"net"`` executor the value is serialized once and
+        the frame is shipped to every *registered worker* (charged
+        once per worker in the wire metrics, and once — the
+        per-executor replica — against a cluster memory budget, using
+        the exact frame length rather than a sampled size estimate).
+
         Under a cluster memory model, the replica held by each
         executor is charged against its budget; an oversized broadcast
         raises :class:`~repro.exceptions.ExecutorMemoryError`.
         """
         self.metrics.record_broadcast()
-        n_bytes = 0
-        if self.memory_model is not None:
-            n_bytes = estimate_size(value)
-            self.memory_model.charge_broadcast(n_bytes)
         broadcast_id = next(self._next_broadcast_id)
+        n_bytes = 0
+        frame: tuple[str, bytes] | None = None
+        if self.net is not None:
+            from repro.net import pack_payload
+
+            encoding, payload = pack_payload(value)
+            frame = (encoding, payload)
+            n_bytes = estimate_size(value, frame_len=len(payload))
+        if self.memory_model is not None:
+            if n_bytes == 0:
+                n_bytes = estimate_size(value)
+            self.memory_model.charge_broadcast(n_bytes)
         with obs_span("sparklite.broadcast", broadcast_id=broadcast_id) as sp:
             if n_bytes:
                 sp.set("bytes", n_bytes)
+            if frame is not None:
+                self.net.ship_broadcast(broadcast_id, frame[0], frame[1])
             return Broadcast(
                 broadcast_id,
                 value,
@@ -125,20 +204,43 @@ class Context:
     def _compute_all(self, rdd: RDD) -> list[list]:
         """Compute every partition of ``rdd``, possibly in parallel.
 
-        A fresh thread pool per call avoids deadlocks when a shuffle
-        materialization (running inside a worker) needs to schedule its
-        parent's partitions.
+        With the ``"net"`` executor the partitions are computed by the
+        registered remote workers; locally, a fresh thread pool per
+        call avoids deadlocks when a shuffle materialization (running
+        inside a worker) needs to schedule its parent's partitions.
         """
+        if self.net is not None:
+            return self.net.compute_all(rdd)
         indices = range(rdd.num_partitions)
         if self.max_workers == 1 or rdd.num_partitions == 1:
             return [rdd._get_partition(i) for i in indices]
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(rdd._get_partition, indices))
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (the net driver's listener).
+
+        Local contexts hold nothing persistent; calling this is always
+        safe and idempotent.
+        """
+        if self.net is not None:
+            self.net.close()
+
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
     def __repr__(self) -> str:
         return (
             f"Context(default_parallelism={self.default_parallelism}, "
-            f"max_workers={self.max_workers})"
+            f"max_workers={self.max_workers}, executor={self.executor!r})"
         )
 
 

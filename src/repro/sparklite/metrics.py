@@ -26,6 +26,16 @@ class EngineMetrics:
         collects: Number of actions that returned data to the driver.
         task_retries: Task attempts re-executed after a transient
             :class:`~repro.exceptions.TaskFailure`.
+
+    Under the multi-host executor (:mod:`repro.sparklite.netexec`) the
+    ``net_*`` counters meter the wire: bytes sent/received by the
+    driver, tasks shipped to remote workers, broadcast replica bytes
+    (once per registered worker), worker failures, lineage re-runs of
+    lost in-flight tasks, and cumulative task round-trip latency.
+    They surface in snapshots under dotted ``net.*`` names (and hence
+    in run records as ``sparklite.net.*``) only once any network
+    activity happened, so purely local runs keep their historical
+    counter set.
     """
 
     tasks_executed: int = 0
@@ -34,6 +44,13 @@ class EngineMetrics:
     broadcasts: int = 0
     collects: int = 0
     task_retries: int = 0
+    net_bytes_out: int = 0
+    net_bytes_in: int = 0
+    net_tasks: int = 0
+    net_broadcast_bytes_out: int = 0
+    net_worker_failures: int = 0
+    net_lineage_reruns: int = 0
+    net_task_seconds: float = 0.0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -59,10 +76,39 @@ class EngineMetrics:
         with self._lock:
             self.task_retries += 1
 
-    def snapshot(self) -> dict[str, int]:
-        """Return a plain-dict copy of all counters."""
+    def record_net_sent(self, n_bytes: int) -> None:
         with self._lock:
-            return {
+            self.net_bytes_out += int(n_bytes)
+
+    def record_net_received(self, n_bytes: int) -> None:
+        with self._lock:
+            self.net_bytes_in += int(n_bytes)
+
+    def record_net_task(self, seconds: float) -> None:
+        with self._lock:
+            self.net_tasks += 1
+            self.net_task_seconds += float(seconds)
+
+    def record_net_broadcast(self, n_bytes: int) -> None:
+        with self._lock:
+            self.net_broadcast_bytes_out += int(n_bytes)
+
+    def record_net_worker_failure(self) -> None:
+        with self._lock:
+            self.net_worker_failures += 1
+
+    def record_net_rerun(self, n_tasks: int = 1) -> None:
+        with self._lock:
+            self.net_lineage_reruns += int(n_tasks)
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Return a plain-dict copy of all counters.
+
+        The ``net.*`` entries appear only once the network executor
+        has moved bytes or tasks, keeping local snapshots unchanged.
+        """
+        with self._lock:
+            out: dict[str, int | float] = {
                 "tasks_executed": self.tasks_executed,
                 "shuffles": self.shuffles,
                 "records_shuffled": self.records_shuffled,
@@ -70,6 +116,28 @@ class EngineMetrics:
                 "collects": self.collects,
                 "task_retries": self.task_retries,
             }
+            if (
+                self.net_tasks
+                or self.net_bytes_out
+                or self.net_bytes_in
+                or self.net_worker_failures
+            ):
+                out.update(
+                    {
+                        "net.bytes_out": self.net_bytes_out,
+                        "net.bytes_in": self.net_bytes_in,
+                        "net.tasks": self.net_tasks,
+                        "net.broadcast_bytes_out": (
+                            self.net_broadcast_bytes_out
+                        ),
+                        "net.worker_failures": self.net_worker_failures,
+                        "net.lineage_reruns": self.net_lineage_reruns,
+                        "net.task_seconds": round(
+                            self.net_task_seconds, 6
+                        ),
+                    }
+                )
+            return out
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:
         """Counter growth since an earlier :meth:`snapshot`.
@@ -92,3 +160,10 @@ class EngineMetrics:
             self.broadcasts = 0
             self.collects = 0
             self.task_retries = 0
+            self.net_bytes_out = 0
+            self.net_bytes_in = 0
+            self.net_tasks = 0
+            self.net_broadcast_bytes_out = 0
+            self.net_worker_failures = 0
+            self.net_lineage_reruns = 0
+            self.net_task_seconds = 0.0

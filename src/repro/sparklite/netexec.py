@@ -1,0 +1,827 @@
+"""Multi-host SparkLite: TCP driver and worker executor processes.
+
+This module turns the in-process SparkLite engine into a real (small)
+cluster runtime.  A :class:`NetDriver` — owned by a
+:class:`~repro.sparklite.Context` built with ``executor="net"`` —
+listens on a TCP port; worker processes started with ``repro workers
+--connect HOST:PORT`` (or :func:`run_worker`) register with it.  Jobs
+then execute remotely:
+
+* Each partition of an RDD lineage is *flattened* into one task — the
+  chain of narrow per-partition functions down to a leaf (parallelized
+  data, a materialized shuffle bucket, or a cached partition) — and
+  shipped to the least-loaded worker.  Closures travel cloudpickled;
+  leaf/bucket/result payloads travel as length-prefixed binary frames
+  (``.npz`` for arrays — raw float64 buffers, never JSON floats).
+* Shuffles materialize on the driver (every SparkLite shuffle is
+  driver-coordinated), so the buckets a shuffle produces cross the
+  wire as the leaf payloads of downstream tasks.
+* Broadcast values ship once per registered worker at creation time
+  (and replay to workers that register later); tasks reference them by
+  id only (:class:`~repro.sparklite.broadcast.Broadcast` pickles to
+  its id, and each worker resolves ids against its local store).
+
+Failure semantics mirror Spark's lineage model:
+
+* A remote :class:`~repro.exceptions.TaskFailure` is retried from
+  lineage up to the context's ``max_task_retries``.
+* A worker that disconnects (or exceeds ``task_timeout`` on a task)
+  is declared lost; its in-flight tasks re-run on surviving workers,
+  up to :data:`MAX_WORKER_RERUNS` re-runs per task, after which the
+  job fails with :class:`~repro.exceptions.SparkLiteError`.  With no
+  live worker left the driver waits ``REREGISTER_GRACE`` seconds for
+  a (re)registration before giving up.
+
+Every byte in or out is metered in the context's
+:class:`~repro.sparklite.metrics.EngineMetrics` (the ``net.*``
+counters), so benchmarks can report communication volume next to the
+record-level shuffle counters.
+
+The results are bit-identical to the local executor: tasks run the
+very same per-partition closures over the very same partition
+contents, only in a different process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.exceptions import SparkLiteError, TaskFailure
+from repro.net import (
+    HAVE_CLOUDPICKLE,
+    MAX_LINE_BYTES,
+    error_payload,
+    exception_from_payload,
+    ok_payload,
+    pack_closure,
+    pack_payload,
+    read_message,
+    send_message,
+    unpack_closure,
+    unpack_payload,
+)
+from repro.sparklite.broadcast import Broadcast
+from repro.sparklite.rdd import (
+    RDD,
+    _MapPartitionsRDD,
+    _ParallelizedRDD,
+    _ShuffledRDD,
+    _UnionRDD,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparklite.context import Context
+
+__all__ = ["NetDriver", "LoopbackCluster", "run_worker", "MAX_WORKER_RERUNS"]
+
+#: How many times one task may be re-run because the worker holding it
+#: was lost, before the job fails.
+MAX_WORKER_RERUNS = 3
+
+#: Seconds the driver waits for a worker to (re)register when a job
+#: needs one and none is alive.
+REREGISTER_GRACE = 10.0
+
+
+class _WorkerLost(Exception):
+    """Internal: the worker holding a task died or timed out."""
+
+
+class _WorkerConn:
+    """Driver-side state of one registered worker connection."""
+
+    def __init__(
+        self,
+        name: str,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.name = name
+        self.writer = writer
+        self.alive = True
+        #: task key -> future resolved by the connection's reader loop.
+        self.futures: dict[int, asyncio.Future] = {}
+        self.send_lock = asyncio.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "lost"
+        return (
+            f"_WorkerConn({self.name!r}, {state}, "
+            f"inflight={len(self.futures)})"
+        )
+
+
+class NetDriver:
+    """TCP job driver for ``Context(executor="net")``.
+
+    Runs an asyncio server on a background thread; the public methods
+    (:meth:`compute_all`, :meth:`ship_broadcast`,
+    :meth:`wait_for_workers`, :meth:`close`) are called from ordinary
+    threads and bridge into the loop.
+    """
+
+    def __init__(
+        self,
+        context: "Context",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        task_timeout: float | None = None,
+    ) -> None:
+        if not HAVE_CLOUDPICKLE:
+            raise SparkLiteError(
+                "executor='net' needs cloudpickle to ship task closures; "
+                "install it or use executor='local'"
+            )
+        self.context = context
+        self.host = host
+        self.port = port
+        self.task_timeout = task_timeout
+        self._closed = False
+        self._workers: dict[int, _WorkerConn] = {}
+        self._next_conn_id = 0
+        self._next_task_key = 0
+        #: broadcast id -> (encoding, frame), replayed to late joiners.
+        self._broadcasts: dict[int, tuple[str, bytes]] = {}
+        self._worker_event: asyncio.Event | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="sparklite-net-driver",
+            daemon=True,
+        )
+        self._thread.start()
+        self._call(self._start_server(), timeout=30.0)
+
+    # ------------------------------------------------------------------
+    # Thread <-> loop bridge
+    # ------------------------------------------------------------------
+
+    def _call(self, coro, timeout: float | None = None):
+        """Run a coroutine on the driver loop from a plain thread."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    async def _start_server(self) -> None:
+        self._worker_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Worker registry
+    # ------------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Number of currently registered, live workers."""
+        return sum(1 for w in self._workers.values() if w.alive)
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` workers are registered and alive."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if self.n_workers >= count:
+                return
+            if remaining <= 0:
+                raise SparkLiteError(
+                    f"only {self.n_workers}/{count} workers registered "
+                    f"within {timeout:.1f}s"
+                )
+            try:
+                self._call(
+                    self._await_worker_event(min(remaining, 0.5)),
+                    timeout=remaining + 5.0,
+                )
+            except Exception as exc:  # pragma: no cover - loop stuck
+                raise SparkLiteError(
+                    "driver event loop unresponsive while waiting "
+                    "for workers"
+                ) from exc
+
+    async def _await_worker_event(self, timeout: float) -> None:
+        event = self._worker_event
+        assert event is not None
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            return
+        event.clear()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Accept a worker: expect one ``register`` message, then serve."""
+        worker: _WorkerConn | None = None
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        try:
+            message = await read_message(reader)
+            if message is None:
+                return
+            payload, _frames, n_bytes = message
+            self.context.metrics.record_net_received(n_bytes)
+            if payload.get("op") != "register":
+                await send_message(
+                    writer,
+                    error_payload(
+                        payload.get("id"),
+                        SparkLiteError(
+                            "expected a register message, got "
+                            f"{payload.get('op')!r}"
+                        ),
+                        default_type="SparkLiteError",
+                    ),
+                )
+                return
+            worker = _WorkerConn(
+                str(payload.get("name") or f"worker-{conn_id}"), writer
+            )
+            self._workers[conn_id] = worker
+            sent = await send_message(
+                writer, ok_payload(payload.get("id"), op="welcome")
+            )
+            # Replay broadcasts created before this worker arrived.
+            for bid, (encoding, frame) in sorted(self._broadcasts.items()):
+                sent += await send_message(
+                    writer,
+                    {"op": "broadcast", "bid": bid, "enc": encoding},
+                    frames=[frame],
+                )
+                self.context.metrics.record_net_broadcast(len(frame))
+            self.context.metrics.record_net_sent(sent)
+            event = self._worker_event
+            assert event is not None
+            event.set()
+            await self._reader_loop(worker, reader)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            if worker is not None:
+                self._mark_lost(conn_id, worker)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _reader_loop(
+        self, worker: _WorkerConn, reader: asyncio.StreamReader
+    ) -> None:
+        """Dispatch every response from ``worker`` to its task future."""
+        while True:
+            message = await read_message(reader)
+            if message is None:
+                return
+            payload, frames, n_bytes = message
+            self.context.metrics.record_net_received(n_bytes)
+            key = payload.get("task")
+            future = worker.futures.pop(key, None) if key is not None else None
+            if future is None or future.done():
+                continue
+            if payload.get("ok"):
+                future.set_result((payload, frames))
+            else:
+                future.set_exception(
+                    exception_from_payload(payload, default=SparkLiteError)
+                )
+
+    def _mark_lost(self, conn_id: int, worker: _WorkerConn) -> None:
+        """Fail a worker's in-flight tasks so the job re-runs them."""
+        self._workers.pop(conn_id, None)
+        if not worker.alive:
+            return
+        worker.alive = False
+        pending = list(worker.futures.values())
+        worker.futures.clear()
+        if pending and not self._closed:
+            self.context.metrics.record_net_worker_failure()
+        for future in pending:
+            if not future.done():
+                future.set_exception(
+                    _WorkerLost(f"worker {worker.name!r} was lost")
+                )
+
+    # ------------------------------------------------------------------
+    # Broadcasts
+    # ------------------------------------------------------------------
+
+    def ship_broadcast(
+        self, broadcast_id: int, encoding: str, frame: bytes
+    ) -> None:
+        """Ship one serialized broadcast value to every live worker.
+
+        The frame is charged once per *registered worker* — never per
+        local thread — in ``net.broadcast_bytes_out``, and kept for
+        replay to workers that register later.
+        """
+        self._call(self._ship_broadcast(broadcast_id, encoding, frame))
+
+    async def _ship_broadcast(
+        self, broadcast_id: int, encoding: str, frame: bytes
+    ) -> None:
+        self._broadcasts[broadcast_id] = (encoding, frame)
+        for worker in list(self._workers.values()):
+            if not worker.alive:
+                continue
+            try:
+                async with worker.send_lock:
+                    sent = await send_message(
+                        worker.writer,
+                        {
+                            "op": "broadcast",
+                            "bid": broadcast_id,
+                            "enc": encoding,
+                        },
+                        frames=[frame],
+                    )
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                continue  # reader loop will mark the worker lost
+            self.context.metrics.record_net_sent(sent)
+            self.context.metrics.record_net_broadcast(len(frame))
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+
+    def compute_all(self, rdd: RDD) -> list[list]:
+        """Compute every partition of ``rdd`` on the remote workers."""
+        if self._closed:
+            raise SparkLiteError("the net driver is closed")
+        if rdd._cache_enabled:
+            with rdd._cache_lock:
+                cached = rdd._cached
+                if cached is not None and len(cached) == rdd.num_partitions:
+                    return [cached[i] for i in range(rdd.num_partitions)]
+        # Flattening runs on the calling thread: materializing shuffle
+        # ancestors re-enters compute_all for the parent lineage.
+        tasks = [
+            (index, *self._flatten(rdd, index))
+            for index in range(rdd.num_partitions)
+        ]
+        results = self._call(self._run_job(rdd, tasks))
+        if rdd._cache_enabled:
+            with rdd._cache_lock:
+                if rdd._cached is None:
+                    rdd._cached = {}
+                for index, data in enumerate(results):
+                    rdd._cached[index] = data
+        return results
+
+    def _flatten(
+        self, rdd: RDD, index: int
+    ) -> tuple[list[tuple[Callable, int]], list]:
+        """Flatten partition ``index`` of ``rdd`` into one task.
+
+        Returns ``(funcs, leaf)``: applying each ``(func,
+        partition_index)`` of ``funcs`` in order to ``leaf`` yields the
+        partition.  Shuffle ancestors are materialized on the driver
+        (recursively scheduling their parent lineage over the
+        cluster); cached ancestors act as barriers and contribute their
+        cached data as the leaf.
+        """
+        funcs: list[tuple[Callable, int]] = []
+        node: RDD = rdd
+        node_index = index
+        while True:
+            if node is not rdd and node._cache_enabled:
+                leaf = self._cached_partition(node, node_index)
+                break
+            if isinstance(node, _MapPartitionsRDD):
+                funcs.append((node._func, node_index))
+                node = node._parent
+                continue
+            if isinstance(node, _UnionRDD):
+                if node_index < node._left.num_partitions:
+                    node = node._left
+                else:
+                    node_index -= node._left.num_partitions
+                    node = node._right
+                continue
+            if isinstance(node, _ShuffledRDD):
+                leaf = node._materialize_shuffle()[node_index]
+                break
+            if isinstance(node, _ParallelizedRDD):
+                leaf = node._data[node_index]
+                break
+            # Unknown node type: compute it on the driver and treat the
+            # result as a leaf — correctness first, locality second.
+            leaf = node._get_partition(node_index)
+            break
+        funcs.reverse()
+        return funcs, leaf
+
+    def _cached_partition(self, node: RDD, index: int) -> list:
+        with node._cache_lock:
+            cached = node._cached
+            hit = cached.get(index) if cached is not None else None
+        if hit is not None:
+            return hit
+        # Compute the whole cached ancestor as its own job; compute_all
+        # fills its cache, so sibling partitions hit next time around.
+        return self.compute_all(node)[index]
+
+    async def _run_job(
+        self,
+        rdd: RDD,
+        tasks: list[tuple[int, list[tuple[Callable, int]], list]],
+    ) -> list[list]:
+        results = await asyncio.gather(
+            *(
+                self._run_task(rdd, index, funcs, leaf)
+                for index, funcs, leaf in tasks
+            )
+        )
+        return list(results)
+
+    async def _run_task(
+        self,
+        rdd: RDD,
+        index: int,
+        funcs: list[tuple[Callable, int]],
+        leaf: list,
+    ) -> list:
+        """Run one task with retry (TaskFailure) and re-run (lost worker)."""
+        closure_blob = pack_closure(funcs)
+        payload_encoding, payload_frame = pack_payload(leaf)
+        attempts = 0
+        reruns = 0
+        while True:
+            worker = await self._acquire_worker()
+            self.context.metrics.record_tasks(1)
+            try:
+                injector = self.context.failure_injector
+                if injector is not None:
+                    injector(rdd, index, attempts)
+                return await self._dispatch(
+                    worker, closure_blob, payload_encoding, payload_frame
+                )
+            except TaskFailure:
+                attempts += 1
+                self.context.metrics.record_retry()
+                if attempts > self.context.max_task_retries:
+                    raise
+            except _WorkerLost:
+                reruns += 1
+                self.context.metrics.record_net_rerun()
+                if reruns > MAX_WORKER_RERUNS:
+                    raise SparkLiteError(
+                        f"partition {index} was re-run {MAX_WORKER_RERUNS} "
+                        "times after worker losses and still did not "
+                        "complete"
+                    ) from None
+
+    async def _acquire_worker(self) -> _WorkerConn:
+        """The least-loaded live worker; waits briefly when none exist."""
+        deadline = time.monotonic() + REREGISTER_GRACE
+        while True:
+            alive = [w for w in self._workers.values() if w.alive]
+            if alive:
+                return min(alive, key=lambda w: len(w.futures))
+            if self._closed:
+                raise SparkLiteError("the net driver is closed")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SparkLiteError(
+                    "no live workers: start some with "
+                    f"'repro workers --connect {self.host}:{self.port}'"
+                )
+            await self._await_worker_event(min(remaining, 0.5))
+
+    def _declare_dead(self, worker: _WorkerConn, reason: str) -> None:
+        """Stop routing to ``worker`` and fail its in-flight tasks.
+
+        Used when the driver notices the loss first (a failed send or
+        a task timeout) — before the reader loop sees the EOF.  Without
+        flipping ``alive`` here, a dead worker with an empty in-flight
+        map looks like the *least-loaded* worker and re-runs ping-pong
+        into it until the re-run budget is exhausted.
+        """
+        if not worker.alive:
+            return
+        worker.alive = False
+        self.context.metrics.record_net_worker_failure()
+        try:
+            worker.writer.close()
+        except Exception:  # pragma: no cover - already severed
+            pass
+        for other in list(worker.futures.values()):
+            if not other.done():
+                other.set_exception(_WorkerLost(reason))
+        worker.futures.clear()
+
+    async def _dispatch(
+        self,
+        worker: _WorkerConn,
+        closure_blob: bytes,
+        payload_encoding: str,
+        payload_frame: bytes,
+    ) -> list:
+        """Ship one task to ``worker`` and await its result frames."""
+        key = self._next_task_key
+        self._next_task_key += 1
+        future: asyncio.Future = self._loop.create_future()
+        worker.futures[key] = future
+        started = time.monotonic()
+        try:
+            async with worker.send_lock:
+                sent = await send_message(
+                    worker.writer,
+                    {"op": "task", "task": key, "enc": payload_encoding},
+                    frames=[closure_blob, payload_frame],
+                )
+            self.context.metrics.record_net_sent(sent)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            worker.futures.pop(key, None)
+            self._declare_dead(
+                worker, f"send to worker {worker.name!r} failed: {exc}"
+            )
+            raise _WorkerLost(str(exc)) from None
+        try:
+            if self.task_timeout is not None:
+                payload, frames = await asyncio.wait_for(
+                    future, self.task_timeout
+                )
+            else:
+                payload, frames = await future
+        except asyncio.TimeoutError:
+            worker.futures.pop(key, None)
+            self._declare_dead(worker, f"worker {worker.name!r} timed out")
+            raise _WorkerLost(
+                f"worker {worker.name!r} exceeded the "
+                f"{self.task_timeout:.1f}s task timeout"
+            ) from None
+        self.context.metrics.record_net_task(time.monotonic() - started)
+        if not frames:
+            raise SparkLiteError(
+                f"worker {worker.name!r} returned no result frame"
+            )
+        return list(unpack_payload(payload.get("enc", "pickle"), frames[0]))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut workers down, stop the listener and the loop (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self._shutdown(), timeout=10.0)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._loop.is_running():  # pragma: no branch
+            self._loop.close()
+
+    async def _shutdown(self) -> None:
+        for worker in list(self._workers.values()):
+            if not worker.alive:
+                continue
+            try:
+                async with worker.send_lock:
+                    await send_message(worker.writer, {"op": "shutdown"})
+                worker.writer.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def __repr__(self) -> str:
+        return (
+            f"NetDriver({self.host}:{self.port}, "
+            f"workers={self.n_workers})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: str | None = None,
+) -> None:
+    """Connect to a driver and execute tasks until it says shutdown.
+
+    This is the body of one ``repro workers`` process: it registers,
+    installs the process-local broadcast store, then loops over
+    ``broadcast`` / ``task`` / ``shutdown`` messages.  Task errors are
+    reported back as typed error payloads — a
+    :class:`~repro.exceptions.TaskFailure` makes the driver retry from
+    lineage, any other library error propagates to the driver's caller
+    as the same exception type.
+    """
+    if not HAVE_CLOUDPICKLE:
+        raise SparkLiteError(
+            "a net worker needs cloudpickle to load task closures"
+        )
+    asyncio.run(_worker_main(host, port, name or f"worker-{os.getpid()}"))
+
+
+async def _worker_main(host: str, port: int, name: str) -> None:
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES
+    )
+    store: dict[int, Any] = {}
+    Broadcast._resolver = lambda bid: _resolve_broadcast(store, bid)
+    try:
+        await send_message(writer, {"op": "register", "name": name})
+        welcome = await read_message(reader)
+        if welcome is None or not welcome[0].get("ok"):
+            raise SparkLiteError(
+                f"driver at {host}:{port} rejected registration"
+            )
+        while True:
+            message = await read_message(reader)
+            if message is None:
+                return
+            payload, frames, _n_bytes = message
+            op = payload.get("op")
+            if op == "shutdown":
+                return
+            if op == "broadcast":
+                store[int(payload["bid"])] = unpack_payload(
+                    payload.get("enc", "pickle"), frames[0]
+                )
+                continue
+            if op == "task":
+                await _run_worker_task(writer, payload, frames)
+                continue
+            if op == "ping":
+                await send_message(
+                    writer, ok_payload(payload.get("id"), op="pong")
+                )
+                continue
+            await send_message(
+                writer,
+                error_payload(
+                    payload.get("id"),
+                    SparkLiteError(f"unknown op {op!r}"),
+                    default_type="SparkLiteError",
+                ),
+            )
+    finally:
+        Broadcast._resolver = None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def _resolve_broadcast(store: dict[int, Any], broadcast_id: int) -> Any:
+    from repro.exceptions import BroadcastError
+
+    try:
+        return store[broadcast_id]
+    except KeyError:
+        raise BroadcastError(
+            f"broadcast {broadcast_id} was never shipped to this worker"
+        ) from None
+
+
+async def _run_worker_task(
+    writer: asyncio.StreamWriter,
+    payload: dict[str, Any],
+    frames: list[bytes],
+) -> None:
+    key = payload.get("task")
+    try:
+        funcs = unpack_closure(frames[0])
+        data = list(unpack_payload(payload.get("enc", "pickle"), frames[1]))
+        for func, partition_index in funcs:
+            data = list(func(partition_index, iter(data)))
+        encoding, result_frame = pack_payload(data)
+        response = ok_payload(None, task=key, enc=encoding)
+        await send_message(writer, response, frames=[result_frame])
+    except Exception as exc:  # noqa: BLE001 - protocol boundary
+        response = error_payload(None, exc, default_type="SparkLiteError")
+        response["task"] = key
+        await send_message(writer, response)
+
+
+# ----------------------------------------------------------------------
+# Loopback test/bench cluster
+# ----------------------------------------------------------------------
+
+
+class LoopbackCluster:
+    """A net-executor :class:`Context` plus local worker subprocesses.
+
+    Spawns ``n_workers`` ``repro workers`` processes against a driver
+    bound to 127.0.0.1 and waits for them to register.  Each worker
+    gets a ``REPRO_WORKER_INDEX`` environment variable (0-based), which
+    failure tests use to kill one specific worker deterministically.
+
+    Use as a context manager::
+
+        with LoopbackCluster(n_workers=2) as cluster:
+            rdd = cluster.context.parallelize(range(100), 4)
+            assert rdd.count() == 100
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        task_timeout: float | None = None,
+        wait_timeout: float = 30.0,
+        **context_options: Any,
+    ) -> None:
+        from repro.sparklite.context import Context
+
+        if n_workers < 1:
+            raise SparkLiteError(f"n_workers must be >= 1, got {n_workers}")
+        self.context = Context(
+            executor="net",
+            host="127.0.0.1",
+            port=0,
+            task_timeout=task_timeout,
+            **context_options,
+        )
+        self.processes: list[subprocess.Popen] = []
+        try:
+            port = self.context.net.port
+            for index in range(n_workers):
+                env = dict(os.environ)
+                env["REPRO_WORKER_INDEX"] = str(index)
+                env["PYTHONPATH"] = _pythonpath_with_repro(
+                    env.get("PYTHONPATH")
+                )
+                self.processes.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-m",
+                            "repro",
+                            "workers",
+                            "--connect",
+                            f"127.0.0.1:{port}",
+                            "--name",
+                            f"loopback-{index}",
+                        ],
+                        env=env,
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                    )
+                )
+            self.context.net.wait_for_workers(n_workers, wait_timeout)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Stop the driver and reap the worker processes (idempotent)."""
+        self.context.close()
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                process.wait(timeout=5.0)
+        self.processes = []
+
+    def __enter__(self) -> "LoopbackCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"LoopbackCluster(port={self.context.net.port}, "
+            f"workers={len(self.processes)})"
+        )
+
+
+def _pythonpath_with_repro(existing: str | None) -> str:
+    """A PYTHONPATH that lets a subprocess ``import repro``."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    parts = [src_dir]
+    if existing:
+        parts.append(existing)
+    return os.pathsep.join(parts)

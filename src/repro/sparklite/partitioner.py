@@ -1,10 +1,22 @@
-"""Partitioners: deterministic assignment of keys to shuffle buckets."""
+"""Partitioners: deterministic assignment of keys to shuffle buckets.
+
+Two implementations:
+
+* :class:`HashPartitioner` — Spark's default, uniform by key hash.
+* :class:`CellPartitioner` — spatially aware: keys are grid-cell
+  coordinate tuples and *blocks* of adjacent cells map to the same
+  shard, so an epsilon-neighbor of a cell usually lives in the same
+  partition.  This is the cell-locality idea of RP-DBSCAN's
+  rho-granularity summaries and of cell-graph-partitioned parallel
+  DBSCAN: ship whole cells, not row ranges, and cross-shard neighbor
+  traffic shrinks.
+"""
 
 from __future__ import annotations
 
 from repro.exceptions import ParameterError, ShuffleError
 
-__all__ = ["HashPartitioner"]
+__all__ = ["HashPartitioner", "CellPartitioner"]
 
 
 class HashPartitioner:
@@ -42,3 +54,70 @@ class HashPartitioner:
 
     def __repr__(self) -> str:
         return f"HashPartitioner(num_partitions={self.num_partitions})"
+
+
+class CellPartitioner:
+    """Assign grid-cell keys to shards with spatial locality.
+
+    Keys must be tuples of integers (grid-cell coordinates).  The low
+    ``block_bits`` bits of every coordinate are dropped, grouping
+    ``2**block_bits`` consecutive cells per axis into one *block*;
+    blocks are then packed into a deterministic integer key and spread
+    over the shards.  Cells of the same block — and therefore most
+    epsilon-neighbor cell pairs, whose coordinates differ by at most
+    one — land on the same shard, which is what makes the shard
+    boundaries cheap under the distributed engine's neighbor joins.
+
+    With ``block_bits=0`` every cell is its own block (maximum
+    balance, no locality); the default ``2`` groups 4 cells per axis.
+
+    Hashing is value-stable across processes (integer and
+    integer-tuple hashes do not depend on ``PYTHONHASHSEED``), so
+    routing decisions agree between a driver and its remote workers.
+    """
+
+    def __init__(self, num_partitions: int, block_bits: int = 2) -> None:
+        if num_partitions < 1:
+            raise ParameterError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        if block_bits < 0:
+            raise ParameterError(
+                f"block_bits must be >= 0, got {block_bits}"
+            )
+        self.num_partitions = int(num_partitions)
+        self.block_bits = int(block_bits)
+
+    def block_of(self, key: tuple) -> tuple:
+        """The block coordinates a cell key belongs to."""
+        if not isinstance(key, tuple) or not all(
+            isinstance(coordinate, int) for coordinate in key
+        ):
+            raise ShuffleError(
+                f"CellPartitioner keys must be integer tuples, "
+                f"got {key!r}"
+            )
+        shift = self.block_bits
+        return tuple(coordinate >> shift for coordinate in key)
+
+    def partition_for(self, key: tuple) -> int:
+        """Return the shard index for a cell-coordinate key."""
+        return hash(self.block_of(key)) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CellPartitioner)
+            and other.num_partitions == self.num_partitions
+            and other.block_bits == self.block_bits
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            ("CellPartitioner", self.num_partitions, self.block_bits)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CellPartitioner(num_partitions={self.num_partitions}, "
+            f"block_bits={self.block_bits})"
+        )

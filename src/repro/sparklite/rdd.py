@@ -223,9 +223,18 @@ class RDD:
         mapped.partitioner = self.partitioner
         return mapped
 
-    def partition_by(self, num_partitions: int | None = None) -> "RDD":
-        """Hash-partition a pair RDD by key (Spark partitionBy)."""
-        partitioner = HashPartitioner(
+    def partition_by(
+        self,
+        num_partitions: int | None = None,
+        partitioner: "HashPartitioner | None" = None,
+    ) -> "RDD":
+        """Partition a pair RDD by key (Spark partitionBy).
+
+        Routes through ``partitioner`` when given (e.g. a
+        :class:`~repro.sparklite.partitioner.CellPartitioner` for
+        spatial locality); defaults to hash partitioning.
+        """
+        partitioner = partitioner or HashPartitioner(
             num_partitions or self.num_partitions
         )
         if self.partitioner == partitioner:
@@ -238,6 +247,7 @@ class RDD:
         merge_value: Callable[[Any, Any], Any],
         merge_combiners: Callable[[Any, Any], Any],
         num_partitions: int | None = None,
+        partitioner: "HashPartitioner | None" = None,
     ) -> "RDD":
         """General shuffle-with-aggregation (Spark combineByKey).
 
@@ -272,7 +282,9 @@ class RDD:
                     merged[key] = combiner
             return iter(merged.items())
 
-        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        partitioner = partitioner or HashPartitioner(
+            num_partitions or self.num_partitions
+        )
         shuffled = _ShuffledRDD(self.map_partitions(map_side), partitioner)
         result = shuffled.map_partitions(reduce_side)
         result.partitioner = partitioner
@@ -282,6 +294,7 @@ class RDD:
         self,
         func: Callable[[Any, Any], Any],
         num_partitions: int | None = None,
+        partitioner: "HashPartitioner | None" = None,
     ) -> "RDD":
         """Merge values per key with an associative function."""
         return self.combine_by_key(
@@ -289,11 +302,23 @@ class RDD:
             merge_value=func,
             merge_combiners=func,
             num_partitions=num_partitions,
+            partitioner=partitioner,
         )
 
-    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
-        """Group all values per key into a list (no map-side combine)."""
-        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+    def group_by_key(
+        self,
+        num_partitions: int | None = None,
+        partitioner: "HashPartitioner | None" = None,
+    ) -> "RDD":
+        """Group all values per key into a list (no map-side combine).
+
+        An RDD already partitioned by an equal ``partitioner`` groups
+        in place without a shuffle — the locality dividend of
+        cell-partitioned grids.
+        """
+        partitioner = partitioner or HashPartitioner(
+            num_partitions or self.num_partitions
+        )
         shuffled = (
             self
             if self.partitioner == partitioner
@@ -311,12 +336,15 @@ class RDD:
         return result
 
     def cogroup(
-        self, other: "RDD", num_partitions: int | None = None
+        self,
+        other: "RDD",
+        num_partitions: int | None = None,
+        partitioner: "HashPartitioner | None" = None,
     ) -> "RDD":
         """Group values of both RDDs per key: ``(k, (list_a, list_b))``."""
         if other.context is not self.context:
             raise SparkLiteError("cannot cogroup RDDs from different contexts")
-        partitioner = HashPartitioner(
+        partitioner = partitioner or HashPartitioner(
             num_partitions or max(self.num_partitions, other.num_partitions)
         )
         tagged = self.map_values(lambda v: (0, v)).union(
@@ -336,14 +364,21 @@ class RDD:
         result.partitioner = partitioner
         return result
 
-    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+    def join(
+        self,
+        other: "RDD",
+        num_partitions: int | None = None,
+        partitioner: "HashPartitioner | None" = None,
+    ) -> "RDD":
         """Inner join on key: ``(k, (v, w))`` for every matching pair."""
 
         def expand(groups: tuple[list, list]) -> Iterator:
             left, right = groups
             return ((v, w) for v in left for w in right)
 
-        return self.cogroup(other, num_partitions).flat_map_values(expand)
+        return self.cogroup(
+            other, num_partitions, partitioner=partitioner
+        ).flat_map_values(expand)
 
     def left_outer_join(
         self, other: "RDD", num_partitions: int | None = None

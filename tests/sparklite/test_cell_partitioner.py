@@ -1,0 +1,136 @@
+"""CellPartitioner: spatial block routing, co-partitioning, engine use."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import DistributedEngine
+from repro.exceptions import ParameterError, ShuffleError
+from repro.sparklite import CellPartitioner, Context, HashPartitioner
+
+
+class TestRouting:
+    def test_same_block_same_shard(self):
+        partitioner = CellPartitioner(8, block_bits=2)
+        # All 16 cells of the block at origin (coords 0..3 per axis).
+        shards = {
+            partitioner.partition_for((x, y))
+            for x in range(4)
+            for y in range(4)
+        }
+        assert len(shards) == 1
+
+    def test_blocks_spread_over_shards(self):
+        partitioner = CellPartitioner(8, block_bits=0)
+        shards = {
+            partitioner.partition_for((x, y))
+            for x in range(16)
+            for y in range(16)
+        }
+        assert len(shards) == 8
+
+    def test_deterministic_and_in_range(self):
+        partitioner = CellPartitioner(5, block_bits=1)
+        for key in [(-7, 3), (0, 0), (123, -456), (9,), (1, 2, 3)]:
+            first = partitioner.partition_for(key)
+            assert first == partitioner.partition_for(key)
+            assert 0 <= first < 5
+
+    def test_negative_coordinates_block(self):
+        partitioner = CellPartitioner(4, block_bits=2)
+        # Arithmetic shift: -1 >> 2 == -1, so (-1, -1) and (-4, -4)
+        # share the block just below the origin.
+        assert partitioner.block_of((-1, -1)) == (-1, -1)
+        assert partitioner.block_of((-4, -4)) == (-1, -1)
+        assert partitioner.partition_for(
+            (-1, -1)
+        ) == partitioner.partition_for((-4, -4))
+
+    def test_rejects_non_integer_tuple_keys(self):
+        partitioner = CellPartitioner(4)
+        for bad in [3, "cell", (1.5, 2), [1, 2], ("a", "b")]:
+            with pytest.raises(ShuffleError):
+                partitioner.partition_for(bad)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            CellPartitioner(0)
+        with pytest.raises(ParameterError):
+            CellPartitioner(4, block_bits=-1)
+
+    def test_equality_and_hash(self):
+        assert CellPartitioner(4, 2) == CellPartitioner(4, 2)
+        assert CellPartitioner(4, 2) != CellPartitioner(4, 3)
+        assert CellPartitioner(4, 2) != CellPartitioner(8, 2)
+        assert CellPartitioner(4, 2) != HashPartitioner(4)
+        assert hash(CellPartitioner(4, 2)) == hash(CellPartitioner(4, 2))
+
+
+class TestCoPartitioning:
+    def test_parallelize_routes_by_partitioner(self):
+        with Context(default_parallelism=4) as context:
+            partitioner = CellPartitioner(4)
+            data = [((x, y), x + y) for x in range(8) for y in range(8)]
+            rdd = context.parallelize(data, 4, partitioner=partitioner)
+            assert rdd.partitioner == partitioner
+            for index, partition in enumerate(rdd.glom().collect()):
+                for key, _value in partition:
+                    assert partitioner.partition_for(key) == index
+
+    def test_co_partitioned_group_by_key_skips_shuffle(self):
+        with Context(default_parallelism=4) as context:
+            partitioner = CellPartitioner(4)
+            data = [((x, y), x) for x in range(8) for y in range(8)]
+            rdd = context.parallelize(data, 4, partitioner=partitioner)
+            before = context.metrics.shuffles
+            grouped = rdd.group_by_key(partitioner=partitioner).collect()
+            assert context.metrics.shuffles == before
+            assert len(grouped) == 64
+            # Contrast: grouping without co-partitioning does shuffle.
+            plain = context.parallelize(data, 4)
+            plain.group_by_key(partitioner=partitioner).collect()
+            assert context.metrics.shuffles == before + 1
+
+
+class TestEngineIntegration:
+    @staticmethod
+    def _points():
+        rng = np.random.default_rng(11)
+        return np.vstack(
+            [
+                rng.normal(0.0, 0.25, (240, 2)),
+                rng.uniform(-4.0, 4.0, (24, 2)),
+            ]
+        )
+
+    def test_cells_matches_rows_bit_identical(self):
+        points = self._points()
+        rows = DistributedEngine(num_partitions=4).detect(points, 0.4, 8)
+        cells = DistributedEngine(
+            num_partitions=4, partitioner="cells"
+        ).detect(points, 0.4, 8)
+        np.testing.assert_array_equal(
+            cells.outlier_mask, rows.outlier_mask
+        )
+        np.testing.assert_array_equal(cells.core_mask, rows.core_mask)
+
+    def test_cells_reduces_shuffle_traffic(self):
+        points = self._points()
+        rows = DistributedEngine(
+            num_partitions=4, join_strategy="group"
+        ).detect(points, 0.4, 8)
+        cells = DistributedEngine(
+            num_partitions=4, join_strategy="group", partitioner="cells"
+        ).detect(points, 0.4, 8)
+        assert (
+            cells.stats["records_shuffled"]
+            < rows.stats["records_shuffled"]
+        )
+        assert cells.stats["shuffles"] <= rows.stats["shuffles"]
+        assert cells.stats["partitioner"] == "cells"
+        assert rows.stats["partitioner"] == "rows"
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(ParameterError):
+            DistributedEngine(num_partitions=2, partitioner="hilbert")

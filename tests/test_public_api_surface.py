@@ -51,6 +51,7 @@ EXPECTED_BY_MODULE = {
         "Context",
         "RDD",
         "HashPartitioner",
+        "CellPartitioner",
         "Broadcast",
         "Accumulator",
         "EngineMetrics",
