@@ -1,0 +1,233 @@
+"""Telemetry overhead — span tracing, harvest, and the off-is-free gate.
+
+The PR-8 telemetry layer promises two things about cost:
+
+1. **Off means off.**  With tracing disabled, net task frames carry no
+   trace field and workers ship no telemetry back — the bytes on the
+   wire are *identical* to a build without the feature, run after run.
+   This is deterministic, so ``--check`` asserts it hard.
+2. **On is cheap.**  With tracing enabled, remote spans and counter
+   deltas ride back inside the existing result frame.  The bench
+   reports the wall-clock and wire-byte overhead of turning telemetry
+   on, but does not hard-fail on wall time: loopback runs are noisy
+   and the deterministic byte accounting is the real contract.
+
+Modes measured over the same DBSCOUT workload:
+
+========  ===========================================================
+off       local distributed engine, tracing disabled (baseline)
+spans     local distributed engine under an active tracer
+net-off   loopback TCP cluster, tracing disabled (byte baseline)
+net-on    loopback TCP cluster, spans + per-task counter harvest
+========  ===========================================================
+
+Run ``python benchmarks/bench_telemetry_overhead.py --check`` to
+verify the invariants and exit non-zero on violation (used by CI).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.core.distributed import DistributedEngine
+from repro.experiments import format_table
+from repro.net import HAVE_CLOUDPICKLE
+
+N_POINTS = 6_000
+EPS = 0.4
+MIN_PTS = 8
+NUM_PARTITIONS = 4
+N_WORKERS = 2
+REPEATS = 3
+
+#: Machine-readable results for run_all.py --json, filled by main().
+BENCH_STATS: dict[str, object] = {}
+
+
+def dataset() -> np.ndarray:
+    rng = np.random.default_rng(8)
+    inliers = rng.normal(0.0, 0.4, size=(N_POINTS - N_POINTS // 20, 2))
+    outliers = rng.uniform(-8.0, 8.0, size=(N_POINTS // 20, 2))
+    return np.vstack([inliers, outliers])
+
+
+def _detect(engine: DistributedEngine, points: np.ndarray) -> None:
+    engine.detect(points, EPS, MIN_PTS)
+
+
+def _record_spans(sink: obs.InMemorySink) -> int:
+    """Spans captured across every run record in ``sink``."""
+    return sum(len(record.spans) for record in sink.records)
+
+
+def time_local(points: np.ndarray, traced: bool) -> tuple[float, int]:
+    """Best-of-REPEATS wall for a local run; span count when traced."""
+    walls, n_spans = [], 0
+    for _ in range(REPEATS):
+        engine = DistributedEngine(num_partitions=NUM_PARTITIONS)
+        if traced:
+            sink = obs.InMemorySink()
+            start = time.perf_counter()
+            with obs.recording(sink):
+                _detect(engine, points)
+            walls.append(time.perf_counter() - start)
+            n_spans = _record_spans(sink)
+        else:
+            start = time.perf_counter()
+            _detect(engine, points)
+            walls.append(time.perf_counter() - start)
+    return min(walls), n_spans
+
+
+def run_net(points: np.ndarray, traced: bool) -> dict[str, object]:
+    """One loopback-cluster run; wall, wire bytes, span count."""
+    from repro.sparklite.netexec import LoopbackCluster
+
+    with LoopbackCluster(n_workers=N_WORKERS) as cluster:
+        engine = DistributedEngine(
+            num_partitions=NUM_PARTITIONS, context=cluster.context
+        )
+        if traced:
+            sink = obs.InMemorySink()
+            start = time.perf_counter()
+            with obs.recording(sink):
+                _detect(engine, points)
+            wall = time.perf_counter() - start
+            n_spans = _record_spans(sink)
+        else:
+            start = time.perf_counter()
+            _detect(engine, points)
+            wall = time.perf_counter() - start
+            n_spans = 0
+        snapshot = cluster.context.metrics.snapshot()
+    return {
+        "wall_s": wall,
+        "bytes_out": snapshot["net.bytes_out"],
+        "bytes_in": snapshot["net.bytes_in"],
+        "n_spans": n_spans,
+    }
+
+
+def main() -> int:
+    check = "--check" in sys.argv[1:]
+    points = dataset()
+    BENCH_STATS.clear()
+
+    obs.disable_tracing()
+    wall_off, _ = time_local(points, traced=False)
+    obs.enable_tracing()
+    try:
+        wall_spans, local_spans = time_local(points, traced=True)
+    finally:
+        obs.disable_tracing()
+
+    rows = [
+        ["off (local)", f"{wall_off * 1e3:.1f}", "-", "-", "0"],
+        [
+            "spans (local)",
+            f"{wall_spans * 1e3:.1f}",
+            f"{(wall_spans / wall_off - 1) * 100:+.1f}%",
+            "-",
+            str(local_spans),
+        ],
+    ]
+    BENCH_STATS.update(
+        {
+            "local_wall_off_s": round(wall_off, 4),
+            "local_wall_spans_s": round(wall_spans, 4),
+            "local_n_spans": local_spans,
+        }
+    )
+
+    violations: list[str] = []
+    if HAVE_CLOUDPICKLE:
+        off_a = run_net(points, traced=False)
+        off_b = run_net(points, traced=False)
+        obs.enable_tracing()
+        try:
+            on = run_net(points, traced=True)
+        finally:
+            obs.disable_tracing()
+
+        # Deterministic contract: tracing off adds zero frame bytes,
+        # so two identical off runs move identical bytes...
+        for direction in ("bytes_out", "bytes_in"):
+            if off_a[direction] != off_b[direction]:
+                violations.append(
+                    f"off-run {direction} not reproducible: "
+                    f"{off_a[direction]} != {off_b[direction]}"
+                )
+            # ...and the traced run's extra bytes are real telemetry.
+            if on[direction] <= off_a[direction]:
+                violations.append(
+                    f"traced run should move more {direction}: "
+                    f"{on[direction]} <= {off_a[direction]}"
+                )
+
+        extra_bytes = (
+            on["bytes_out"]
+            + on["bytes_in"]
+            - off_a["bytes_out"]
+            - off_a["bytes_in"]
+        )
+        rows.append(
+            [
+                "net-off (loopback)",
+                f"{off_a['wall_s'] * 1e3:.1f}",
+                "-",
+                str(off_a["bytes_out"] + off_a["bytes_in"]),
+                "0",
+            ]
+        )
+        rows.append(
+            [
+                "net-on (loopback)",
+                f"{on['wall_s'] * 1e3:.1f}",
+                f"{(on['wall_s'] / off_a['wall_s'] - 1) * 100:+.1f}%",
+                str(on["bytes_out"] + on["bytes_in"]),
+                str(on["n_spans"]),
+            ]
+        )
+        BENCH_STATS.update(
+            {
+                "net_wall_off_s": round(off_a["wall_s"], 4),
+                "net_wall_on_s": round(on["wall_s"], 4),
+                "net_bytes_off": off_a["bytes_out"] + off_a["bytes_in"],
+                "net_bytes_on": on["bytes_out"] + on["bytes_in"],
+                "net_telemetry_bytes": extra_bytes,
+                "net_off_reproducible": not violations,
+                "net_n_spans": on["n_spans"],
+            }
+        )
+    else:
+        rows.append(["net (skipped)", "-", "-", "-", "-"])
+        BENCH_STATS["net_skipped"] = "cloudpickle unavailable"
+
+    print("Telemetry overhead (DBSCOUT distributed, "
+          f"n={N_POINTS}, {NUM_PARTITIONS} partitions)")
+    print(
+        format_table(
+            ["mode", "wall ms", "overhead", "wire bytes", "spans"], rows
+        )
+    )
+
+    if check:
+        if violations:
+            for violation in violations:
+                print(f"CHECK FAILED: {violation}")
+            return 1
+        if HAVE_CLOUDPICKLE:
+            print("CHECK OK: telemetry-off byte parity holds; "
+                  "traced runs carry real telemetry bytes")
+        else:
+            print("CHECK SKIPPED: cloudpickle unavailable, "
+                  "no net executor to measure")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

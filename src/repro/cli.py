@@ -10,6 +10,7 @@ Commands:
 * ``fit`` — fit a detector and save it as a servable artifact.
 * ``serve`` — load artifacts and answer queries over TCP.
 * ``query`` — classify points against a running server.
+* ``top`` — live telemetry dashboard for a running server or driver.
 
 Examples:
     python -m repro detect points.csv --eps 0.5 --min-pts 10
@@ -18,8 +19,9 @@ Examples:
     python -m repro generate osm --n 100000 --output osm.npy
     python -m repro fit points.npy --eps 0.5 --min-pts 10 \\
         --save-artifact geo.npz --name geo
-    python -m repro serve geo.npz --port 7227
+    python -m repro serve geo.npz --port 7227 --metrics-port 9090
     python -m repro query queries.csv --detector geo --port 7227
+    python -m repro top --connect 127.0.0.1:7227
 """
 
 from __future__ import annotations
@@ -215,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="pending requests before the service sheds load",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve GET /metrics (Prometheus text) and "
+        "GET /telemetry (JSON) over HTTP on this port",
+    )
 
     query = commands.add_parser(
         "query", help="classify points against a running server"
@@ -259,6 +269,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--name",
         default=None,
         help="worker name prefix reported to the driver",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live telemetry dashboard for a server or net driver",
+    )
+    top.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'repro serve' server or a "
+        "Context(executor='net') driver listener",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
     )
 
     compare = commands.add_parser(
@@ -468,7 +501,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     try:
-        run_server(service, host=args.host, port=args.port)
+        run_server(
+            service,
+            host=args.host,
+            port=args.port,
+            metrics_port=args.metrics_port,
+        )
     finally:
         service.close()
     return 0
@@ -553,6 +591,39 @@ def _run_workers(args: argparse.Namespace) -> int:
     return max(child.wait() for child in children)
 
 
+def _run_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.top import fetch_telemetry, render_dashboard
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --connect needs HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    port = int(port_text)
+    previous = None
+    try:
+        while True:
+            snapshot = fetch_telemetry(host, port)
+            dashboard = render_dashboard(
+                snapshot,
+                previous=previous,
+                interval=None if previous is None else args.interval,
+            )
+            if args.once:
+                print(dashboard)
+                return 0
+            # Clear screen + home, like top(1).
+            print(f"\x1b[2J\x1b[H{dashboard}", flush=True)
+            previous = snapshot
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -566,6 +637,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _run_serve,
         "query": _run_query,
         "workers": _run_workers,
+        "top": _run_top,
     }
     try:
         return handlers[args.command](args)

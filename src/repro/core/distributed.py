@@ -48,7 +48,7 @@ from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import ParameterError
 from repro.obs import RunRecorder
-from repro.sparklite import CellPartitioner, Context, RDD
+from repro.sparklite import CellPartitioner, Context, EngineMetrics, RDD
 from repro.types import DetectionResult
 
 __all__ = ["DistributedEngine", "JOIN_STRATEGIES", "PARTITIONERS"]
@@ -223,14 +223,10 @@ class DistributedEngine:
                 ).collect()
 
         run_metrics = self.context.metrics.delta(metrics_before)
-        # Dotted engine counters (net.*) would escape the merge's
-        # bare-key namespacing; qualify them here so the run record
-        # carries sparklite.net.* alongside sparklite.tasks_executed.
-        run_metrics = {
-            key if "." not in key else f"sparklite.{key}": value
-            for key, value in run_metrics.items()
-        }
-        recorder.metrics.merge(run_metrics, namespace="sparklite")
+        # Qualify for the run record: substrate counters (bare and
+        # net.*) go under sparklite.*, while telemetry harvested from
+        # remote workers keeps its worker.* namespace.
+        recorder.metrics.merge(EngineMetrics.qualify(run_metrics))
         if kernel_counters:
             recorder.metrics.merge(kernel_counters, namespace="engine")
         recorder.add_context(

@@ -15,7 +15,12 @@ reproduction's equivalent, shared by both engines and every extension:
 * :mod:`repro.obs.record` — the structured run record (one JSON
   document per ``fit()``) plus pluggable sinks;
 * :mod:`repro.obs.report` — span-tree rendering and record diffing
-  for regression triage.
+  for regression triage;
+* :mod:`repro.obs.names` — the canonical registry of every emitted
+  metric family (kind + help text);
+* :mod:`repro.obs.expose` — live telemetry exposition: Prometheus
+  text / JSON rendering and the ``--metrics-port`` HTTP listener;
+* :mod:`repro.obs.top` — the ``repro top`` terminal dashboard.
 
 Typical use::
 
@@ -27,6 +32,13 @@ Typical use::
     print(obs.format_record(result.record))
 """
 
+from repro.obs import names
+from repro.obs.expose import (
+    MetricsHTTPServer,
+    render_json,
+    render_prometheus,
+    telemetry_text,
+)
 from repro.obs.metrics import MetricsRegistry, to_builtin
 from repro.obs.memory import memory_snapshot, peak_rss_bytes
 from repro.obs.record import (
@@ -53,6 +65,7 @@ from repro.obs.trace import (
     NOOP_SPAN,
     Span,
     SpanRecord,
+    TraceContext,
     Tracer,
     current_tracer,
     disable_profiling,
@@ -60,6 +73,7 @@ from repro.obs.trace import (
     enable_profiling,
     enable_tracing,
     profiling_enabled,
+    propagation_context,
     span,
     tracing_enabled,
 )
@@ -69,6 +83,7 @@ __all__ = [
     "Tracer",
     "Span",
     "SpanRecord",
+    "TraceContext",
     "span",
     "NOOP_SPAN",
     "enable_tracing",
@@ -78,6 +93,7 @@ __all__ = [
     "disable_profiling",
     "profiling_enabled",
     "current_tracer",
+    "propagation_context",
     # metrics
     "MetricsRegistry",
     "to_builtin",
@@ -102,4 +118,10 @@ __all__ = [
     "format_diff",
     "format_record",
     "format_span_tree",
+    # names + exposition
+    "names",
+    "MetricsHTTPServer",
+    "render_prometheus",
+    "render_json",
+    "telemetry_text",
 ]

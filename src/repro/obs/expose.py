@@ -1,0 +1,292 @@
+"""Live telemetry exposition: Prometheus text, JSON, and HTTP.
+
+The long-running components (the serving front-end and the net-executor
+driver) describe themselves with a *telemetry snapshot* — a plain dict
+of the shape::
+
+    {
+        "kind": "serve" | "netdriver",
+        "host": "127.0.0.1", "port": 7227,
+        "counters": {"serve.requests": 12, ...},      # dotted names
+        "workers": [{"name": ..., "inflight": ...}],  # netdriver only
+        ...
+    }
+
+This module renders such snapshots as Prometheus exposition-format 0.0.4
+text (:func:`render_prometheus` / :func:`telemetry_text`) or JSON
+(:func:`render_json`), and can serve them to real scrapers over a
+stdlib HTTP listener (:class:`MetricsHTTPServer`, the ``--metrics-port``
+flag).  ``HELP``/``TYPE`` metadata comes from the canonical family
+registry in :mod:`repro.obs.names`.
+
+Naming rules: dotted counter names become ``repro_``-prefixed
+underscore names (``serve.requests`` -> ``repro_serve_requests``);
+per-worker counters ``worker.<id>.<metric>`` become one family
+``repro_worker_<metric>`` with a ``worker="<id>"`` label; the
+netdriver's live per-worker state renders as ``repro_net_worker_*``
+gauges.  Non-numeric values (e.g. detector name lists) are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs import names as _names
+from repro.obs.metrics import to_builtin
+
+__all__ = [
+    "sanitize_metric_name",
+    "escape_label_value",
+    "render_prometheus",
+    "render_json",
+    "telemetry_text",
+    "MetricsHTTPServer",
+]
+
+#: Prometheus metric names must match this (colons are legal but
+#: reserved for recording rules, so we do not emit them).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Live per-worker state fields exposed as ``repro_net_worker_*``.
+_WORKER_FIELDS = (
+    "alive",
+    "inflight",
+    "straggler",
+    "tasks",
+    "task_seconds",
+    "ewma_ms",
+    "bytes_out",
+    "bytes_in",
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Force ``name`` into the Prometheus metric-name charset."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _numeric(value: Any) -> float | int | None:
+    """Numeric form of a sample value, or ``None`` to skip it."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    return None
+
+
+def _format_value(value: float | int) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.10g}"
+
+
+class _Family:
+    """One metric family being assembled: metadata plus samples."""
+
+    __slots__ = ("kind", "help", "samples")
+
+    def __init__(self, kind: str, help_text: str) -> None:
+        self.kind = kind
+        self.help = help_text
+        # (rendered label string, value) in insertion order
+        self.samples: list[tuple[str, float | int]] = []
+
+
+def render_prometheus(
+    counters: Mapping[str, Any],
+    *,
+    workers: Iterable[Mapping[str, Any]] = (),
+    prefix: str = "repro",
+) -> str:
+    """Render counters (+ optional live worker state) as 0.0.4 text.
+
+    Args:
+        counters: Dotted-name counter mapping (a registry snapshot or
+            the ``counters`` field of a telemetry snapshot).
+        workers: Optional per-worker state dicts (the ``workers`` field
+            of a netdriver snapshot); rendered as labeled gauges.
+        prefix: Metric-name prefix (default ``repro``).
+    """
+    families: dict[str, _Family] = {}
+
+    def add(
+        metric: str,
+        canonical: str,
+        labels: Mapping[str, str],
+        value: Any,
+        kind: str | None = None,
+    ) -> None:
+        numeric = _numeric(value)
+        if numeric is None:
+            return
+        fam_kind, fam_help = _names.family(canonical)
+        if fam_kind == "info":
+            return
+        family = families.get(metric)
+        if family is None:
+            family = _Family(kind or fam_kind, fam_help)
+            families[metric] = family
+        if labels:
+            rendered = (
+                "{"
+                + ",".join(
+                    f'{key}="{escape_label_value(val)}"'
+                    for key, val in labels.items()
+                )
+                + "}"
+            )
+        else:
+            rendered = ""
+        family.samples.append((rendered, numeric))
+
+    for name, value in counters.items():
+        parts = name.split(".")
+        if parts[0] == "worker" and len(parts) >= 3:
+            metric_tail = "_".join(parts[2:])
+            add(
+                f"{prefix}_worker_{sanitize_metric_name(metric_tail)}",
+                name,
+                {"worker": parts[1]},
+                value,
+            )
+        else:
+            add(
+                f"{prefix}_{sanitize_metric_name('_'.join(parts))}",
+                name,
+                {},
+                value,
+            )
+    for worker in workers:
+        worker_id = str(worker.get("name", "?"))
+        for field in _WORKER_FIELDS:
+            if field not in worker:
+                continue
+            add(
+                f"{prefix}_net_worker_{field}",
+                f"net_worker.{field}",
+                {"worker": worker_id},
+                worker[field],
+                kind="counter" if field in (
+                    "tasks", "task_seconds", "bytes_out", "bytes_in"
+                ) else "gauge",
+            )
+
+    lines: list[str] = []
+    for metric, family in families.items():
+        lines.append(f"# HELP {metric} {family.help}")
+        kind = family.kind if family.kind in ("counter", "gauge") else (
+            "gauge"
+        )
+        lines.append(f"# TYPE {metric} {kind}")
+        for rendered_labels, value in family.samples:
+            lines.append(
+                f"{metric}{rendered_labels} {_format_value(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def telemetry_text(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text for a full telemetry snapshot dict."""
+    return render_prometheus(
+        snapshot.get("counters", {}),
+        workers=snapshot.get("workers", ()),
+    )
+
+
+def render_json(snapshot: Mapping[str, Any]) -> str:
+    """Strict-JSON form of a telemetry snapshot (non-finite -> null)."""
+    return json.dumps(
+        to_builtin(dict(snapshot), finite=True),
+        sort_keys=True,
+        allow_nan=False,
+    )
+
+
+class MetricsHTTPServer:
+    """Minimal stdlib HTTP listener for real scrapers.
+
+    Serves ``GET /metrics`` (Prometheus text, content type
+    ``text/plain; version=0.0.4``) and ``GET /telemetry``
+    (``application/json``) from the telemetry snapshot returned by
+    ``telemetry_fn`` at request time.  Runs a daemonized
+    ``ThreadingHTTPServer`` — pass ``port=0`` to pick a free port and
+    read it back from :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        telemetry_fn: Callable[[], Mapping[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = telemetry_text(telemetry_fn()).encode()
+                        content_type = "text/plain; version=0.0.4"
+                    elif path in ("/telemetry", "/metrics.json"):
+                        body = render_json(telemetry_fn()).encode()
+                        content_type = "application/json"
+                    else:
+                        self.send_error(404, "unknown path")
+                        return
+                except Exception as exc:  # noqa: BLE001 - boundary
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # keep scraper traffic out of stderr
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop the listener (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"MetricsHTTPServer({self.host}:{self.port})"

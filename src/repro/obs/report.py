@@ -4,6 +4,14 @@
 (the CLI's ``--trace`` output); ``diff_records`` compares two records
 phase-by-phase and counter-by-counter, which is what
 ``benchmarks/check_regression.py`` enforces thresholds on.
+
+Distributed runs graft worker-side spans into the record (tagged with
+``host``/``worker_id``) and harvest per-worker ``worker.*`` counters.
+The tree rendering shows the provenance as an ``@worker (host)``
+suffix, and the default diff skips counters that vary run-to-run by
+construction — the ``worker.*`` namespace (worker names embed pids)
+and wall-clock-valued ``*_seconds`` counters — so a distributed run is
+not flagged as a regression of itself.
 """
 
 from __future__ import annotations
@@ -21,7 +29,23 @@ __all__ = [
     "format_diff",
     "RecordDiff",
     "DiffEntry",
+    "DEFAULT_DIFF_EXCLUDED_PREFIXES",
 ]
+
+#: Counter namespaces skipped by the default (counters=None) diff:
+#: per-worker harvests carry worker names that differ between runs.
+DEFAULT_DIFF_EXCLUDED_PREFIXES = ("worker.",)
+
+
+def _diff_excluded(name: str) -> bool:
+    """Whether a counter is nondeterministic by construction."""
+    if name.startswith(DEFAULT_DIFF_EXCLUDED_PREFIXES):
+        return True
+    if name.endswith("_seconds"):  # wall clock, not work
+        return True
+    # Straggler suspicion depends on scheduling jitter, never on the
+    # amount of work done.
+    return name.endswith(".straggler_suspected")
 
 
 def _fmt_bytes(n: int) -> str:
@@ -40,10 +64,20 @@ def format_span_tree(record: RunRecord) -> str:
         f"n_points={record.dataset.get('n_points', '?')}"
     ]
     for depth, span in iter_tree(record.span_records()):
+        attrs = dict(span.attrs)
+        worker_id = attrs.pop("worker_id", None)
+        host = attrs.pop("host", None)
+        provenance = ""
+        if worker_id is not None:
+            provenance = f" @{worker_id}"
+            if host:
+                provenance += f" ({host})"
+        elif host:  # pragma: no cover - host without worker id
+            provenance = f" @{host}"
         extras = []
-        if span.attrs:
+        if attrs:
             extras.append(
-                " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+                " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
             )
         if span.alloc_bytes is not None:
             extras.append(f"alloc={_fmt_bytes(span.alloc_bytes)}")
@@ -52,7 +86,7 @@ def format_span_tree(record: RunRecord) -> str:
         suffix = f"  [{' '.join(extras)}]" if extras else ""
         lines.append(
             f"{'  ' * (depth + 1)}{span.name}: "
-            f"{span.duration_s * 1000.0:.2f}ms{suffix}"
+            f"{span.duration_s * 1000.0:.2f}ms{provenance}{suffix}"
         )
     return "\n".join(lines)
 
@@ -143,7 +177,10 @@ def diff_records(
         candidate: The run under scrutiny.
         counters: Optional subset of counter names to compare (full
             dotted names); default: every counter present in either
-            record.
+            record except the nondeterministic-by-construction ones
+            (the ``worker.*`` namespace, ``*_seconds`` wall totals,
+            and straggler suspicions).  An explicit list is compared
+            verbatim, exclusions and all.
 
     Returns:
         A :class:`RecordDiff`; phases/counters missing on one side are
@@ -164,7 +201,13 @@ def diff_records(
         for name in phase_names
     ]
     if counters is None:
-        names = sorted(set(baseline.counters) | set(candidate.counters))
+        names = [
+            name
+            for name in sorted(
+                set(baseline.counters) | set(candidate.counters)
+            )
+            if not _diff_excluded(name)
+        ]
     else:
         names = list(counters)
     counter_entries = [

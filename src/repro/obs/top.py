@@ -1,0 +1,157 @@
+"""Terminal telemetry dashboard: the engine behind ``repro top``.
+
+Both long-running components — an :class:`~repro.serve.OutlierServer`
+and a :class:`~repro.sparklite.netexec.NetDriver` — answer a
+``{"op": "telemetry"}`` JSON-lines control message on their normal
+listening port.  :func:`fetch_telemetry` performs one such call over a
+plain blocking socket; :func:`render_dashboard` turns the snapshot
+(plus the previous one, for rates) into a fixed-width text panel with
+per-worker rows, straggler flags, and serve latency percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+from repro.net import encode_line, exception_from_payload
+
+__all__ = ["fetch_telemetry", "render_dashboard"]
+
+
+def fetch_telemetry(
+    host: str, port: int, timeout: float | None = 10.0
+) -> dict[str, Any]:
+    """One blocking ``telemetry`` call; returns the snapshot dict."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(encode_line({"op": "telemetry", "id": 1}))
+            reader = sock.makefile("rb")
+            try:
+                line = reader.readline()
+            finally:
+                reader.close()
+    except OSError as exc:
+        raise ReproError(
+            f"could not fetch telemetry from {host}:{port}: {exc}"
+        ) from exc
+    if not line:
+        raise ReproError(f"{host}:{port} closed the telemetry connection")
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed telemetry response: {exc}") from exc
+    if not response.get("ok"):
+        raise exception_from_payload(response, default=ReproError)
+    return dict(response.get("telemetry", {}))
+
+
+def _fmt_bytes(n: float) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _rate(
+    counters: Mapping[str, Any],
+    previous: Mapping[str, Any] | None,
+    name: str,
+    interval: float | None,
+) -> float | None:
+    """Per-second rate of counter ``name`` between two snapshots."""
+    if previous is None or not interval or interval <= 0:
+        return None
+    now = counters.get(name)
+    before = previous.get(name)
+    if not isinstance(now, (int, float)) or not isinstance(
+        before, (int, float)
+    ):
+        return None
+    return max(0.0, (float(now) - float(before)) / interval)
+
+
+def render_dashboard(
+    snapshot: Mapping[str, Any],
+    previous: Mapping[str, Any] | None = None,
+    interval: float | None = None,
+) -> str:
+    """Render one telemetry snapshot as a terminal panel.
+
+    Args:
+        snapshot: The current telemetry dict.
+        previous: The previous snapshot (for request/task rates);
+            ``None`` on the first refresh.
+        interval: Seconds between the two snapshots.
+    """
+    kind = snapshot.get("kind", "?")
+    counters: Mapping[str, Any] = snapshot.get("counters", {})
+    if previous is not None:
+        previous = previous.get("counters", {})
+    lines = [
+        f"repro top — {kind} @ "
+        f"{snapshot.get('host', '?')}:{snapshot.get('port', '?')}"
+    ]
+    if kind == "serve":
+        detectors = snapshot.get("detectors", [])
+        lines.append(
+            f"detectors: {', '.join(detectors) if detectors else 'none'}"
+        )
+        qps = _rate(counters, previous, "serve.requests", interval)
+        row = (
+            f"requests: {counters.get('serve.requests', 0)}"
+            f"  batches: {counters.get('serve.batches', 0)}"
+            f"  queue: {counters.get('serve.queue_depth', 0)}"
+            f"  rejected: {counters.get('serve.rejected_overload', 0)}"
+        )
+        if qps is not None:
+            row += f"  qps: {qps:.1f}"
+        lines.append(row)
+        lines.append(
+            "latency ms  "
+            f"p50: {counters.get('serve.latency_p50_ms', 0.0):.2f}"
+            f"  p90: {counters.get('serve.latency_p90_ms', 0.0):.2f}"
+            f"  p99: {counters.get('serve.latency_p99_ms', 0.0):.2f}"
+        )
+    else:
+        tasks_ps = _rate(
+            counters, previous, "sparklite.net.tasks", interval
+        )
+        row = (
+            f"workers: {snapshot.get('n_workers', 0)}"
+            f"  tasks: {counters.get('sparklite.net.tasks', 0)}"
+            f"  out: "
+            f"{_fmt_bytes(counters.get('sparklite.net.bytes_out', 0))}"
+            f"  in: "
+            f"{_fmt_bytes(counters.get('sparklite.net.bytes_in', 0))}"
+            "  stragglers: "
+            f"{counters.get('sparklite.net.straggler_suspected', 0)}"
+        )
+        if tasks_ps is not None:
+            row += f"  tasks/s: {tasks_ps:.1f}"
+        lines.append(row)
+        workers = snapshot.get("workers", [])
+        if workers:
+            lines.append(
+                f"{'worker':<16} {'state':<6} {'inflight':>8} "
+                f"{'tasks':>7} {'ewma_ms':>8} {'out':>10} {'in':>10}"
+            )
+            for worker in workers:
+                state = "alive" if worker.get("alive") else "lost"
+                if worker.get("straggler"):
+                    state = "SLOW"
+                ewma = worker.get("ewma_ms")
+                lines.append(
+                    f"{str(worker.get('name', '?')):<16} "
+                    f"{state:<6} "
+                    f"{worker.get('inflight', 0):>8} "
+                    f"{worker.get('tasks', 0):>7} "
+                    f"{ewma if ewma is not None else '-':>8} "
+                    f"{_fmt_bytes(worker.get('bytes_out', 0)):>10} "
+                    f"{_fmt_bytes(worker.get('bytes_in', 0)):>10}"
+                )
+    return "\n".join(lines)

@@ -28,13 +28,15 @@ import itertools
 import os
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = [
     "SpanRecord",
     "Span",
     "Tracer",
+    "TraceContext",
     "span",
     "enable_tracing",
     "disable_tracing",
@@ -43,6 +45,7 @@ __all__ = [
     "disable_profiling",
     "profiling_enabled",
     "current_tracer",
+    "propagation_context",
 ]
 
 #: Process-wide switch for the fine-grained (module-level) spans.
@@ -103,6 +106,61 @@ def current_tracer() -> "Tracer | None":
     """The innermost active tracer, or ``None`` outside any run."""
     with _STATE_LOCK:
         return _ACTIVE_TRACERS[-1] if _ACTIVE_TRACERS else None
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Wire-able coordinates of an open span in some tracer.
+
+    Shipped inside task/control frames so a remote process can run its
+    work under a fresh :class:`Tracer` and the originating driver can
+    graft the resulting spans back under the right parent (see
+    :meth:`Tracer.graft`).
+
+    Attributes:
+        trace_id: The originating tracer's run id.
+        parent_id: Span id the remote spans should hang under
+            (``None`` = top level).
+        depth: Nesting depth of the graft point (remote depths are
+            offset by this).
+    """
+
+    trace_id: str
+    parent_id: int | None = None
+    depth: int = 0
+
+    def to_wire(self) -> dict[str, Any]:
+        """Compact JSON-safe form carried in protocol messages."""
+        return {
+            "run": self.trace_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "TraceContext":
+        """Inverse of :meth:`to_wire` (tolerates missing optionals)."""
+        return cls(
+            trace_id=str(payload.get("run", "")),
+            parent_id=payload.get("parent"),
+            depth=int(payload.get("depth", 0)),
+        )
+
+
+def propagation_context() -> "TraceContext | None":
+    """Trace context to attach to outgoing cross-process work.
+
+    Returns ``None`` unless fine-grained tracing is enabled *and* a
+    tracer is active on this thread — the same gate as :func:`span` —
+    so protocols that attach the result to their messages add zero
+    bytes when telemetry is off.
+    """
+    if not _TRACING:
+        return None
+    tracer = current_tracer()
+    if tracer is None:
+        return None
+    return tracer.propagation_context()
 
 
 @dataclass
@@ -270,6 +328,7 @@ class Tracer:
         self.profile_memory = (
             _PROFILING if profile_memory is None else bool(profile_memory)
         )
+        self.trace_id = uuid.uuid4().hex[:16]
         self.epoch = time.perf_counter()
         self._spans: list[SpanRecord] = []
         self._lock = threading.Lock()
@@ -320,6 +379,74 @@ class Tracer:
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open a (nestable) span; use as a context manager."""
         return _SpanContext(self, name, attrs)
+
+    # -- cross-process propagation -------------------------------------
+
+    def propagation_context(self) -> TraceContext:
+        """Coordinates of this thread's innermost open span.
+
+        The returned :class:`TraceContext` names the graft point for
+        remote spans: the top of the calling thread's open-span stack
+        (or the top level when no span is open).
+        """
+        stack = self._stack()
+        top = stack[-1] if stack else None
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_id=top.span_id if top is not None else None,
+            depth=len(stack),
+        )
+
+    def graft(
+        self,
+        spans: Iterable[SpanRecord],
+        *,
+        parent_id: int | None = None,
+        base_depth: int = 0,
+        start_offset_s: float = 0.0,
+        tags: Mapping[str, Any] | None = None,
+    ) -> list[SpanRecord]:
+        """Adopt spans recorded by another tracer (usually remotely).
+
+        Every span is re-identified against this tracer's id space;
+        remote parent links are remapped, and remote *roots* (parent
+        ids that do not resolve within the batch) hang under
+        ``parent_id``.  Depths shift by ``base_depth``, start offsets
+        by ``start_offset_s`` (the dispatch time relative to this
+        tracer's epoch — remote tracers start their clock at task
+        start), and ``tags`` (e.g. ``host``/``worker_id`` provenance)
+        are merged into every span's attrs.
+
+        Returns the grafted (re-identified) records.
+        """
+        tags = dict(tags or {})
+        batch = list(spans)
+        grafted: list[SpanRecord] = []
+        with self._lock:
+            id_map = {
+                remote.span_id: next(self._ids) for remote in batch
+            }
+            for remote in batch:
+                record = SpanRecord(
+                    name=remote.name,
+                    span_id=id_map[remote.span_id],
+                    parent_id=(
+                        id_map.get(remote.parent_id, parent_id)
+                        if remote.parent_id is not None
+                        else parent_id
+                    ),
+                    depth=base_depth + remote.depth,
+                    start_s=start_offset_s + remote.start_s,
+                    duration_s=remote.duration_s,
+                    thread=remote.thread,
+                    pid=remote.pid,
+                    attrs={**remote.attrs, **tags},
+                    error=remote.error,
+                    alloc_bytes=remote.alloc_bytes,
+                )
+                grafted.append(record)
+                self._spans.append(record)
+        return grafted
 
     # -- results -------------------------------------------------------
 

@@ -122,6 +122,18 @@ class OutlierClient:
         """The remote service's ``serve.*`` stats snapshot."""
         return dict(self.call({"op": "stats"})["stats"])
 
+    def telemetry(self) -> dict[str, Any]:
+        """The remote exposition snapshot (``repro top``'s data).
+
+        The returned dict has numeric ``counters``, the ``detectors``
+        list, and — under ``"text"`` — the server's ready-rendered
+        Prometheus exposition.
+        """
+        response = self.call({"op": "telemetry"})
+        snapshot = dict(response["telemetry"])
+        snapshot["text"] = response.get("text", "")
+        return snapshot
+
     def ping(self) -> bool:
         """Liveness check; ``True`` when the server answers."""
         return bool(self.call({"op": "ping"})["ok"])

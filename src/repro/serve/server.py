@@ -7,8 +7,15 @@ The wire protocol is one JSON object per line, both ways.  Requests:
   micro-batching deadline; optional ``"id"`` is echoed back.
 * ``{"op": "stats"}`` — the service's ``serve.*`` counter snapshot with
   latency quantiles.
+* ``{"op": "telemetry"}`` — exposition snapshot: numeric counters plus
+  a ready-rendered Prometheus ``text`` field (what ``repro top``
+  consumes).
 * ``{"op": "list"}`` — registered detector names.
 * ``{"op": "ping"}`` — liveness check.
+
+With ``metrics_port`` set, the same telemetry is additionally served
+over HTTP (``GET /metrics`` Prometheus text, ``GET /telemetry`` JSON)
+by a stdlib listener, so an actual Prometheus can scrape it.
 
 Responses carry ``"ok": true`` plus the payload, or ``"ok": false``
 with ``"error"`` and ``"error_type"`` (the exception class name, which
@@ -31,6 +38,7 @@ import numpy as np
 
 from repro.exceptions import ServeError
 from repro.net import MAX_LINE_BYTES, encode_line, error_payload, ok_payload
+from repro.obs.expose import MetricsHTTPServer, telemetry_text
 from repro.serve.service import OutlierService
 
 __all__ = ["OutlierServer", "run_server", "MAX_LINE_BYTES"]
@@ -44,6 +52,9 @@ class OutlierServer:
         host: Interface to bind.
         port: Port to bind; ``0`` picks a free one (see :attr:`port`
             after :meth:`start`).
+        metrics_port: When set, also serve ``GET /metrics`` /
+            ``GET /telemetry`` over HTTP on this port (``0`` picks a
+            free one — read it back from ``server.metrics_http.port``).
     """
 
     def __init__(
@@ -51,11 +62,21 @@ class OutlierServer:
         service: OutlierService,
         host: str = "127.0.0.1",
         port: int = 0,
+        metrics_port: int | None = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self._metrics_port = metrics_port
+        self.metrics_http: MetricsHTTPServer | None = None
         self._server: asyncio.base_events.Server | None = None
+
+    def _telemetry(self) -> dict[str, Any]:
+        """The service snapshot stamped with this server's address."""
+        snapshot = self.service.telemetry()
+        snapshot["host"] = self.host
+        snapshot["port"] = self.port
+        return snapshot
 
     async def start(self) -> "OutlierServer":
         """Bind and start accepting connections; resolves :attr:`port`."""
@@ -66,6 +87,10 @@ class OutlierServer:
             limit=MAX_LINE_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._metrics_port is not None and self.metrics_http is None:
+            self.metrics_http = MetricsHTTPServer(
+                self._telemetry, host=self.host, port=self._metrics_port
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -77,6 +102,9 @@ class OutlierServer:
 
     async def aclose(self) -> None:
         """Stop accepting connections and close the listener."""
+        if self.metrics_http is not None:
+            self.metrics_http.close()
+            self.metrics_http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -142,6 +170,13 @@ class OutlierServer:
                 )
             if op == "stats":
                 return ok_payload(request_id, stats=self.service.stats())
+            if op == "telemetry":
+                snapshot = self._telemetry()
+                return ok_payload(
+                    request_id,
+                    telemetry=snapshot,
+                    text=telemetry_text(snapshot),
+                )
             if op == "query":
                 return await self._handle_query(request, request_id)
             raise ServeError(f"unknown op {op!r}")
@@ -174,14 +209,22 @@ class OutlierServer:
 
 
 def run_server(
-    service: OutlierService, host: str = "127.0.0.1", port: int = 7227
+    service: OutlierService,
+    host: str = "127.0.0.1",
+    port: int = 7227,
+    metrics_port: int | None = None,
 ) -> None:
     """Blocking convenience runner used by ``repro serve``."""
 
     async def _run() -> None:
-        server = await OutlierServer(service, host, port).start()
+        server = await OutlierServer(
+            service, host, port, metrics_port=metrics_port
+        ).start()
         print(f"serving {len(service.detectors())} detector(s) "
               f"on {host}:{server.port}")
+        if server.metrics_http is not None:
+            print(f"metrics on http://{host}:{server.metrics_http.port}"
+                  "/metrics")
         await server.serve_forever()
 
     try:

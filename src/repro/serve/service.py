@@ -318,6 +318,26 @@ class OutlierService:
             )
         return snapshot
 
+    def telemetry(self) -> dict[str, Any]:
+        """Exposition-ready snapshot for the ``telemetry`` protocol op.
+
+        Splits :meth:`stats` into numeric ``counters`` (what
+        :func:`repro.obs.expose.render_prometheus` can render) and the
+        non-numeric ``detectors`` list.
+        """
+        stats = self.stats()
+        counters = {
+            name: value
+            for name, value in stats.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+        return {
+            "kind": "serve",
+            "counters": counters,
+            "detectors": list(stats.get("serve.models", [])),
+        }
+
     # -- lifecycle -----------------------------------------------------
 
     def close(self, timeout: float | None = 5.0) -> None:

@@ -44,6 +44,14 @@ class Context:
         task_timeout: Seconds the ``"net"`` driver waits for one task
             round-trip before declaring the worker hung and re-running
             the task elsewhere (``None`` waits forever).
+        straggler_threshold: A ``"net"`` worker whose task-duration
+            EWMA exceeds this multiple of the cluster median is flagged
+            as a suspected straggler (deprioritized for new tasks and
+            counted in ``net.straggler_suspected``).
+        metrics_port: When set, the ``"net"`` driver also serves
+            ``GET /metrics`` (Prometheus text) and ``GET /telemetry``
+            (JSON) on this HTTP port (``0`` picks a free port — read
+            it back from ``context.net.metrics_http.port``).
     """
 
     def __init__(
@@ -57,6 +65,8 @@ class Context:
         host: str = "127.0.0.1",
         port: int = 0,
         task_timeout: float | None = None,
+        straggler_threshold: float = 3.0,
+        metrics_port: int | None = None,
     ) -> None:
         if default_parallelism < 1:
             raise SparkLiteError(
@@ -96,6 +106,8 @@ class Context:
                 host=host,
                 port=port,
                 task_timeout=task_timeout,
+                straggler_threshold=straggler_threshold,
+                metrics_port=metrics_port,
             )
 
     # ------------------------------------------------------------------

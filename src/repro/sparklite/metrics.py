@@ -51,6 +51,11 @@ class EngineMetrics:
     net_worker_failures: int = 0
     net_lineage_reruns: int = 0
     net_task_seconds: float = 0.0
+    net_stragglers: int = 0
+    #: Free-form dotted counters (the telemetry harvest's
+    #: ``worker.<id>.*`` / ``worker.*`` totals land here); they flow
+    #: through :meth:`snapshot` / :meth:`delta` like the fixed fields.
+    extra: dict[str, int | float] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -101,6 +106,15 @@ class EngineMetrics:
         with self._lock:
             self.net_lineage_reruns += int(n_tasks)
 
+    def record_net_straggler(self) -> None:
+        with self._lock:
+            self.net_stragglers += 1
+
+    def record_extra(self, name: str, delta: int | float) -> None:
+        """Accumulate a free-form dotted counter (e.g. ``worker.*``)."""
+        with self._lock:
+            self.extra[name] = self.extra.get(name, 0) + delta
+
     def snapshot(self) -> dict[str, int | float]:
         """Return a plain-dict copy of all counters.
 
@@ -135,8 +149,10 @@ class EngineMetrics:
                         "net.task_seconds": round(
                             self.net_task_seconds, 6
                         ),
+                        "net.straggler_suspected": self.net_stragglers,
                     }
                 )
+            out.update(self.extra)
             return out
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:
@@ -167,3 +183,20 @@ class EngineMetrics:
             self.net_worker_failures = 0
             self.net_lineage_reruns = 0
             self.net_task_seconds = 0.0
+            self.net_stragglers = 0
+            self.extra.clear()
+
+    @staticmethod
+    def qualify(counters: dict[str, int | float]) -> dict[str, int | float]:
+        """Run-record-qualified names for a snapshot or delta.
+
+        Bare substrate counters and dotted ``net.*`` counters get the
+        ``sparklite.`` prefix (``tasks_executed`` ->
+        ``sparklite.tasks_executed``, ``net.bytes_out`` ->
+        ``sparklite.net.bytes_out``); harvested ``worker.*`` telemetry
+        counters keep their own top-level namespace.
+        """
+        return {
+            key if key.startswith("worker.") else f"sparklite.{key}": value
+            for key, value in counters.items()
+        }

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 import asyncio
 import os
+import socket
+import statistics
 import subprocess
 import sys
 import threading
@@ -66,7 +68,13 @@ from repro.net import (
     unpack_closure,
     unpack_payload,
 )
+from repro.obs import SpanRecord, TraceContext, Tracer
+from repro.obs import propagation_context as obs_propagation_context
+from repro.obs import span as obs_span
+from repro.obs.expose import MetricsHTTPServer, telemetry_text
+from repro.obs.trace import current_tracer
 from repro.sparklite.broadcast import Broadcast
+from repro.sparklite.metrics import EngineMetrics
 from repro.sparklite.rdd import (
     RDD,
     _MapPartitionsRDD,
@@ -88,6 +96,19 @@ MAX_WORKER_RERUNS = 3
 #: needs one and none is alive.
 REREGISTER_GRACE = 10.0
 
+#: Smoothing factor of the per-worker task-duration EWMA the straggler
+#: detector runs on (higher = reacts faster, forgets sooner).
+STRAGGLER_EWMA_ALPHA = 0.3
+
+#: Completed tasks a worker needs before its EWMA is trusted enough to
+#: enter the straggler comparison.
+STRAGGLER_MIN_TASKS = 3
+
+#: Floor (seconds) on the peer-median a worker is judged against.
+#: Sub-millisecond loopback tasks show 3x-10x relative jitter as a
+#: matter of course; below this scale nothing is a straggler.
+STRAGGLER_MIN_MEDIAN_S = 0.005
+
 
 class _WorkerLost(Exception):
     """Internal: the worker holding a task died or timed out."""
@@ -107,6 +128,33 @@ class _WorkerConn:
         #: task key -> future resolved by the connection's reader loop.
         self.futures: dict[int, asyncio.Future] = {}
         self.send_lock = asyncio.Lock()
+        # -- telemetry (driver-side view, maintained on the loop) ------
+        self.tasks_done = 0
+        self.task_seconds = 0.0
+        #: EWMA of task round-trip seconds (None until the first task).
+        self.ewma_s: float | None = None
+        #: Currently suspected straggler (EWMA >> cluster median).
+        self.straggler = False
+        self.bytes_to = 0
+        self.bytes_from = 0
+
+    def telemetry(self) -> dict[str, Any]:
+        """JSON-safe live state row for the telemetry snapshot."""
+        return {
+            "name": self.name,
+            "alive": self.alive,
+            "inflight": len(self.futures),
+            "tasks": self.tasks_done,
+            "task_seconds": round(self.task_seconds, 6),
+            "ewma_ms": (
+                round(self.ewma_s * 1e3, 3)
+                if self.ewma_s is not None
+                else None
+            ),
+            "straggler": self.straggler,
+            "bytes_out": self.bytes_to,
+            "bytes_in": self.bytes_from,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "lost"
@@ -131,6 +179,8 @@ class NetDriver:
         host: str = "127.0.0.1",
         port: int = 0,
         task_timeout: float | None = None,
+        straggler_threshold: float = 3.0,
+        metrics_port: int | None = None,
     ) -> None:
         if not HAVE_CLOUDPICKLE:
             raise SparkLiteError(
@@ -141,6 +191,9 @@ class NetDriver:
         self.host = host
         self.port = port
         self.task_timeout = task_timeout
+        #: A worker whose task-duration EWMA exceeds this multiple of
+        #: the cluster median is suspected as a straggler.
+        self.straggler_threshold = straggler_threshold
         self._closed = False
         self._workers: dict[int, _WorkerConn] = {}
         self._next_conn_id = 0
@@ -157,6 +210,11 @@ class NetDriver:
         )
         self._thread.start()
         self._call(self._start_server(), timeout=30.0)
+        self.metrics_http: MetricsHTTPServer | None = None
+        if metrics_port is not None:
+            self.metrics_http = MetricsHTTPServer(
+                self.telemetry_snapshot, host=self.host, port=metrics_port
+            )
 
     # ------------------------------------------------------------------
     # Thread <-> loop bridge
@@ -221,7 +279,13 @@ class NetDriver:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Accept a worker: expect one ``register`` message, then serve."""
+        """Accept a connection: a worker ``register`` or a monitor.
+
+        Worker connections are metered in the ``net.*`` counters; a
+        monitor connection (first op ``telemetry``) is *not* — its
+        traffic is observation, not work, and metering it would make
+        the act of scraping perturb the byte counters it reports.
+        """
         worker: _WorkerConn | None = None
         conn_id = self._next_conn_id
         self._next_conn_id += 1
@@ -230,7 +294,9 @@ class NetDriver:
             if message is None:
                 return
             payload, _frames, n_bytes = message
-            self.context.metrics.record_net_received(n_bytes)
+            if payload.get("op") == "telemetry":
+                await self._monitor_loop(reader, writer, payload)
+                return
             if payload.get("op") != "register":
                 await send_message(
                     writer,
@@ -244,6 +310,7 @@ class NetDriver:
                     ),
                 )
                 return
+            self.context.metrics.record_net_received(n_bytes)
             worker = _WorkerConn(
                 str(payload.get("name") or f"worker-{conn_id}"), writer
             )
@@ -260,6 +327,7 @@ class NetDriver:
                 )
                 self.context.metrics.record_net_broadcast(len(frame))
             self.context.metrics.record_net_sent(sent)
+            worker.bytes_to += sent
             event = self._worker_event
             assert event is not None
             event.set()
@@ -275,6 +343,39 @@ class NetDriver:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    async def _monitor_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: dict[str, Any],
+    ) -> None:
+        """Serve telemetry snapshots to one monitor until it hangs up."""
+        payload: dict[str, Any] | None = first
+        while payload is not None:
+            if payload.get("op") != "telemetry":
+                await send_message(
+                    writer,
+                    error_payload(
+                        payload.get("id"),
+                        SparkLiteError(
+                            f"unknown monitor op {payload.get('op')!r}"
+                        ),
+                        default_type="SparkLiteError",
+                    ),
+                )
+                return
+            snapshot = self._telemetry_now()
+            await send_message(
+                writer,
+                ok_payload(
+                    payload.get("id"),
+                    telemetry=snapshot,
+                    text=telemetry_text(snapshot),
+                ),
+            )
+            message = await read_message(reader)
+            payload = message[0] if message is not None else None
+
     async def _reader_loop(
         self, worker: _WorkerConn, reader: asyncio.StreamReader
     ) -> None:
@@ -285,6 +386,7 @@ class NetDriver:
                 return
             payload, frames, n_bytes = message
             self.context.metrics.record_net_received(n_bytes)
+            worker.bytes_from += n_bytes
             key = payload.get("task")
             future = worker.futures.pop(key, None) if key is not None else None
             if future is None or future.done():
@@ -349,6 +451,7 @@ class NetDriver:
                 continue  # reader loop will mark the worker lost
             self.context.metrics.record_net_sent(sent)
             self.context.metrics.record_net_broadcast(len(frame))
+            worker.bytes_to += sent
 
     # ------------------------------------------------------------------
     # Job execution
@@ -369,7 +472,13 @@ class NetDriver:
             (index, *self._flatten(rdd, index))
             for index in range(rdd.num_partitions)
         ]
-        results = self._call(self._run_job(rdd, tasks))
+        # Trace context is captured here, on the calling thread — the
+        # asyncio loop thread has no span stack of its own.  When
+        # tracing is off this is None and tasks carry no trace field
+        # (the PR-2 invariant: telemetry off = zero added frame bytes).
+        trace_ctx = obs_propagation_context()
+        tracer = current_tracer() if trace_ctx is not None else None
+        results = self._call(self._run_job(rdd, tasks, tracer, trace_ctx))
         if rdd._cache_enabled:
             with rdd._cache_lock:
                 if rdd._cached is None:
@@ -435,10 +544,12 @@ class NetDriver:
         self,
         rdd: RDD,
         tasks: list[tuple[int, list[tuple[Callable, int]], list]],
+        tracer: Tracer | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> list[list]:
         results = await asyncio.gather(
             *(
-                self._run_task(rdd, index, funcs, leaf)
+                self._run_task(rdd, index, funcs, leaf, tracer, trace_ctx)
                 for index, funcs, leaf in tasks
             )
         )
@@ -450,6 +561,8 @@ class NetDriver:
         index: int,
         funcs: list[tuple[Callable, int]],
         leaf: list,
+        tracer: Tracer | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> list:
         """Run one task with retry (TaskFailure) and re-run (lost worker)."""
         closure_blob = pack_closure(funcs)
@@ -464,7 +577,12 @@ class NetDriver:
                 if injector is not None:
                     injector(rdd, index, attempts)
                 return await self._dispatch(
-                    worker, closure_blob, payload_encoding, payload_frame
+                    worker,
+                    closure_blob,
+                    payload_encoding,
+                    payload_frame,
+                    tracer,
+                    trace_ctx,
                 )
             except TaskFailure:
                 attempts += 1
@@ -482,12 +600,16 @@ class NetDriver:
                     ) from None
 
     async def _acquire_worker(self) -> _WorkerConn:
-        """The least-loaded live worker; waits briefly when none exist."""
+        """The least-loaded live worker; waits briefly when none exist.
+
+        Suspected stragglers sort after everyone else, so they only
+        receive work when every healthy worker is at least as loaded.
+        """
         deadline = time.monotonic() + REREGISTER_GRACE
         while True:
             alive = [w for w in self._workers.values() if w.alive]
             if alive:
-                return min(alive, key=lambda w: len(w.futures))
+                return min(alive, key=lambda w: (w.straggler, len(w.futures)))
             if self._closed:
                 raise SparkLiteError("the net driver is closed")
             remaining = deadline - time.monotonic()
@@ -526,21 +648,39 @@ class NetDriver:
         closure_blob: bytes,
         payload_encoding: str,
         payload_frame: bytes,
+        tracer: Tracer | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> list:
-        """Ship one task to ``worker`` and await its result frames."""
+        """Ship one task to ``worker`` and await its result frames.
+
+        With an active trace context the task message carries a
+        ``trace`` field; the worker then runs the task under its own
+        tracer and ships spans + counter deltas back inside the result
+        payload, which :meth:`_harvest` grafts into the driver's span
+        tree and merges into the context metrics.
+        """
         key = self._next_task_key
         self._next_task_key += 1
         future: asyncio.Future = self._loop.create_future()
         worker.futures[key] = future
+        message: dict[str, Any] = {
+            "op": "task",
+            "task": key,
+            "enc": payload_encoding,
+        }
+        if trace_ctx is not None:
+            message["trace"] = trace_ctx.to_wire()
         started = time.monotonic()
+        started_perf = time.perf_counter()
         try:
             async with worker.send_lock:
                 sent = await send_message(
                     worker.writer,
-                    {"op": "task", "task": key, "enc": payload_encoding},
+                    message,
                     frames=[closure_blob, payload_frame],
                 )
             self.context.metrics.record_net_sent(sent)
+            worker.bytes_to += sent
         except (ConnectionResetError, BrokenPipeError, OSError) as exc:
             worker.futures.pop(key, None)
             self._declare_dead(
@@ -561,12 +701,137 @@ class NetDriver:
                 f"worker {worker.name!r} exceeded the "
                 f"{self.task_timeout:.1f}s task timeout"
             ) from None
-        self.context.metrics.record_net_task(time.monotonic() - started)
+        elapsed = time.monotonic() - started
+        self.context.metrics.record_net_task(elapsed)
+        self._note_task_time(worker, elapsed)
+        if tracer is not None and trace_ctx is not None:
+            telemetry = payload.get("telemetry")
+            if telemetry:
+                self._harvest(
+                    worker, tracer, trace_ctx, started_perf, telemetry
+                )
         if not frames:
             raise SparkLiteError(
                 f"worker {worker.name!r} returned no result frame"
             )
         return list(unpack_payload(payload.get("enc", "pickle"), frames[0]))
+
+    def _harvest(
+        self,
+        worker: _WorkerConn,
+        tracer: Tracer,
+        trace_ctx: TraceContext,
+        started_perf: float,
+        telemetry: dict[str, Any],
+    ) -> None:
+        """Graft one task's remote spans and merge its counter deltas.
+
+        Remote span clocks start at the worker tracer's epoch (task
+        start), so offsetting them by the dispatch time on the driver's
+        ``perf_counter`` timeline places them where the task actually
+        ran.  Counters land twice: per-worker under
+        ``worker.<id>.<name>`` and pre-aggregated under
+        ``worker.<name>``.
+        """
+        host = telemetry.get("host")
+        spans = [
+            SpanRecord.from_dict(item)
+            for item in telemetry.get("spans", ())
+        ]
+        if spans:
+            tracer.graft(
+                spans,
+                parent_id=trace_ctx.parent_id,
+                base_depth=trace_ctx.depth,
+                start_offset_s=started_perf - tracer.epoch,
+                tags={"worker_id": worker.name, "host": host},
+            )
+        for name, value in (telemetry.get("counters") or {}).items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            self.context.metrics.record_extra(
+                f"worker.{worker.name}.{name}", value
+            )
+            self.context.metrics.record_extra(f"worker.{name}", value)
+
+    def _note_task_time(self, worker: _WorkerConn, elapsed: float) -> None:
+        """Fold one task round-trip into the worker's EWMA and re-check
+        the cluster for stragglers."""
+        worker.tasks_done += 1
+        worker.task_seconds += elapsed
+        if worker.ewma_s is None:
+            worker.ewma_s = elapsed
+        else:
+            worker.ewma_s += STRAGGLER_EWMA_ALPHA * (elapsed - worker.ewma_s)
+        self._update_stragglers()
+
+    def _update_stragglers(self) -> None:
+        """Flag workers whose EWMA exceeds ``threshold``x the median.
+
+        Each worker is judged against the median EWMA of the *other*
+        candidate workers: an inclusive median is dragged up by the
+        straggler itself, which on a two-worker cluster caps the ratio
+        near 2x and makes a 3x threshold unreachable.  Needs at least
+        two candidate workers with :data:`STRAGGLER_MIN_TASKS`
+        completed tasks each.  Flagging emits a
+        ``net.straggler_suspected`` counter tick and a zero-length
+        span event; recovery silently unflags.
+        """
+        candidates = [
+            w
+            for w in self._workers.values()
+            if w.alive
+            and w.ewma_s is not None
+            and w.tasks_done >= STRAGGLER_MIN_TASKS
+        ]
+        if len(candidates) < 2:
+            return
+        for w in candidates:
+            median = statistics.median(
+                o.ewma_s for o in candidates if o is not w
+            )
+            if median < STRAGGLER_MIN_MEDIAN_S:
+                continue
+            slow = w.ewma_s > self.straggler_threshold * median
+            if slow and not w.straggler:
+                self.context.metrics.record_net_straggler()
+                with obs_span(
+                    "net.straggler_suspected",
+                    worker_id=w.name,
+                    ewma_ms=round(w.ewma_s * 1e3, 3),
+                    median_ms=round(median * 1e3, 3),
+                ):
+                    pass
+            w.straggler = slow
+
+    # ------------------------------------------------------------------
+    # Telemetry exposition
+    # ------------------------------------------------------------------
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """Live cluster state + counters, JSON-safe (thread-safe)."""
+        return self._call(self._telemetry_async(), timeout=10.0)
+
+    async def _telemetry_async(self) -> dict[str, Any]:
+        return self._telemetry_now()
+
+    def _telemetry_now(self) -> dict[str, Any]:
+        """Build the snapshot on the loop thread (no await points)."""
+        workers = [
+            w.telemetry()
+            for _, w in sorted(self._workers.items())
+        ]
+        return {
+            "kind": "netdriver",
+            "host": self.host,
+            "port": self.port,
+            "n_workers": sum(1 for w in workers if w["alive"]),
+            "straggler_threshold": self.straggler_threshold,
+            "counters": EngineMetrics.qualify(
+                self.context.metrics.snapshot()
+            ),
+            "workers": workers,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -577,6 +842,12 @@ class NetDriver:
         if self._closed:
             return
         self._closed = True
+        if self.metrics_http is not None:
+            try:
+                self.metrics_http.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self.metrics_http = None
         try:
             self._call(self._shutdown(), timeout=10.0)
         except Exception:  # pragma: no cover - best-effort teardown
@@ -702,14 +973,68 @@ async def _run_worker_task(
     payload: dict[str, Any],
     frames: list[bytes],
 ) -> None:
+    """Execute one task; with a ``trace`` field, also record telemetry.
+
+    A traced task runs under a fresh worker-local
+    :class:`~repro.obs.Tracer` whose epoch is the task start, so every
+    span's ``start_s`` is an offset the driver can rebase onto its own
+    timeline.  Spans + counter deltas travel back as plain JSON fields
+    of the (already-sent) response payload — no extra frames, and
+    nothing at all when tracing is off.
+    """
     key = payload.get("task")
+    traced = payload.get("trace") is not None
+    tracer = Tracer() if traced else None
     try:
-        funcs = unpack_closure(frames[0])
-        data = list(unpack_payload(payload.get("enc", "pickle"), frames[1]))
-        for func, partition_index in funcs:
-            data = list(func(partition_index, iter(data)))
-        encoding, result_frame = pack_payload(data)
-        response = ok_payload(None, task=key, enc=encoding)
+        if tracer is not None:
+            with tracer.activate():
+                with tracer.span(
+                    "worker.task", trace=payload["trace"].get("run")
+                ):
+                    with tracer.span("worker.decode"):
+                        funcs = unpack_closure(frames[0])
+                        data = list(
+                            unpack_payload(
+                                payload.get("enc", "pickle"), frames[1]
+                            )
+                        )
+                    records_in = len(data)
+                    with tracer.span("worker.execute"):
+                        for func, partition_index in funcs:
+                            data = list(func(partition_index, iter(data)))
+                    with tracer.span("worker.encode"):
+                        encoding, result_frame = pack_payload(data)
+            telemetry = {
+                "host": socket.gethostname(),
+                "spans": [s.to_dict() for s in tracer.spans()],
+                "counters": {
+                    "tasks": 1,
+                    "records_in": records_in,
+                    "records_out": len(data),
+                    "bytes_in": sum(len(f) for f in frames),
+                    "bytes_out": len(result_frame),
+                    "task_seconds": round(
+                        sum(
+                            s.duration_s
+                            for s in tracer.spans()
+                            if s.name == "worker.task"
+                        ),
+                        6,
+                    ),
+                },
+            }
+            response = ok_payload(
+                None, task=key, enc=encoding, telemetry=telemetry
+            )
+        else:
+            funcs = unpack_closure(frames[0])
+            data = list(
+                unpack_payload(payload.get("enc", "pickle"), frames[1])
+            )
+            for func, partition_index in funcs:
+                data = list(func(partition_index, iter(data)))
+            encoding, result_frame = pack_payload(data)
+            response = ok_payload(None, task=key, enc=encoding)
         await send_message(writer, response, frames=[result_frame])
     except Exception as exc:  # noqa: BLE001 - protocol boundary
         response = error_payload(None, exc, default_type="SparkLiteError")

@@ -1,0 +1,174 @@
+"""Prometheus/JSON exposition rendering and the HTTP listener."""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    METRIC_NAME_RE,
+    MetricsHTTPServer,
+    escape_label_value,
+    render_json,
+    render_prometheus,
+    sanitize_metric_name,
+    telemetry_text,
+)
+
+SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_][a-zA-Z0-9_]*)(\{[^}]*\})? [^ ]+$"
+)
+
+
+def _check_wellformed(text: str) -> dict[str, str]:
+    """Assert 0.0.4 shape; return metric -> TYPE kind."""
+    types: dict[str, str] = {}
+    helped: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, metric, kind = line.split()
+            assert METRIC_NAME_RE.match(metric), metric
+            assert kind in ("counter", "gauge")
+            # HELP must precede TYPE for the same family.
+            assert metric in helped
+            types[metric] = kind
+            continue
+        assert line, "no blank lines inside the exposition"
+        match = SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        assert match.group(1) in types, f"sample before TYPE: {line!r}"
+    return types
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("serve.requests") == "serve_requests"
+    assert sanitize_metric_name("9lives") == "_9lives"
+    assert METRIC_NAME_RE.match(sanitize_metric_name("a-b.c d/e"))
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+
+
+def test_render_prometheus_families_and_samples():
+    text = render_prometheus(
+        {
+            "serve.requests": 7,
+            "serve.queue_depth": 2,
+            "serve.latency_p50_ms": 1.25,
+            "serve.models": ["geo", "osm"],  # info/non-numeric: skipped
+            "worker.w-0.tasks": 3,
+            "worker.w-1.tasks": 4,
+            "worker.tasks": 7,
+        }
+    )
+    types = _check_wellformed(text)
+    assert types["repro_serve_requests"] == "counter"
+    assert types["repro_serve_queue_depth"] == "gauge"
+    assert "repro_serve_models" not in types
+    # Per-worker counters collapse into one labeled family with a
+    # single HELP/TYPE header; the pre-aggregated total joins the same
+    # family as the unlabeled sample (legal 0.0.4 exposition).
+    assert text.count("# TYPE repro_worker_tasks ") == 1
+    assert text.count("# HELP repro_worker_tasks ") == 1
+    assert 'repro_worker_tasks{worker="w-0"} 3' in text
+    assert 'repro_worker_tasks{worker="w-1"} 4' in text
+    assert "\nrepro_worker_tasks 7" in text
+
+
+def test_render_prometheus_label_escaping():
+    nasty = 'w"0\\slash\nnewline'
+    text = render_prometheus({}, workers=[{"name": nasty, "tasks": 1}])
+    assert 'worker="w\\"0\\\\slash\\nnewline"' in text
+    _check_wellformed(text)
+
+
+def test_render_prometheus_worker_rows():
+    text = render_prometheus(
+        {"sparklite.net.tasks": 9},
+        workers=[
+            {
+                "name": "w-0",
+                "alive": True,
+                "inflight": 1,
+                "straggler": False,
+                "tasks": 5,
+                "task_seconds": 0.25,
+                "ewma_ms": 12.5,
+                "bytes_out": 100,
+                "bytes_in": 90,
+            },
+            {"name": "w-1", "alive": False, "tasks": 4, "ewma_ms": None},
+        ],
+    )
+    types = _check_wellformed(text)
+    assert types["repro_net_worker_alive"] == "gauge"
+    assert types["repro_net_worker_tasks"] == "counter"
+    assert 'repro_net_worker_alive{worker="w-0"} 1' in text
+    assert 'repro_net_worker_alive{worker="w-1"} 0' in text
+    # None values are skipped, not rendered as text.
+    assert 'repro_net_worker_ewma_ms{worker="w-1"}' not in text
+
+
+def test_telemetry_text_and_json_roundtrip():
+    snapshot = {
+        "kind": "serve",
+        "host": "127.0.0.1",
+        "port": 7227,
+        "counters": {"serve.requests": 3, "serve.latency_p50_ms": 0.5},
+        "detectors": ["geo"],
+    }
+    text = telemetry_text(snapshot)
+    assert "repro_serve_requests 3" in text
+    decoded = json.loads(render_json(snapshot))
+    assert decoded["counters"]["serve.requests"] == 3
+    assert decoded["detectors"] == ["geo"]
+
+
+def test_render_json_rejects_nan_silently():
+    decoded = json.loads(
+        render_json({"counters": {"serve.latency_p50_ms": float("nan")}})
+    )
+    assert decoded["counters"]["serve.latency_p50_ms"] is None
+
+
+def test_metrics_http_server():
+    snapshot = {
+        "kind": "serve",
+        "counters": {"serve.requests": 11},
+        "detectors": ["geo"],
+    }
+    with MetricsHTTPServer(lambda: snapshot, port=0) as http:
+        base = f"http://127.0.0.1:{http.port}"
+        with urllib.request.urlopen(f"{base}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            body = response.read().decode()
+        _check_wellformed(body)
+        assert "repro_serve_requests 11" in body
+        with urllib.request.urlopen(f"{base}/telemetry") as response:
+            assert response.headers["Content-Type"] == "application/json"
+            decoded = json.loads(response.read())
+        assert decoded["counters"]["serve.requests"] == 11
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/nope")
+        assert err.value.code == 404
+
+
+def test_metrics_http_server_handler_error_is_500():
+    def boom():
+        raise RuntimeError("snapshot unavailable")
+
+    with MetricsHTTPServer(boom, port=0) as http:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"http://127.0.0.1:{http.port}/metrics")
+        assert err.value.code == 500

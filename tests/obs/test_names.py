@@ -1,0 +1,84 @@
+"""The canonical metric-name registry guards the exposition surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dbscout import DBSCOUT
+from repro.obs import InMemorySink, names, recording
+from repro.serve import OutlierService
+
+
+def test_canonical_collapses_worker_instance_segment():
+    assert names.canonical("worker.loopback-0.tasks") == "worker.<id>.tasks"
+    assert (
+        names.canonical("worker.w-123.task_seconds")
+        == "worker.<id>.task_seconds"
+    )
+    # Two-part worker totals are already canonical.
+    assert names.canonical("worker.tasks") == "worker.tasks"
+    assert names.canonical("engine.pruned_cells") == "engine.pruned_cells"
+
+
+def test_family_metadata_and_fallback():
+    kind, help_text = names.family("serve.requests")
+    assert kind == "counter"
+    assert help_text
+    assert names.family("serve.queue_depth")[0] == "gauge"
+    assert names.family("worker.any-id.tasks")[0] == "counter"
+    assert names.family("made.up.metric") == ("gauge", "undeclared metric")
+
+
+def test_is_declared_and_undeclared():
+    assert names.is_declared("sparklite.net.bytes_out")
+    assert names.is_declared("worker.pid-9.records_out")
+    assert not names.is_declared("bogus.counter")
+    flagged = names.undeclared(
+        ["serve.batches", "bogus.counter", "worker.w.tasks", "another.bad"]
+    )
+    assert flagged == ["another.bad", "bogus.counter"]
+
+
+def test_every_family_kind_is_known():
+    assert set(kind for kind, _ in names.FAMILIES.values()) <= {
+        "counter",
+        "gauge",
+        "info",
+    }
+    assert all(help_text for _, help_text in names.FAMILIES.values())
+
+
+@pytest.fixture
+def points(rng):
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.4, size=(160, 2)),
+            rng.uniform(-8.0, 8.0, size=(20, 2)),
+        ]
+    )
+
+
+def test_real_run_record_counters_are_all_declared(points):
+    """Every counter an actual fit emits must be in the registry."""
+    emitted: set[str] = set()
+    sink = InMemorySink()
+    with recording(sink):
+        DBSCOUT(eps=0.6, min_pts=8, engine="vectorized").fit(points)
+        DBSCOUT(
+            eps=0.6, min_pts=8, engine="distributed", num_partitions=4
+        ).fit(points)
+    for record in sink.records:
+        emitted.update(record.counters)
+    assert emitted, "expected run records with counters"
+    assert names.undeclared(emitted) == []
+
+
+def test_serve_stats_counters_are_all_declared(points):
+    detector = DBSCOUT(eps=0.6, min_pts=8)
+    detector.fit(points)
+    with OutlierService() as service:
+        service.register("geo", detector.core_model_)
+        service.query("geo", points[:32])
+        stats = service.stats()
+    assert names.undeclared(stats) == []

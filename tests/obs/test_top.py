@@ -1,0 +1,100 @@
+"""Dashboard rendering for ``repro top``."""
+
+from __future__ import annotations
+
+from repro.obs.top import render_dashboard
+
+SERVE_SNAPSHOT = {
+    "kind": "serve",
+    "host": "127.0.0.1",
+    "port": 7227,
+    "detectors": ["geo", "osm"],
+    "counters": {
+        "serve.requests": 120,
+        "serve.batches": 40,
+        "serve.queue_depth": 2,
+        "serve.rejected_overload": 1,
+        "serve.latency_p50_ms": 1.5,
+        "serve.latency_p90_ms": 3.0,
+        "serve.latency_p99_ms": 9.0,
+    },
+}
+
+NET_SNAPSHOT = {
+    "kind": "netdriver",
+    "host": "127.0.0.1",
+    "port": 40001,
+    "n_workers": 2,
+    "counters": {
+        "sparklite.net.tasks": 16,
+        "sparklite.net.bytes_out": 2048,
+        "sparklite.net.bytes_in": 1024,
+        "sparklite.net.straggler_suspected": 1,
+    },
+    "workers": [
+        {
+            "name": "loopback-0",
+            "alive": True,
+            "inflight": 1,
+            "tasks": 10,
+            "ewma_ms": 4.2,
+            "straggler": False,
+            "bytes_out": 1024,
+            "bytes_in": 512,
+        },
+        {
+            "name": "loopback-1",
+            "alive": True,
+            "inflight": 0,
+            "tasks": 6,
+            "ewma_ms": 19.7,
+            "straggler": True,
+            "bytes_out": 1024,
+            "bytes_in": 512,
+        },
+    ],
+}
+
+
+def test_render_serve_dashboard():
+    text = render_dashboard(SERVE_SNAPSHOT)
+    assert "serve @ 127.0.0.1:7227" in text
+    assert "detectors: geo, osm" in text
+    assert "requests: 120" in text
+    assert "p50: 1.50" in text and "p99: 9.00" in text
+    # No rates on the first refresh.
+    assert "qps" not in text
+
+
+def test_render_serve_dashboard_rates():
+    previous = {
+        "kind": "serve",
+        "counters": {**SERVE_SNAPSHOT["counters"], "serve.requests": 100},
+    }
+    text = render_dashboard(SERVE_SNAPSHOT, previous=previous, interval=2.0)
+    assert "qps: 10.0" in text
+
+
+def test_render_netdriver_dashboard():
+    text = render_dashboard(NET_SNAPSHOT)
+    assert "netdriver @ 127.0.0.1:40001" in text
+    assert "workers: 2" in text
+    assert "stragglers: 1" in text
+    lines = text.splitlines()
+    row0 = next(line for line in lines if "loopback-0" in line)
+    row1 = next(line for line in lines if "loopback-1" in line)
+    assert "alive" in row0
+    assert "SLOW" in row1  # straggler flag wins over alive
+    assert "19.7" in row1
+
+
+def test_render_netdriver_dashboard_rates():
+    previous = {
+        "kind": "netdriver",
+        "counters": {
+            **NET_SNAPSHOT["counters"],
+            "sparklite.net.tasks": 10,
+        },
+    }
+    text = render_dashboard(NET_SNAPSHOT, previous=previous, interval=3.0)
+    assert "tasks/s: 2.0" in text

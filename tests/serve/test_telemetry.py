@@ -1,0 +1,129 @@
+"""Telemetry exposition of the serving front-end + ``repro top``."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import DBSCOUT
+from repro.cli import main
+from repro.obs.top import fetch_telemetry
+from repro.serve import OutlierClient, OutlierServer, OutlierService
+
+
+class _Harness:
+    """An :class:`OutlierServer` (with metrics HTTP) on its own loop."""
+
+    def __init__(self, service: OutlierService) -> None:
+        self.server = OutlierServer(service, port=0, metrics_port=0)
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self._started.wait(timeout=10):  # pragma: no cover
+            raise RuntimeError("server did not start")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_forever()
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self.loop
+        ).result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def served(clustered_2d):
+    detector = DBSCOUT(eps=0.8, min_pts=10)
+    detector.fit(clustered_2d)
+    service = OutlierService()
+    service.register("geo", detector.core_model_)
+    harness = _Harness(service)
+    try:
+        yield harness, clustered_2d
+    finally:
+        harness.stop()
+        service.close()
+
+
+def test_telemetry_op_over_tcp(served):
+    harness, points = served
+    with OutlierClient("127.0.0.1", harness.server.port) as client:
+        client.query("geo", points[:40])
+        telemetry = client.telemetry()
+    assert telemetry["kind"] == "serve"
+    assert telemetry["detectors"] == ["geo"]
+    assert telemetry["port"] == harness.server.port
+    counters = telemetry["counters"]
+    assert counters["serve.requests"] == 1
+    assert counters["serve.rows_classified"] == 40
+    assert "serve.latency_p50_ms" in counters
+    # Non-numeric stats entries never leak into counters.
+    assert "serve.models" not in counters
+    assert "# TYPE repro_serve_requests counter" in telemetry["text"]
+    assert "repro_serve_latency_p50_ms" in telemetry["text"]
+
+
+def test_fetch_telemetry_helper(served):
+    harness, points = served
+    with OutlierClient("127.0.0.1", harness.server.port) as client:
+        client.query("geo", points[:10])
+    snapshot = fetch_telemetry("127.0.0.1", harness.server.port)
+    assert snapshot["kind"] == "serve"
+    assert snapshot["counters"]["serve.rows_classified"] == 10
+
+
+def test_metrics_http_listener(served):
+    harness, points = served
+    with OutlierClient("127.0.0.1", harness.server.port) as client:
+        client.query("geo", points[:25])
+    port = harness.server.metrics_http.port
+    body = urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics"
+    ).read().decode()
+    assert "# HELP repro_serve_requests" in body
+    assert "repro_serve_rows_classified 25" in body
+    decoded = json.loads(
+        urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/telemetry"
+        ).read()
+    )
+    assert decoded["kind"] == "serve"
+    assert decoded["counters"]["serve.rows_classified"] == 25
+
+
+def test_cli_top_once(served, capsys):
+    harness, points = served
+    with OutlierClient("127.0.0.1", harness.server.port) as client:
+        client.query("geo", points[:15])
+    code = main(
+        [
+            "top",
+            "--connect",
+            f"127.0.0.1:{harness.server.port}",
+            "--once",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serve @ 127.0.0.1" in out
+    assert "detectors: geo" in out
+    assert "requests: 1" in out
+    assert "p50:" in out
+    # --once never emits the screen-clear escape.
+    assert "\x1b[2J" not in out
+
+
+def test_cli_top_rejects_bad_connect(capsys):
+    assert main(["top", "--connect", "nonsense", "--once"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err

@@ -1,0 +1,350 @@
+"""Distributed telemetry over the net executor (loopback cluster).
+
+Covers the PR-8 tentpole contracts: trace-context propagation (remote
+spans graft under the exact driver span that dispatched them, tagged
+with ``host``/``worker_id``), counter harvesting (per-worker plus
+pre-aggregated ``worker.*`` totals; engine counters bit-identical to
+the local executor), the zero-added-frame-bytes invariant when
+telemetry is off, the driver's ``telemetry`` control message, and the
+EWMA straggler detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core.distributed import DistributedEngine
+from repro.net import HAVE_CLOUDPICKLE
+from repro.obs.top import fetch_telemetry
+from repro.sparklite import Context
+from repro.sparklite.metrics import EngineMetrics
+from repro.sparklite.netexec import (
+    STRAGGLER_MIN_TASKS,
+    LoopbackCluster,
+    _WorkerConn,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_CLOUDPICKLE, reason="net executor needs cloudpickle"
+)
+
+
+@pytest.fixture
+def tracing():
+    obs.enable_tracing()
+    try:
+        yield
+    finally:
+        obs.disable_tracing()
+
+
+def _points(seed: int = 0, n: int = 220):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.4, size=(n - 20, 2)),
+            rng.uniform(-8.0, 8.0, size=(20, 2)),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace-context propagation and span grafting
+# ----------------------------------------------------------------------
+
+
+class TestSpanGraft:
+    def test_remote_spans_graft_under_dispatching_span(self, tracing):
+        tracer = obs.Tracer()
+        with tracer.activate(), tracer.span("driver.root"):
+            with LoopbackCluster(n_workers=2) as cluster:
+                rdd = cluster.context.parallelize(range(100), 4)
+                assert sorted(rdd.map(lambda x: x + 1).collect()) == list(
+                    range(1, 101)
+                )
+        spans = tracer.spans()
+        tasks = [s for s in spans if s.name == "worker.task"]
+        assert len(tasks) == 4  # one per partition
+        # Dispatch happened inside the sparklite.collect span opened on
+        # the calling thread — that is the graft parent, which itself
+        # hangs under driver.root.
+        collect = next(s for s in spans if s.name == "sparklite.collect")
+        root = next(s for s in spans if s.name == "driver.root")
+        assert collect.parent_id == root.span_id
+        assert {s.parent_id for s in tasks} == {collect.span_id}
+        for task in tasks:
+            assert task.attrs["worker_id"].startswith("loopback-")
+            assert task.attrs["host"]
+            assert task.depth == collect.depth + 1
+            # Remote start offsets are rebased onto the driver timeline:
+            # never before the span that dispatched them.
+            assert task.start_s >= collect.start_s
+        # The worker-side phase spans came along and kept their nesting.
+        for name in ("worker.decode", "worker.execute", "worker.encode"):
+            children = [s for s in spans if s.name == name]
+            assert len(children) == 4
+            assert {s.parent_id for s in children} <= {
+                t.span_id for t in tasks
+            }
+
+    def test_span_ids_unique_after_graft(self, tracing):
+        tracer = obs.Tracer()
+        with tracer.activate(), tracer.span("driver.root"):
+            with LoopbackCluster(n_workers=2) as cluster:
+                rdd = cluster.context.parallelize(range(60), 6)
+                rdd.map(lambda x: x).collect()
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(ids) == len(set(ids))
+
+
+# ----------------------------------------------------------------------
+# Counter harvesting
+# ----------------------------------------------------------------------
+
+
+class TestCounterHarvest:
+    def test_per_worker_and_total_counters(self, tracing):
+        tracer = obs.Tracer()
+        with tracer.activate(), tracer.span("driver.root"):
+            with LoopbackCluster(n_workers=2) as cluster:
+                rdd = cluster.context.parallelize(range(100), 4)
+                rdd.map(lambda x: x * 2).collect()
+                snapshot = cluster.context.metrics.snapshot()
+        assert snapshot["worker.tasks"] == 4
+        assert snapshot["worker.records_in"] == 100
+        assert snapshot["worker.records_out"] == 100
+        per_worker = {
+            name: value
+            for name, value in snapshot.items()
+            if name.startswith("worker.loopback-")
+        }
+        assert per_worker, "expected worker.<id>.* counters"
+        # Per-worker shards sum to the pre-aggregated totals.
+        for metric in ("tasks", "records_in", "records_out", "bytes_in"):
+            shards = [
+                value
+                for name, value in per_worker.items()
+                if name.endswith(f".{metric}")
+            ]
+            assert sum(shards) == pytest.approx(
+                snapshot[f"worker.{metric}"]
+            )
+        assert obs.names.undeclared(EngineMetrics.qualify(snapshot)) == []
+
+    def test_engine_counters_identical_to_local(self, tracing):
+        points = _points(seed=2)
+        sink_local = obs.InMemorySink()
+        with obs.recording(sink_local):
+            DistributedEngine(num_partitions=4).detect(points, 0.4, 8)
+        sink_net = obs.InMemorySink()
+        with LoopbackCluster(n_workers=2) as cluster:
+            engine = DistributedEngine(
+                num_partitions=4, context=cluster.context
+            )
+            with obs.recording(sink_net):
+                engine.detect(points, 0.4, 8)
+        (local_rec,) = sink_local.records
+        (net_rec,) = sink_net.records
+        # The work the engine does is bit-identical either way: same
+        # shuffle volumes, same job structure, same engine counters.
+        # (tasks_executed is excluded: the net executor flattens a
+        # lineage chain of maps into one dispatched task, so its count
+        # is executor-shaped, not work-shaped.)
+        for name in (
+            "sparklite.shuffles",
+            "sparklite.records_shuffled",
+            "sparklite.broadcasts",
+            "sparklite.collects",
+        ):
+            assert net_rec.counters[name] == local_rec.counters[name], name
+        local_engine = {
+            k: v
+            for k, v in local_rec.counters.items()
+            if k.startswith("engine.")
+        }
+        net_engine = {
+            k: v
+            for k, v in net_rec.counters.items()
+            if k.startswith("engine.")
+        }
+        assert net_engine == local_engine
+        # And the default diff treats them as equal runs (worker.* and
+        # wall-clock counters are excluded by construction); only the
+        # net transport counters and the executor-shaped task count may
+        # legitimately differ.
+        diff = obs.diff_records(local_rec, net_rec)
+        unequal = [
+            entry.name
+            for entry in diff.counters
+            if entry.baseline != entry.candidate
+        ]
+        assert all(
+            name.startswith("sparklite.net.")
+            or name == "sparklite.tasks_executed"
+            for name in unequal
+        ), unequal
+
+
+# ----------------------------------------------------------------------
+# Telemetry-off invariant
+# ----------------------------------------------------------------------
+
+
+class TestZeroOverheadWhenOff:
+    def test_no_trace_no_harvest_and_byte_parity(self):
+        def run():
+            with LoopbackCluster(n_workers=2) as cluster:
+                rdd = cluster.context.parallelize(range(200), 4)
+                assert sum(rdd.map(lambda x: x + 1).collect()) == 20100
+                return cluster.context.metrics.snapshot()
+
+        first = run()
+        second = run()
+        # No telemetry fields at all...
+        assert not any(k.startswith("worker.") for k in first)
+        # ...and the exact same bytes on the wire every time: tracing
+        # off adds zero frame bytes (the PR-2 metering invariant).
+        assert first["net.bytes_out"] == second["net.bytes_out"]
+        assert first["net.bytes_in"] == second["net.bytes_in"]
+
+    def test_tracing_adds_bytes_only_when_on(self, tracing):
+        def run(traced: bool):
+            tracer = obs.Tracer() if traced else None
+            with LoopbackCluster(n_workers=1) as cluster:
+                rdd = cluster.context.parallelize(range(50), 2)
+                if traced:
+                    with tracer.activate(), tracer.span("root"):
+                        rdd.map(lambda x: x).collect()
+                else:
+                    rdd.map(lambda x: x).collect()
+                return cluster.context.metrics.snapshot()
+
+        on = run(True)
+        obs.disable_tracing()
+        off = run(False)
+        # The trace field and the returned telemetry are real bytes —
+        # present when tracing, absent otherwise.
+        assert on["net.bytes_out"] > off["net.bytes_out"]
+        assert on["net.bytes_in"] > off["net.bytes_in"]
+
+
+# ----------------------------------------------------------------------
+# Driver telemetry exposition
+# ----------------------------------------------------------------------
+
+
+class TestDriverTelemetry:
+    def test_telemetry_message_and_snapshot(self):
+        with LoopbackCluster(n_workers=2) as cluster:
+            rdd = cluster.context.parallelize(range(80), 4)
+            rdd.map(lambda x: x).collect()
+            driver = cluster.context.net
+            snapshot = driver.telemetry_snapshot()
+            assert snapshot["kind"] == "netdriver"
+            assert snapshot["n_workers"] == 2
+            assert snapshot["counters"]["sparklite.net.tasks"] == 4
+            assert len(snapshot["workers"]) == 2
+            for row in snapshot["workers"]:
+                assert row["alive"]
+                assert row["tasks"] >= 1
+                assert row["bytes_out"] > 0
+                assert row["bytes_in"] > 0
+            # The same snapshot over the wire, via the control message
+            # every monitor (repro top) uses.
+            bytes_before = cluster.context.metrics.net_bytes_in
+            remote = fetch_telemetry("127.0.0.1", driver.port)
+            assert remote["kind"] == "netdriver"
+            assert [w["name"] for w in remote["workers"]] == [
+                w["name"] for w in snapshot["workers"]
+            ]
+            # Monitor traffic is not metered as work.
+            assert cluster.context.metrics.net_bytes_in == bytes_before
+
+    def test_metrics_port_serves_http(self):
+        import urllib.request
+
+        with LoopbackCluster(n_workers=1, metrics_port=0) as cluster:
+            rdd = cluster.context.parallelize(range(30), 2)
+            rdd.map(lambda x: x).collect()
+            port = cluster.context.net.metrics_http.port
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics"
+            ).read().decode()
+        assert "# TYPE repro_sparklite_net_tasks counter" in body
+        assert 'repro_net_worker_alive{worker="loopback-0"} 1' in body
+
+
+# ----------------------------------------------------------------------
+# Straggler detection
+# ----------------------------------------------------------------------
+
+
+class TestStragglerDetection:
+    def test_ewma_flags_and_recovers(self):
+        with Context(executor="net", straggler_threshold=3.0) as context:
+            driver = context.net
+            fast = _WorkerConn("fast", writer=None)
+            slow = _WorkerConn("slow", writer=None)
+            driver._workers = {0: fast, 1: slow}
+            for _ in range(STRAGGLER_MIN_TASKS):
+                driver._note_task_time(fast, 0.01)
+                driver._note_task_time(slow, 0.01)
+            assert not slow.straggler
+            # A run of slow tasks drags the EWMA past 3x the median.
+            for _ in range(6):
+                driver._note_task_time(slow, 0.5)
+            assert slow.straggler
+            assert not fast.straggler
+            assert context.metrics.net_stragglers == 1
+            # Suspected stragglers are deprioritized by the scheduler
+            # sort key even when equally loaded.
+            assert (slow.straggler, len(slow.futures)) > (
+                fast.straggler,
+                len(fast.futures),
+            )
+            # Recovery: fast tasks pull the EWMA back under the cutoff.
+            for _ in range(40):
+                driver._note_task_time(slow, 0.01)
+            assert not slow.straggler
+            # Re-flagging counts again.
+            for _ in range(6):
+                driver._note_task_time(slow, 0.5)
+            assert slow.straggler
+            assert context.metrics.net_stragglers == 2
+            driver._workers = {}
+
+    def test_single_worker_never_flagged(self):
+        with Context(executor="net") as context:
+            driver = context.net
+            only = _WorkerConn("only", writer=None)
+            driver._workers = {0: only}
+            for _ in range(10):
+                driver._note_task_time(only, 0.5)
+            assert not only.straggler
+            assert context.metrics.net_stragglers == 0
+            driver._workers = {}
+
+    def test_straggler_span_event_when_tracing(self, tracing):
+        tracer = obs.Tracer()
+        with Context(executor="net") as context:
+            driver = context.net
+            fast = _WorkerConn("fast", writer=None)
+            slow = _WorkerConn("slow", writer=None)
+            driver._workers = {0: fast, 1: slow}
+            with tracer.activate():
+                for _ in range(STRAGGLER_MIN_TASKS):
+                    driver._note_task_time(fast, 0.01)
+                    driver._note_task_time(slow, 0.01)
+                for _ in range(6):
+                    driver._note_task_time(slow, 0.5)
+            driver._workers = {}
+        events = [
+            s
+            for s in tracer.spans()
+            if s.name == "net.straggler_suspected"
+        ]
+        assert len(events) == 1
+        assert events[0].attrs["worker_id"] == "slow"
+        assert events[0].attrs["ewma_ms"] > events[0].attrs["median_ms"]
