@@ -42,6 +42,7 @@ FAST_BENCHES = [
 ]
 
 SLOW_BENCHES = [
+    "bench_streaming_ingest",
     "bench_telemetry_overhead",
     "bench_table2_scalability",
     "bench_fig11_geolife_eps",

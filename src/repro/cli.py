@@ -8,8 +8,11 @@ Commands:
 * ``generate`` — write one of the built-in synthetic datasets to disk.
 
 * ``fit`` — fit a detector and save it as a servable artifact.
-* ``serve`` — load artifacts and answer queries over TCP.
+* ``serve`` — load artifacts and answer queries over TCP; with
+  ``--live`` also host a live streaming detector whose snapshots are
+  hot-swapped into the registry as data arrives.
 * ``query`` — classify points against a running server.
+* ``stream`` — feed a file or stdin into a served live detector.
 * ``top`` — live telemetry dashboard for a running server or driver.
 
 Examples:
@@ -20,7 +23,11 @@ Examples:
     python -m repro fit points.npy --eps 0.5 --min-pts 10 \\
         --save-artifact geo.npz --name geo
     python -m repro serve geo.npz --port 7227 --metrics-port 9090
+    python -m repro serve --live gps --live-eps 0.5 --live-min-pts 10 \\
+        --window 100000 --refresh-points 4096 --port 7227
     python -m repro query queries.csv --detector geo --port 7227
+    python -m repro stream fixes.csv --connect 127.0.0.1:7227 \\
+        --stream gps --batch-size 512
     python -m repro top --connect 127.0.0.1:7227
 """
 
@@ -199,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "artifacts",
-        nargs="+",
+        nargs="*",
         metavar="ARTIFACT",
         help="artifact files (.npz) to load and register",
     )
@@ -225,6 +232,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="also serve GET /metrics (Prometheus text) and "
         "GET /telemetry (JSON) over HTTP on this port",
     )
+    serve.add_argument(
+        "--live",
+        metavar="NAME",
+        help="also host a live streaming detector under this name "
+        "(enables the ingest/evict/swap_status ops)",
+    )
+    serve.add_argument(
+        "--live-eps",
+        type=float,
+        metavar="EPS",
+        help="neighborhood radius for the live detector",
+    )
+    serve.add_argument(
+        "--live-min-pts",
+        type=int,
+        metavar="N",
+        help="density threshold for the live detector",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sliding count window for the live detector "
+        "(omit to keep every ingested point)",
+    )
+    serve.add_argument(
+        "--refresh-points",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="hot-swap a fresh snapshot every N ingested points",
+    )
+    serve.add_argument(
+        "--refresh-s",
+        type=float,
+        default=None,
+        metavar="T",
+        help="also hot-swap when the served snapshot is older than "
+        "T seconds",
+    )
 
     query = commands.add_parser(
         "query", help="classify points against a running server"
@@ -247,6 +295,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="also print the server's serve.* stats snapshot",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="feed a file or stdin into a served live detector",
+    )
+    stream.add_argument(
+        "input",
+        nargs="?",
+        default="-",
+        help="points file (.csv or .npy), or '-' to read CSV rows "
+        "from stdin (default)",
+    )
+    stream.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'repro serve' with --live",
+    )
+    stream.add_argument(
+        "--stream",
+        default="live",
+        dest="stream_name",
+        metavar="NAME",
+        help="attached stream name on the server",
+    )
+    stream.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="points per ingest request",
+    )
+    stream.add_argument(
+        "--status",
+        action="store_true",
+        help="print the server's swap_status after the feed",
     )
 
     workers = commands.add_parser(
@@ -487,6 +571,12 @@ def _run_fit(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve import OutlierService, load_artifact, run_server
 
+    if not args.artifacts and not args.live:
+        print(
+            "error: provide artifact files and/or --live NAME",
+            file=sys.stderr,
+        )
+        return 2
     service = OutlierService(
         max_queue=args.max_queue, max_batch_rows=args.max_batch_rows
     )
@@ -500,12 +590,43 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"{artifact.model.n_core_points} core points)",
             file=sys.stderr,
         )
+    streams = None
+    if args.live:
+        from repro.stream import LiveDetector, StreamCoordinator
+
+        if args.live_eps is None or args.live_min_pts is None:
+            print(
+                "error: --live needs --live-eps and --live-min-pts",
+                file=sys.stderr,
+            )
+            return 2
+        live = LiveDetector(
+            eps=args.live_eps,
+            min_pts=args.live_min_pts,
+            window=args.window,
+            name=args.live,
+        )
+        coordinator = StreamCoordinator(
+            live,
+            service,
+            name=args.live,
+            every_points=args.refresh_points,
+            every_s=args.refresh_s,
+        )
+        streams = {args.live: coordinator}
+        print(
+            f"live detector {args.live!r} "
+            f"(eps={args.live_eps:.6g}, min_pts={args.live_min_pts}, "
+            f"window={live.policy.describe()})",
+            file=sys.stderr,
+        )
     try:
         run_server(
             service,
             host=args.host,
             port=args.port,
             metrics_port=args.metrics_port,
+            streams=streams,
         )
     finally:
         service.close()
@@ -550,6 +671,73 @@ def _run_generate(args: argparse.Namespace) -> int:
         f"wrote {points.shape[0]} x {points.shape[1]} points to {args.output}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.serve import OutlierClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --connect needs HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch_size < 1:
+        print(
+            f"error: --batch-size must be >= 1, got {args.batch_size}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def batches():
+        if args.input == "-":
+            rows: list[list[float]] = []
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                rows.append(
+                    [float(field) for field in line.replace(",", " ").split()]
+                )
+                if len(rows) >= args.batch_size:
+                    yield np.asarray(rows, dtype=np.float64)
+                    rows = []
+            if rows:
+                yield np.asarray(rows, dtype=np.float64)
+        else:
+            points = load_points(args.input)
+            for start in range(0, points.shape[0], args.batch_size):
+                yield points[start : start + args.batch_size]
+
+    sent = swaps = 0
+    with OutlierClient(host, int(port_text)) as client:
+        for batch in batches():
+            status = client.ingest(args.stream_name, batch)
+            sent += int(status.get("accepted", 0))
+            if status.get("swapped"):
+                swaps += 1
+                print(
+                    f"swap -> version {status.get('version')} "
+                    f"({status.get('window_points')} window points)",
+                    file=sys.stderr,
+                )
+        print(
+            f"ingested {sent} points into {args.stream_name!r} "
+            f"({swaps} hot-swaps)",
+            file=sys.stderr,
+        )
+        if args.status:
+            print(
+                json.dumps(
+                    client.swap_status(), indent=2, sort_keys=True
+                )
+            )
     return 0
 
 
@@ -636,6 +824,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fit": _run_fit,
         "serve": _run_serve,
         "query": _run_query,
+        "stream": _run_stream,
         "workers": _run_workers,
         "top": _run_top,
     }

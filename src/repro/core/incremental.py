@@ -48,7 +48,7 @@ from repro.core.kernels.numpy_kernel import sq_dists as _sq_dists_kernel
 from repro.core.neighbors import NeighborStencil
 from repro.core.validation import validate_parameters
 from repro.exceptions import DataValidationError, ParameterError
-from repro.obs import RunRecorder
+from repro.obs import MetricsRegistry, RunRecorder, span
 from repro.types import DetectionResult
 
 __all__ = ["IncrementalDBSCOUT"]
@@ -105,6 +105,12 @@ class IncrementalDBSCOUT:
             )
         self.kernel = normalize_kernel(kernel)
         self._kernel_counters: dict[str, int] = {}
+        self._resolved_kernel = None  # lazy; cached across detects
+        #: Lifetime ``incremental.*`` counters; every :meth:`detect`
+        #: run record carries the current totals, and live serving
+        #: (:mod:`repro.stream`) folds them into its telemetry.
+        self.metrics = MetricsRegistry()
+        self._n_active = 0
         self._capacity = int(initial_capacity)
         self._n_points = 0
         self._n_dims: int | None = None
@@ -116,6 +122,15 @@ class IncrementalDBSCOUT:
         self._outlier_mask = np.zeros(0, dtype=bool)
         self._active_mask = np.zeros(0, dtype=bool)
         self._dirty: set[Cell] = set()
+        # Memoized per-cell views, invalidated whenever the cell map
+        # mutates (insert/remove): detect() visits each cell's
+        # neighborhood several times, and rebuilding the neighbor
+        # lists and member arrays from scratch dominated churny
+        # streaming workloads.
+        self._mutation_version = 0
+        self._memo_version = -1
+        self._neighbor_memo: dict[Cell, list[Cell]] = {}
+        self._member_arrays: dict[Cell, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Insertion
@@ -165,29 +180,38 @@ class IncrementalDBSCOUT:
         batch = validate_points(points)
         if batch.shape[0] == 0:
             return
-        self._ensure_geometry(batch)
-        check_grid_domain(batch, self._side)
-        self._grow_buffer(self._n_points + batch.shape[0])
-        start = self._n_points
-        self._buffer[start : start + batch.shape[0]] = batch
-        self._n_points += batch.shape[0]
+        with span("incremental.insert", n_points=int(batch.shape[0])):
+            self._ensure_geometry(batch)
+            check_grid_domain(batch, self._side)
+            self._grow_buffer(self._n_points + batch.shape[0])
+            start = self._n_points
+            self._buffer[start : start + batch.shape[0]] = batch
+            self._n_points += batch.shape[0]
 
-        coords = np.floor(batch / self._side).astype(np.int64)
-        for offset, row in enumerate(coords):
-            cell = tuple(int(c) for c in row)
-            self._cells.setdefault(cell, []).append(start + offset)
-            self._dirty.add(cell)
+            coords = np.floor(batch / self._side).astype(np.int64)
+            for offset, row in enumerate(coords):
+                cell = tuple(int(c) for c in row)
+                self._cells.setdefault(cell, []).append(start + offset)
+                self._dirty.add(cell)
 
-        # Grow the status masks; fresh points start undecided (False).
-        grown_core = np.zeros(self._n_points, dtype=bool)
-        grown_core[: start] = self._core_mask
-        self._core_mask = grown_core
-        grown_outlier = np.zeros(self._n_points, dtype=bool)
-        grown_outlier[: start] = self._outlier_mask
-        self._outlier_mask = grown_outlier
-        grown_active = np.ones(self._n_points, dtype=bool)
-        grown_active[: start] = self._active_mask
-        self._active_mask = grown_active
+            # Grow the status masks; fresh points start undecided
+            # (False).
+            grown_core = np.zeros(self._n_points, dtype=bool)
+            grown_core[: start] = self._core_mask
+            self._core_mask = grown_core
+            grown_outlier = np.zeros(self._n_points, dtype=bool)
+            grown_outlier[: start] = self._outlier_mask
+            self._outlier_mask = grown_outlier
+            grown_active = np.ones(self._n_points, dtype=bool)
+            grown_active[: start] = self._active_mask
+            self._active_mask = grown_active
+            self._n_active += int(batch.shape[0])
+            self._mutation_version += 1
+        self.metrics.increment("incremental.inserts")
+        self.metrics.increment(
+            "incremental.points_inserted", int(batch.shape[0])
+        )
+        self.metrics.set("incremental.window_points", self._n_active)
 
     def remove(self, point_indices) -> None:
         """Logically delete points by their insertion indices.
@@ -212,23 +236,36 @@ class IncrementalDBSCOUT:
             )
         if not self._active_mask[indices].all():
             raise ParameterError("some points were already removed")
-        points = self._points_view()
-        coords = np.floor(points[indices] / self._side).astype(np.int64)
-        for point_index, row in zip(indices, coords):
-            cell = tuple(int(c) for c in row)
-            members = self._cells[cell]
-            members.remove(int(point_index))
-            if not members:
-                del self._cells[cell]
-            self._dirty.add(cell)
-        self._active_mask[indices] = False
-        self._core_mask[indices] = False
-        self._outlier_mask[indices] = False
+        with span("incremental.remove", n_points=int(indices.size)):
+            points = self._points_view()
+            coords = np.floor(points[indices] / self._side).astype(np.int64)
+            for point_index, row in zip(indices, coords):
+                cell = tuple(int(c) for c in row)
+                members = self._cells[cell]
+                members.remove(int(point_index))
+                if not members:
+                    del self._cells[cell]
+                self._dirty.add(cell)
+            self._active_mask[indices] = False
+            self._core_mask[indices] = False
+            self._outlier_mask[indices] = False
+            self._n_active -= int(indices.size)
+            self._mutation_version += 1
+        self.metrics.increment("incremental.removes")
+        self.metrics.increment(
+            "incremental.points_removed", int(indices.size)
+        )
+        self.metrics.set("incremental.window_points", self._n_active)
 
     @property
     def active_mask(self) -> np.ndarray:
         """Boolean mask over all inserted points; False = removed."""
         return self._active_mask.copy()
+
+    @property
+    def n_active(self) -> int:
+        """Number of active (not removed) points."""
+        return self._n_active
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -284,6 +321,10 @@ class IncrementalDBSCOUT:
         detector._core_mask = core_mask.astype(bool)
         detector._outlier_mask = outlier_mask.astype(bool)
         detector._active_mask = active_mask.astype(bool)
+        detector._n_active = int(detector._active_mask.sum())
+        detector.metrics.set(
+            "incremental.window_points", detector._n_active
+        )
         # Rebuild the cell lists from the active points.
         coords = np.floor(points / detector._side).astype(np.int64)
         for index in np.flatnonzero(detector._active_mask):
@@ -298,13 +339,33 @@ class IncrementalDBSCOUT:
     # Detection
     # ------------------------------------------------------------------
 
+    def _sync_memos(self) -> None:
+        if self._memo_version != self._mutation_version:
+            self._neighbor_memo.clear()
+            self._member_arrays.clear()
+            self._memo_version = self._mutation_version
+
     def _neighbor_cells(self, cell: Cell) -> list[Cell]:
         assert self._stencil is not None
-        return [
-            candidate
-            for candidate in self._stencil.neighbors_of(cell)
-            if candidate in self._cells
-        ]
+        self._sync_memos()
+        cached = self._neighbor_memo.get(cell)
+        if cached is None:
+            cached = [
+                candidate
+                for candidate in self._stencil.neighbors_of(cell)
+                if candidate in self._cells
+            ]
+            self._neighbor_memo[cell] = cached
+        return cached
+
+    def _members(self, cell: Cell) -> np.ndarray:
+        """The cell's member indices as a memoized int64 array."""
+        self._sync_memos()
+        cached = self._member_arrays.get(cell)
+        if cached is None:
+            cached = np.array(self._cells[cell], dtype=np.int64)
+            self._member_arrays[cell] = cached
+        return cached
 
     def _neighborhood_of(self, cells: set[Cell]) -> set[Cell]:
         """All non-empty cells whose neighborhood intersects ``cells``."""
@@ -314,9 +375,17 @@ class IncrementalDBSCOUT:
         return out
 
     def _sq(self, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-        """Squared distances through the configured kernel tier."""
-        kernel = resolve_kernel(self.kernel, self._kernel_counters)
-        return kernel.sq_dists(targets, candidates)
+        """Squared distances through the configured kernel tier.
+
+        The kernel is resolved once and cached: re-probing the
+        compiled tier on every dirty-cell recompute dominated churny
+        streaming workloads.
+        """
+        if self._resolved_kernel is None:
+            self._resolved_kernel = resolve_kernel(
+                self.kernel, self._kernel_counters
+            )
+        return self._resolved_kernel.sq_dists(targets, candidates)
 
     def _recompute_core(self, cells: set[Cell]) -> set[Cell]:
         """Re-evaluate core status inside ``cells``.
@@ -328,7 +397,7 @@ class IncrementalDBSCOUT:
         eps_sq = self.eps * self.eps
         changed: set[Cell] = set()
         for cell in cells:
-            members = np.array(self._cells[cell], dtype=np.int64)
+            members = self._members(cell)
             before = self._core_mask[members].copy()
             own = len(members)
             if own >= self.min_pts:
@@ -350,10 +419,7 @@ class IncrementalDBSCOUT:
                     after = np.zeros(own, dtype=bool)
                 else:
                     candidates = np.concatenate(
-                        [
-                            np.array(self._cells[c], dtype=np.int64)
-                            for c in cross_cells
-                        ]
+                        [self._members(c) for c in cross_cells]
                     )
                     sq = self._sq(points[members], points[candidates])
                     after = (
@@ -369,16 +435,14 @@ class IncrementalDBSCOUT:
         points = self._points_view()
         eps_sq = self.eps * self.eps
         for cell in cells:
-            members = np.array(self._cells[cell], dtype=np.int64)
+            members = self._members(cell)
             if self._core_mask[members].any():
                 # Lemma 2: a core cell has no outliers.
                 self._outlier_mask[members] = False
                 continue
             core_candidates: list[np.ndarray] = []
             for neighbor in self._neighbor_cells(cell):
-                neighbor_members = np.array(
-                    self._cells[neighbor], dtype=np.int64
-                )
+                neighbor_members = self._members(neighbor)
                 cores = neighbor_members[self._core_mask[neighbor_members]]
                 if cores.size:
                     core_candidates.append(cores)
@@ -403,7 +467,11 @@ class IncrementalDBSCOUT:
                 outlier_mask=np.zeros(0, dtype=bool),
                 core_mask=np.zeros(0, dtype=bool),
             )
-        kernel = resolve_kernel(self.kernel, self._kernel_counters)
+        if self._resolved_kernel is None:
+            self._resolved_kernel = resolve_kernel(
+                self.kernel, self._kernel_counters
+            )
+        kernel = self._resolved_kernel
         recorder = RunRecorder(
             engine="incremental",
             params={"eps": self.eps, "min_pts": self.min_pts},
@@ -414,6 +482,7 @@ class IncrementalDBSCOUT:
                 "kernel": kernel.name,
             },
         )
+        self.metrics.set("incremental.dirty_cells", len(self._dirty))
         with recorder.activate():
             if self._dirty:
                 with recorder.span("core_points"):
@@ -428,10 +497,21 @@ class IncrementalDBSCOUT:
                     core_cells_recomputed=len(core_region),
                     outlier_cells_recomputed=len(outlier_region),
                 )
+                self.metrics.increment(
+                    "incremental.core_cells_recomputed", len(core_region)
+                )
+                self.metrics.increment(
+                    "incremental.outlier_cells_recomputed",
+                    len(outlier_region),
+                )
                 self._dirty.clear()
+        self.metrics.increment("incremental.detects")
         if self._kernel_counters:
             recorder.metrics.merge(self._kernel_counters, namespace="engine")
             self._kernel_counters = {}
+        # The run record carries the engine's lifetime incremental.*
+        # totals (dotted names pass through merge unprefixed).
+        recorder.metrics.merge(self.metrics.snapshot())
         record = recorder.finish(self._n_points, n_dims=self._n_dims)
         return DetectionResult(
             n_points=self._n_points,

@@ -262,10 +262,8 @@ class NeighborStencil:
 
     def neighbors_of(self, cell: tuple[int, ...]) -> list[tuple[int, ...]]:
         """Return the coordinates of every potential neighbor of ``cell``."""
-        return [
-            tuple(c + j for c, j in zip(cell, offset))
-            for offset in self.offset_tuples()
-        ]
+        shifted = self.offsets + np.asarray(cell, dtype=np.int64)
+        return list(map(tuple, shifted.tolist()))
 
     def __repr__(self) -> str:
         return f"NeighborStencil(n_dims={self.n_dims}, k_d={self.k_d})"

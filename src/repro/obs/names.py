@@ -101,6 +101,41 @@ FAMILIES: dict[str, tuple[str, str]] = {
         "counter", "cumulative remote task round-trip seconds"),
     "sparklite.net.straggler_suspected": (
         "counter", "straggler suspicions raised by the EWMA detector"),
+    # -- incremental.* : exact streaming maintenance -------------------
+    "incremental.inserts": (
+        "counter", "insert batches accepted by the incremental engine"),
+    "incremental.points_inserted": (
+        "counter", "points inserted into the incremental engine"),
+    "incremental.removes": (
+        "counter", "remove calls applied by the incremental engine"),
+    "incremental.points_removed": (
+        "counter", "points logically deleted from the incremental engine"),
+    "incremental.detects": (
+        "counter", "detect() refreshes of the incremental result"),
+    "incremental.core_cells_recomputed": (
+        "counter", "cells whose core status was re-evaluated"),
+    "incremental.outlier_cells_recomputed": (
+        "counter", "cells whose outlier status was re-evaluated"),
+    "incremental.window_points": (
+        "gauge", "active (non-removed) points in the incremental engine"),
+    "incremental.dirty_cells": (
+        "gauge", "cells pending re-evaluation at the last detect"),
+    # -- stream.* : live streaming detectors ---------------------------
+    "stream.batches": ("counter", "ingest batches accepted"),
+    "stream.points_ingested": ("counter", "points ingested into the window"),
+    "stream.points_evicted": (
+        "counter", "points evicted by the sliding-window policy"),
+    "stream.window_points": ("gauge", "active points in the sliding window"),
+    "stream.snapshots": ("counter", "point-in-time CoreModel snapshots built"),
+    "stream.snapshot_age_s": (
+        "gauge", "seconds since the served model was snapshotted"),
+    "stream.snapshot_latency_ms": (
+        "gauge", "latency of the last snapshot build (ms)"),
+    "stream.swaps": ("counter", "snapshots hot-swapped into the service"),
+    "stream.ingest_lag_ms": (
+        "gauge", "processing latency of the last ingest batch (ms)"),
+    "stream.drift": (
+        "gauge", "label-change fraction between consecutive snapshots"),
     # -- serve.* : query service ---------------------------------------
     "serve.requests": ("counter", "classify requests accepted"),
     "serve.batches": ("counter", "micro-batches served"),
@@ -115,6 +150,18 @@ FAMILIES: dict[str, tuple[str, str]] = {
     "serve.models_evicted": ("counter", "detectors evicted by the LRU"),
     "serve.rejected_overload": (
         "counter", "submits rejected by backpressure"),
+    "serve.swap.total": (
+        "counter", "model versions hot-swapped into the registry"),
+    "serve.swap.reregister": (
+        "counter", "register() replacements routed through the swap path"),
+    "serve.swap.latency_ms": (
+        "gauge", "install latency of the last hot swap (ms)"),
+    "serve.swap.latency_max_ms": (
+        "gauge", "largest observed hot-swap install latency (ms)"),
+    "serve.swap.dims_mismatch": (
+        "counter",
+        "queued requests failed because a swap changed dimensionality"),
+    "serve.versions": ("info", "per-detector installed model versions"),
     "serve.deadline_exceeded": (
         "counter", "requests that missed their deadline"),
     "serve.latency_p50_ms": ("gauge", "p50 request latency (ms)"),

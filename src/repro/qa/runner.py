@@ -40,6 +40,7 @@ from repro.core.vectorized import VectorizedEngine
 from repro.exceptions import ReproError
 from repro.obs import RunRecorder
 from repro.qa.generators import AdversarialDataset, generate_dataset
+from repro.stream import CountWindow, LiveDetector
 
 __all__ = [
     "Divergence",
@@ -178,6 +179,29 @@ def _run_incremental_churn(points: np.ndarray, eps: float, min_pts: int) -> _Out
     return _masks(detector.detect(), n)
 
 
+def _run_incremental_live(
+    points: np.ndarray, eps: float, min_pts: int
+) -> _Outcome:
+    """Streamed churn through :class:`repro.stream.LiveDetector`.
+
+    Decoys are ingested first, then the dataset in chunks; a count
+    window sized to the dataset ages the decoys out, so the active
+    window ends up holding exactly ``points`` in arrival order.  The
+    window labels — the consistency contract live serving snapshots
+    rely on — must match the brute-force oracle bit-for-bit.
+    """
+    n = points.shape[0]
+    if n == 0:
+        return _run_incremental_split(points, eps, min_pts)
+    live = LiveDetector(eps, min_pts, window=CountWindow(n))
+    decoys = points[: max(1, n // 2)] + 0.25 * eps
+    live.ingest(decoys, timestamps=0.0)
+    chunk = max(1, n // 3)
+    for tick, start in enumerate(range(0, n, chunk), start=1):
+        live.ingest(points[start : start + chunk], timestamps=float(tick))
+    return _masks(live.result(), n)
+
+
 def _run_classify(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
     """CoreModel.classify over the training points themselves.
 
@@ -257,9 +281,12 @@ VARIANT_NAMES: tuple[str, ...] = tuple(_VARIANTS)
 
 #: Opt-in variants, selectable by name but not part of the default
 #: matrix: ``distributed_net`` spawns worker subprocesses, which the
-#: tier-1 suite should not pay for on every run.
+#: tier-1 suite should not pay for on every run;
+#: ``incremental_live`` replays insert+evict churn through the
+#: streaming window layer (run by the tier-2 streaming CI job).
 _OPT_IN_VARIANTS: dict[str, Callable[[np.ndarray, float, int], _Outcome]] = {
     "distributed_net": _run_distributed_net,
+    "incremental_live": _run_incremental_live,
 }
 
 ALL_VARIANT_NAMES: tuple[str, ...] = VARIANT_NAMES + tuple(_OPT_IN_VARIANTS)

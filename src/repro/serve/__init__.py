@@ -9,7 +9,9 @@ refitting.  This package turns that observation into a serving stack:
   fitted models (one ``.npz`` file: arrays + JSON header);
 * :mod:`repro.serve.service` — :class:`OutlierService`, a
   micro-batching request queue with backpressure, per-request
-  deadlines, and a multi-detector LRU registry;
+  deadlines, a multi-detector LRU registry, and atomic hot swap of
+  model versions (:meth:`OutlierService.swap`) for live streaming
+  detectors (:mod:`repro.stream`);
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — an asyncio
   JSON-lines TCP front-end and a blocking client.
 

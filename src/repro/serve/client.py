@@ -138,6 +138,64 @@ class OutlierClient:
         """Liveness check; ``True`` when the server answers."""
         return bool(self.call({"op": "ping"})["ok"])
 
+    # -- live-stream control -------------------------------------------
+
+    def ingest(
+        self,
+        stream: str,
+        points: Any,
+        timestamps: Any = None,
+    ) -> dict[str, Any]:
+        """Feed a batch into a served live detector's window.
+
+        Returns the ingest status dict (``accepted``, ``evicted``,
+        ``window_points``, ``swapped``, and ``version`` when the
+        coordinator hot-swapped a fresh snapshot).
+        """
+        array = np.asarray(points, dtype=np.float64)
+        request: dict[str, Any] = {
+            "op": "ingest",
+            "stream": stream,
+            "points": array.tolist(),
+        }
+        if timestamps is not None:
+            stamps = np.asarray(timestamps, dtype=np.float64)
+            request["timestamps"] = (
+                float(stamps) if stamps.ndim == 0 else stamps.tolist()
+            )
+        response = self.call(request)
+        return {
+            key: value
+            for key, value in response.items()
+            if key not in ("ok", "id")
+        }
+
+    def evict(
+        self,
+        stream: str,
+        count: int | None = None,
+        older_than: float | None = None,
+    ) -> int:
+        """Manually evict window points; returns how many left."""
+        request: dict[str, Any] = {"op": "evict", "stream": stream}
+        if count is not None:
+            request["count"] = int(count)
+        if older_than is not None:
+            request["older_than"] = float(older_than)
+        return int(self.call(request)["evicted"])
+
+    def swap_status(self, detector: str | None = None) -> dict[str, Any]:
+        """Installed model versions, swap latency, and stream status."""
+        request: dict[str, Any] = {"op": "swap_status"}
+        if detector is not None:
+            request["detector"] = detector
+        response = self.call(request)
+        return {
+            key: value
+            for key, value in response.items()
+            if key not in ("ok", "id")
+        }
+
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:

@@ -10,8 +10,29 @@ The wire protocol is one JSON object per line, both ways.  Requests:
 * ``{"op": "telemetry"}`` — exposition snapshot: numeric counters plus
   a ready-rendered Prometheus ``text`` field (what ``repro top``
   consumes).
-* ``{"op": "list"}`` — registered detector names.
+* ``{"op": "list"}`` — registered detector names (plus attached
+  stream names).
 * ``{"op": "ping"}`` — liveness check.
+
+Live-stream control ops (available for streams attached with
+:meth:`OutlierServer.attach_stream`):
+
+* ``{"op": "ingest", "stream": "name", "points": [[...], ...]}`` —
+  feed a batch into the stream's sliding window; optional
+  ``"timestamps"`` (scalar or per-point list).  The coordinator may
+  snapshot + hot-swap per its refresh policy; the response reports
+  ``accepted``/``evicted``/``window_points``/``swapped`` (and the
+  installed ``version`` when a swap happened).
+* ``{"op": "evict", "stream": "name", "count": N}`` (or
+  ``"older_than": T``) — manual eviction; reports ``evicted``.
+* ``{"op": "swap_status"}`` — installed model versions and swap
+  latency facts from the service, plus per-stream window status;
+  optional ``"detector"`` narrows to one name.
+
+Ingest and evict run in a thread-pool executor, so the event loop —
+and therefore in-flight ``query`` traffic — never blocks on window
+maintenance or snapshot builds (the zero-downtime property the soak
+test asserts).
 
 With ``metrics_port`` set, the same telemetry is additionally served
 over HTTP (``GET /metrics`` Prometheus text, ``GET /telemetry`` JSON)
@@ -70,10 +91,46 @@ class OutlierServer:
         self._metrics_port = metrics_port
         self.metrics_http: MetricsHTTPServer | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._streams: dict[str, Any] = {}
+        self._ingest_lock = asyncio.Lock()
+
+    # -- live streams ---------------------------------------------------
+
+    def attach_stream(self, name: str, coordinator: Any) -> None:
+        """Expose a :class:`~repro.stream.StreamCoordinator` over the
+        wire: ``ingest``/``evict`` ops addressed to ``name`` drive it,
+        and its window status shows up in ``swap_status``."""
+        self._streams[name] = coordinator
+
+    def streams(self) -> list[str]:
+        """Names of attached live streams."""
+        return list(self._streams)
+
+    def _stream(self, name: Any):
+        if not isinstance(name, str):
+            raise ServeError("op needs a string 'stream' field")
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise ServeError(
+                f"unknown stream {name!r}; attached: "
+                f"{list(self._streams) or 'none'}"
+            ) from None
 
     def _telemetry(self) -> dict[str, Any]:
-        """The service snapshot stamped with this server's address."""
+        """The service snapshot stamped with this server's address.
+
+        Attached live streams contribute their ``stream.*`` and
+        ``incremental.*`` counters (summed across streams), so the
+        Prometheus plane sees ingest lag, window size, and snapshot
+        age alongside the ``serve.*`` families.
+        """
         snapshot = self.service.telemetry()
+        counters = snapshot.setdefault("counters", {})
+        for coordinator in self._streams.values():
+            for key, value in coordinator.telemetry().items():
+                if isinstance(value, (int, float)):
+                    counters[key] = counters.get(key, 0) + value
         snapshot["host"] = self.host
         snapshot["port"] = self.port
         return snapshot
@@ -166,7 +223,9 @@ class OutlierServer:
                 return ok_payload(request_id, op="ping")
             if op == "list":
                 return ok_payload(
-                    request_id, detectors=self.service.detectors()
+                    request_id,
+                    detectors=self.service.detectors(),
+                    streams=self.streams(),
                 )
             if op == "stats":
                 return ok_payload(request_id, stats=self.service.stats())
@@ -179,6 +238,12 @@ class OutlierServer:
                 )
             if op == "query":
                 return await self._handle_query(request, request_id)
+            if op == "ingest":
+                return await self._handle_ingest(request, request_id)
+            if op == "evict":
+                return await self._handle_evict(request, request_id)
+            if op == "swap_status":
+                return self._handle_swap_status(request, request_id)
             raise ServeError(f"unknown op {op!r}")
         except json.JSONDecodeError as exc:
             return error_payload(
@@ -207,21 +272,89 @@ class OutlierServer:
             n_outliers=int(labels.sum()),
         )
 
+    async def _handle_ingest(
+        self, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        coordinator = self._stream(request.get("stream"))
+        points = np.asarray(request.get("points"), dtype=np.float64)
+        if points.ndim == 1 and points.size:
+            points = points[None, :]  # single point convenience
+        timestamps = request.get("timestamps")
+        if timestamps is not None:
+            timestamps = np.asarray(timestamps, dtype=np.float64)
+        loop = asyncio.get_running_loop()
+        # Window maintenance and snapshot builds happen off the event
+        # loop so concurrent query traffic keeps flowing; the ingest
+        # lock preserves wire arrival order.
+        async with self._ingest_lock:
+            status = await loop.run_in_executor(
+                None,
+                lambda: coordinator.ingest(
+                    points, timestamps=timestamps
+                ),
+            )
+        return ok_payload(request_id, **status)
+
+    async def _handle_evict(
+        self, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        coordinator = self._stream(request.get("stream"))
+        count = request.get("count")
+        older_than = request.get("older_than")
+        loop = asyncio.get_running_loop()
+        async with self._ingest_lock:
+            evicted = await loop.run_in_executor(
+                None,
+                lambda: coordinator.live.evict(
+                    count=None if count is None else int(count),
+                    older_than=(
+                        None if older_than is None else float(older_than)
+                    ),
+                ),
+            )
+        return ok_payload(
+            request_id,
+            evicted=int(evicted),
+            window_points=coordinator.live.window_points,
+        )
+
+    def _handle_swap_status(
+        self, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        detector = request.get("detector")
+        status = self.service.swap_status(detector)
+        status["streams"] = {
+            name: coordinator.status()
+            for name, coordinator in self._streams.items()
+            if detector is None or name == detector
+        }
+        return ok_payload(request_id, **status)
+
 
 def run_server(
     service: OutlierService,
     host: str = "127.0.0.1",
     port: int = 7227,
     metrics_port: int | None = None,
+    streams: dict[str, Any] | None = None,
 ) -> None:
-    """Blocking convenience runner used by ``repro serve``."""
+    """Blocking convenience runner used by ``repro serve``.
+
+    ``streams`` maps names to
+    :class:`~repro.stream.StreamCoordinator` instances to attach
+    (enables the ``ingest``/``evict``/``swap_status`` ops for them).
+    """
 
     async def _run() -> None:
         server = await OutlierServer(
             service, host, port, metrics_port=metrics_port
         ).start()
+        for name, coordinator in (streams or {}).items():
+            server.attach_stream(name, coordinator)
         print(f"serving {len(service.detectors())} detector(s) "
               f"on {host}:{server.port}")
+        if streams:
+            print(f"live stream(s): {', '.join(sorted(streams))}")
         if server.metrics_http is not None:
             print(f"metrics on http://{host}:{server.metrics_http.port}"
                   "/metrics")

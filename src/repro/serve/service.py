@@ -23,6 +23,16 @@ component built for heavy concurrent traffic:
 * **Multi-detector registry.**  Models register under names with LRU
   eviction beyond ``max_models``, so one service can front many fitted
   detectors within a bounded memory budget.
+* **Atomic hot swap.**  :meth:`OutlierService.swap` installs a new
+  :class:`~repro.core.classify.CoreModel` version under an existing
+  name without dropping or blocking in-flight batches: the registry
+  flips under the lock, a per-detector version counter advances, and
+  the batch worker re-validates each queued request against the model
+  it actually resolves — a queued request that no longer matches (a
+  swap changed dimensionality) fails individually instead of sinking
+  the whole coalesced batch.  Re-registering an existing name routes
+  through the same path, closing the historical register/worker race.
+  Swap installs count under ``serve.swap.*`` metrics.
 
 Every batch updates ``serve.*`` counters on the service's
 :class:`~repro.obs.MetricsRegistry` (requests, batches, rows, queue
@@ -126,6 +136,7 @@ class OutlierService:
         self.batch_wait_s = float(batch_wait_s)
         self.metrics = MetricsRegistry()
         self._models: OrderedDict[str, CoreModel] = OrderedDict()
+        self._versions: dict[str, int] = {}
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -136,29 +147,122 @@ class OutlierService:
 
     # -- registry ------------------------------------------------------
 
-    def register(self, name: str, model: CoreModel | Any) -> None:
-        """Register ``model`` (or an artifact) under ``name``.
-
-        Accepts a :class:`~repro.core.classify.CoreModel` or anything
-        with a ``.model`` attribute holding one (a
-        :class:`~repro.serve.artifact.DetectorArtifact`).  Registering
-        past ``max_models`` evicts the least recently used entry.
-        """
+    def _resolve_model(self, model: CoreModel | Any) -> CoreModel:
         resolved = getattr(model, "model", model)
         if not isinstance(resolved, CoreModel):
             raise ServeError(
                 f"cannot register {type(model).__name__}; expected a "
                 "CoreModel or DetectorArtifact"
             )
+        return resolved
+
+    def _install(self, name: str, resolved: CoreModel) -> tuple[bool, int]:
+        """Install under the lock; returns (replaced, version)."""
+        replaced = name in self._models
+        self._models[name] = resolved
+        self._models.move_to_end(name)
+        self._versions[name] = self._versions.get(name, 0) + 1
+        while len(self._models) > self.max_models:
+            evicted, _ = self._models.popitem(last=False)
+            self._versions.pop(evicted, None)
+            self.metrics.increment("serve.models_evicted")
+        self.metrics.set("serve.models_registered", len(self._models))
+        return replaced, self._versions[name]
+
+    def _record_swap(self, elapsed_s: float) -> None:
+        self.metrics.increment("serve.swap.total")
+        ms = elapsed_s * 1e3
+        self.metrics.set("serve.swap.latency_ms", ms)
+        if ms > self.metrics.get("serve.swap.latency_max_ms"):
+            self.metrics.set("serve.swap.latency_max_ms", ms)
+
+    def register(self, name: str, model: CoreModel | Any) -> int:
+        """Register ``model`` (or an artifact) under ``name``.
+
+        Accepts a :class:`~repro.core.classify.CoreModel` or anything
+        with a ``.model`` attribute holding one (a
+        :class:`~repro.serve.artifact.DetectorArtifact`).  Registering
+        past ``max_models`` evicts the least recently used entry.
+
+        Re-registering an existing name is an atomic hot swap (see
+        :meth:`swap`): requests already queued against the old model
+        are re-validated by the batch worker against whatever model it
+        resolves at classify time, so a replacement can never sink a
+        coalesced in-flight batch.  Counted under
+        ``serve.swap.reregister``.
+
+        Returns:
+            The installed model version (1 for a fresh name).
+        """
+        resolved = self._resolve_model(model)
+        started = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ServeError("service is closed")
-            self._models[name] = resolved
-            self._models.move_to_end(name)
-            while len(self._models) > self.max_models:
-                self._models.popitem(last=False)
-                self.metrics.increment("serve.models_evicted")
-            self.metrics.set("serve.models_registered", len(self._models))
+            replaced, version = self._install(name, resolved)
+        if replaced:
+            self.metrics.increment("serve.swap.reregister")
+            self._record_swap(time.perf_counter() - started)
+        return version
+
+    def swap(self, name: str, model: CoreModel | Any) -> int:
+        """Atomically install a new model version under ``name``.
+
+        The registry entry flips under the service lock, so every
+        classify batch sees either the old or the new version — never
+        a mixture.  In-flight requests are neither dropped nor
+        blocked: batches picked up after the swap resolve the new
+        model, and any queued request whose dimensionality no longer
+        matches fails individually (``serve.swap.dims_mismatch``)
+        while the rest of the batch proceeds.
+
+        Returns:
+            The new version number (monotonic per registered name;
+            resets when a name is evicted and later re-registered).
+        """
+        resolved = self._resolve_model(model)
+        started = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                raise ServeError("service is closed")
+            _, version = self._install(name, resolved)
+        self._record_swap(time.perf_counter() - started)
+        return version
+
+    def swap_status(self, name: str | None = None) -> dict[str, Any]:
+        """Installed-version and swap-latency facts.
+
+        Args:
+            name: Restrict to one detector (raises
+                :class:`~repro.exceptions.UnknownDetectorError` if it
+                is not registered); ``None`` reports all.
+        """
+        with self._lock:
+            versions = dict(self._versions)
+        if name is not None and name not in versions:
+            raise UnknownDetectorError(
+                f"unknown detector {name!r}; registered: "
+                f"{list(versions) or 'none'}"
+            )
+        status: dict[str, Any] = {
+            "versions": (
+                versions if name is None else {name: versions[name]}
+            ),
+            "swaps": int(self.metrics.get("serve.swap.total")),
+            "reregisters": int(
+                self.metrics.get("serve.swap.reregister")
+            ),
+            "dims_mismatches": int(
+                self.metrics.get("serve.swap.dims_mismatch")
+            ),
+            "last_latency_ms": float(
+                self.metrics.get("serve.swap.latency_ms")
+            ),
+            "max_latency_ms": float(
+                self.metrics.get("serve.swap.latency_max_ms")
+            ),
+        }
+        return status
 
     def load(self, name: str, path) -> None:
         """Load an artifact file and register it under ``name``."""
@@ -303,6 +407,7 @@ class OutlierService:
             latencies = sorted(self._latencies)
             snapshot["serve.queue_depth"] = len(self._queue)
             snapshot["serve.models"] = list(self._models)
+            snapshot["serve.versions"] = dict(self._versions)
         if latencies:
             def quantile(q: float) -> float:
                 index = min(
@@ -453,6 +558,27 @@ class OutlierService:
             # Evicted between submit and drain.
             for request in live:
                 request.future.set_exception(exc)
+            return
+        # A hot swap between submit and pickup may have changed the
+        # model; re-validate each request against the version this
+        # batch actually resolved so a mismatch fails alone instead of
+        # sinking the whole coalesced batch.
+        matching: list[_Request] = []
+        for request in live:
+            if int(request.points.shape[1]) != model.n_dims:
+                self.metrics.increment("serve.swap.dims_mismatch")
+                request.future.set_exception(
+                    DataValidationError(
+                        f"detector {detector!r} now expects "
+                        f"{model.n_dims}-D points, got "
+                        f"{request.points.shape[1]}-D (model replaced "
+                        "after submit)"
+                    )
+                )
+            else:
+                matching.append(request)
+        live = matching
+        if not live:
             return
         stacked = (
             live[0].points

@@ -1,0 +1,38 @@
+"""Live streaming detectors with hot-swappable served snapshots.
+
+The streaming layer promotes the exact incremental engine
+(:class:`~repro.core.incremental.IncrementalDBSCOUT`) from a batch
+API to a live system:
+
+* :class:`LiveDetector` maintains a sliding window (pluggable
+  eviction policies) and exports point-in-time
+  :class:`~repro.core.classify.CoreModel` snapshots that are exact
+  batch fits over the active window;
+* :class:`StreamCoordinator` drives ingest → snapshot →
+  :meth:`OutlierService.swap <repro.serve.OutlierService.swap>` on a
+  refresh policy (every N points / every T seconds / on drift);
+* the serve wire protocol grows ``ingest``/``evict``/``swap_status``
+  ops so remote clients can feed a served live detector.
+"""
+
+from repro.stream.coordinator import StreamCoordinator
+from repro.stream.live import IngestOutcome, LiveDetector, StreamSnapshot
+from repro.stream.window import (
+    CountWindow,
+    EvictionPolicy,
+    KeepAll,
+    TimeWindow,
+    resolve_policy,
+)
+
+__all__ = [
+    "LiveDetector",
+    "IngestOutcome",
+    "StreamSnapshot",
+    "StreamCoordinator",
+    "EvictionPolicy",
+    "CountWindow",
+    "TimeWindow",
+    "KeepAll",
+    "resolve_policy",
+]

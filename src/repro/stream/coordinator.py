@@ -1,0 +1,223 @@
+"""Drives ingest → periodic snapshot → hot swap against a service.
+
+:class:`StreamCoordinator` is the glue between a
+:class:`~repro.stream.live.LiveDetector` and an
+:class:`~repro.serve.OutlierService`: every ingest batch flows into
+the live detector's sliding window, and on a configurable refresh
+policy the coordinator exports a point-in-time snapshot and installs
+it into the service with :meth:`OutlierService.swap
+<repro.serve.OutlierService.swap>` — atomically, without dropping or
+blocking in-flight classify batches.
+
+Refresh policies compose (any satisfied trigger refreshes):
+
+* ``every_points=N`` — after N accepted points since the last swap;
+* ``every_s=T`` — when the served snapshot is older than T seconds;
+* ``drift_threshold=f`` — when the fraction of window labels changed
+  since the last snapshot reaches ``f`` (inclusive, matching the
+  library's ``<=`` threshold convention).
+
+The coordinator is deliberately passive: policies are evaluated when
+:meth:`ingest` or :meth:`tick` is called, so callers own the event
+loop (the server's asyncio loop, a timer thread, or a replay script)
+and tests stay deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.stream.live import LiveDetector, StreamSnapshot
+
+__all__ = ["StreamCoordinator"]
+
+
+class StreamCoordinator:
+    """Keeps a served model fresh from a live stream.
+
+    Args:
+        live: The live detector owning the sliding window.
+        service: An :class:`~repro.serve.OutlierService` (anything
+            with ``swap(name, model)``).
+        name: Detector name to install snapshots under.
+        every_points: Refresh after this many accepted points
+            (``None`` disables the trigger).
+        every_s: Refresh when the served snapshot is older than this
+            many seconds (``None`` disables).
+        drift_threshold: Refresh when window-label drift since the
+            last snapshot reaches this fraction (``None`` disables).
+        min_points: Do not install a snapshot until the window holds
+            at least this many points (avoids serving a near-empty
+            model during warm-up).
+
+    At least one trigger must be enabled; :meth:`refresh` can always
+    be called explicitly regardless of policy.
+    """
+
+    def __init__(
+        self,
+        live: LiveDetector,
+        service,
+        name: str = "live",
+        every_points: int | None = None,
+        every_s: float | None = None,
+        drift_threshold: float | None = None,
+        min_points: int = 1,
+    ) -> None:
+        if every_points is not None and every_points < 1:
+            raise ParameterError(
+                f"every_points must be >= 1, got {every_points}"
+            )
+        if every_s is not None and not every_s > 0:
+            raise ParameterError(f"every_s must be > 0, got {every_s}")
+        if drift_threshold is not None and not (
+            0.0 <= drift_threshold <= 1.0
+        ):
+            raise ParameterError(
+                "drift_threshold must be in [0, 1], "
+                f"got {drift_threshold}"
+            )
+        if every_points is None and every_s is None and (
+            drift_threshold is None
+        ):
+            raise ParameterError(
+                "enable at least one refresh trigger (every_points, "
+                "every_s, or drift_threshold)"
+            )
+        self.live = live
+        self.service = service
+        self.name = str(name)
+        self.every_points = every_points
+        self.every_s = every_s
+        self.drift_threshold = drift_threshold
+        self.min_points = int(min_points)
+        self._points_since_swap = 0
+        self._last_swap_at: float | None = None
+        self._swaps = 0
+        self._last_snapshot: StreamSnapshot | None = None
+
+    # -- driving -------------------------------------------------------
+
+    def ingest(
+        self,
+        points: np.ndarray,
+        timestamps: np.ndarray | float | None = None,
+    ) -> dict[str, Any]:
+        """Feed a batch into the window, refreshing if policy fires.
+
+        Returns a status dict (accepted/evicted counts, window size,
+        whether a swap happened, installed version if so).
+        """
+        outcome = self.live.ingest(points, timestamps=timestamps)
+        self._points_since_swap += outcome.accepted
+        swapped = self._maybe_refresh()
+        status = {
+            "accepted": outcome.accepted,
+            "evicted": outcome.evicted,
+            "window_points": outcome.window_points,
+            "swapped": swapped is not None,
+        }
+        if swapped is not None:
+            status["version"] = swapped
+        return status
+
+    def tick(self) -> int | None:
+        """Evaluate time/drift triggers outside the ingest path.
+
+        Returns the installed version when a swap happened, else
+        ``None``.  Call this from a timer when the stream can go quiet
+        (an ``every_s`` policy must not depend on traffic to fire).
+        """
+        return self._maybe_refresh()
+
+    def refresh(self) -> int:
+        """Snapshot the window now and hot-swap it into the service.
+
+        Returns:
+            The version number the service installed.
+        """
+        snapshot = self.live.snapshot()
+        version = self.service.swap(self.name, snapshot.model)
+        self._last_snapshot = snapshot
+        self._points_since_swap = 0
+        self._last_swap_at = time.monotonic()
+        self._swaps += 1
+        self.live.metrics.increment("stream.swaps")
+        return version
+
+    def _maybe_refresh(self) -> int | None:
+        if self.live.window_points < self.min_points:
+            return None
+        if self._due():
+            return self.refresh()
+        return None
+
+    def _due(self) -> bool:
+        if self._swaps == 0:
+            # Nothing served yet: the first eligible window ships.
+            return True
+        if (
+            self.every_points is not None
+            and self._points_since_swap >= self.every_points
+        ):
+            return True
+        if self.every_s is not None and self._last_swap_at is not None:
+            if time.monotonic() - self._last_swap_at >= self.every_s:
+                return True
+        if self.drift_threshold is not None:
+            if (
+                self.live.drift_since_snapshot()
+                >= self.drift_threshold
+            ):
+                return True
+        return False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def n_swaps(self) -> int:
+        """Snapshots installed into the service so far."""
+        return self._swaps
+
+    @property
+    def last_snapshot(self) -> StreamSnapshot | None:
+        """The most recently installed snapshot (``None`` initially)."""
+        return self._last_snapshot
+
+    def status(self) -> dict[str, Any]:
+        """One JSON-able view of the stream/serving state."""
+        age = self.live.snapshot_age_s()
+        status: dict[str, Any] = {
+            "detector": self.name,
+            "window_points": self.live.window_points,
+            "window_policy": self.live.policy.describe(),
+            "snapshots": self.live.n_snapshots,
+            "swaps": self._swaps,
+            "points_since_swap": self._points_since_swap,
+            "snapshot_age_s": age,
+        }
+        if self._last_snapshot is not None:
+            status["snapshot_sequence"] = self._last_snapshot.sequence
+            status["snapshot_drift"] = self._last_snapshot.drift
+        return status
+
+    def telemetry(self) -> dict[str, Any]:
+        """Numeric counters from the live detector (stream.* etc.)."""
+        return self.live.telemetry()
+
+    def __repr__(self) -> str:
+        triggers = []
+        if self.every_points is not None:
+            triggers.append(f"every_points={self.every_points}")
+        if self.every_s is not None:
+            triggers.append(f"every_s={self.every_s:g}")
+        if self.drift_threshold is not None:
+            triggers.append(f"drift>={self.drift_threshold:g}")
+        return (
+            f"StreamCoordinator(name={self.name!r}, "
+            f"{', '.join(triggers)}, swaps={self._swaps})"
+        )

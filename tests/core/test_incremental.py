@@ -157,6 +157,56 @@ class TestValidation:
         assert "pending_dirty" in repr(detector)
 
 
+class TestTelemetry:
+    def test_lifetime_counters_track_churn(self, clustered_2d):
+        detector = IncrementalDBSCOUT(0.8, 8)
+        detector.insert(clustered_2d[:100])
+        detector.insert(clustered_2d[100:])
+        detector.remove([0, 1, 2])
+        detector.detect()
+        counters = detector.metrics.snapshot()
+        n = clustered_2d.shape[0]
+        assert counters["incremental.inserts"] == 2
+        assert counters["incremental.points_inserted"] == n
+        assert counters["incremental.removes"] == 1
+        assert counters["incremental.points_removed"] == 3
+        assert counters["incremental.window_points"] == n - 3
+        assert counters["incremental.detects"] == 1
+        assert counters["incremental.core_cells_recomputed"] > 0
+        assert detector.n_active == n - 3
+
+    def test_detect_record_carries_counters_all_declared(
+        self, clustered_2d
+    ):
+        from repro.obs.names import undeclared
+
+        detector = IncrementalDBSCOUT(0.8, 8)
+        detector.insert(clustered_2d)
+        result = detector.detect()
+        counters = result.record.counters
+        assert counters["incremental.inserts"] == 1
+        assert counters["incremental.detects"] == 1
+        assert undeclared(counters) == []
+
+    def test_insert_and_remove_emit_spans_when_tracing(
+        self, clustered_2d
+    ):
+        from repro import obs
+
+        detector = IncrementalDBSCOUT(0.8, 8)
+        obs.enable_tracing()
+        tracer = obs.Tracer()
+        try:
+            with tracer.activate():
+                detector.insert(clustered_2d)
+                detector.remove([0])
+        finally:
+            obs.disable_tracing()
+        names = [record.name for record in tracer.spans()]
+        assert "incremental.insert" in names
+        assert "incremental.remove" in names
+
+
 # Property: any insertion split yields the batch result (dyadic lattice
 # for exact comparisons, as in test_core_properties).
 coords = st.integers(min_value=-200, max_value=200).map(lambda k: k / 8.0)

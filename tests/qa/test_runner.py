@@ -33,6 +33,20 @@ def test_unknown_variant_rejected():
         DifferentialRunner(variants=("no_such_engine",))
 
 
+def test_incremental_live_variant_is_opt_in_and_exact():
+    from repro.qa.runner import ALL_VARIANT_NAMES
+
+    assert "incremental_live" not in VARIANT_NAMES
+    assert "incremental_live" in ALL_VARIANT_NAMES
+    runner = DifferentialRunner(
+        variants=("incremental_live",), emit_records=False
+    )
+    result = runner.run_case(
+        _dataset([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [9.0, 9.0]])
+    )
+    assert result.ok, [str(d) for d in result.divergences]
+
+
 def test_injected_label_bug_is_detected():
     runner = DifferentialRunner(
         variants=("vectorized_pruned",), emit_records=False

@@ -1,0 +1,175 @@
+"""Atomic hot swap: versioning, the re-register race, zero downtime.
+
+The acceptance property for streaming serving: a model version can be
+installed under a live name while classify traffic is in flight, and
+no query is ever dropped, blocked, or answered by a half-installed
+model.  The soak test at the bottom performs 500+ hot-swaps under
+continuous classify load and requires zero failures.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import DBSCOUT
+from repro.exceptions import (
+    DataValidationError,
+    ServeError,
+    UnknownDetectorError,
+)
+from repro.serve import OutlierService
+from repro.stream import LiveDetector, StreamCoordinator
+
+
+def _model(points, eps=0.8, min_pts=10):
+    detector = DBSCOUT(eps=eps, min_pts=min_pts)
+    detector.fit(points)
+    return detector.core_model_
+
+
+@pytest.fixture
+def two_models(clustered_2d, rng):
+    shifted = clustered_2d + np.array([100.0, 100.0])
+    return _model(clustered_2d), _model(shifted)
+
+
+def test_swap_installs_new_version(two_models, clustered_2d):
+    old, new = two_models
+    with OutlierService() as service:
+        assert service.register("geo", old) == 1
+        assert service.swap("geo", new) == 2
+        # The probe sits inside the OLD cluster: the swapped model
+        # (fit 100 units away) must label it an outlier.
+        labels = service.query("geo", clustered_2d[:1])
+        assert labels.tolist() == [1]
+        assert service.stats()["serve.versions"] == {"geo": 2}
+
+
+def test_reregister_is_counted_as_swap(two_models):
+    old, new = two_models
+    with OutlierService() as service:
+        service.register("geo", old)
+        assert service.register("geo", new) == 2
+        status = service.swap_status()
+        assert status["versions"] == {"geo": 2}
+        assert status["swaps"] == 1
+        assert status["reregisters"] == 1
+        assert status["max_latency_ms"] >= status["last_latency_ms"] > 0
+
+
+def test_swap_status_unknown_name_raises(two_models):
+    old, _ = two_models
+    with OutlierService() as service:
+        service.register("geo", old)
+        with pytest.raises(UnknownDetectorError):
+            service.swap_status("nope")
+        assert service.swap_status("geo")["versions"] == {"geo": 1}
+
+
+def test_swap_rejects_non_models():
+    with OutlierService() as service:
+        with pytest.raises(ServeError):
+            service.swap("geo", object())
+
+
+def test_eviction_resets_version_counter(two_models):
+    old, new = two_models
+    with OutlierService(max_models=1) as service:
+        service.register("a", old)
+        service.swap("a", new)
+        service.register("b", old)  # evicts "a" and its version
+        assert service.swap_status()["versions"] == {"b": 1}
+        assert service.register("a", old) == 1
+
+
+def test_reregister_race_does_not_sink_inflight_batch(two_models):
+    """Requests queued against the old model classify against the new
+    one — replacement is atomic w.r.t. the coalesced batch."""
+    old, new = two_models
+    with OutlierService() as service:
+        service.register("geo", old)
+        service.pause()
+        probe = np.array([[0.0, 0.0], [100.0, 100.0]])
+        futures = [service.submit("geo", probe) for _ in range(4)]
+        service.register("geo", new)  # the historical race window
+        service.resume()
+        for future in futures:
+            labels = future.result(timeout=5.0)
+            # Answered by exactly the new model: (0,0) is 100 units
+            # from its cluster, (100,100) is inside it.
+            assert labels.tolist() == [1, 0]
+
+
+def test_dims_mismatch_after_swap_fails_only_stale_requests(
+    clustered_2d, clustered_3d
+):
+    model_2d = _model(clustered_2d)
+    model_3d = _model(clustered_3d, eps=1.0)
+    with OutlierService() as service:
+        service.register("geo", model_2d)
+        service.pause()
+        stale = service.submit("geo", clustered_2d[:3])
+        service.swap("geo", model_3d)
+        fresh = service.submit("geo", clustered_3d[:3])
+        service.resume()
+        with pytest.raises(DataValidationError):
+            stale.result(timeout=5.0)
+        assert fresh.result(timeout=5.0).shape == (3,)
+        assert service.stats()["serve.swap.dims_mismatch"] == 1
+
+
+def test_hot_swap_soak_zero_downtime(rng):
+    """≥500 hot-swaps under continuous classify load: zero failed or
+    dropped queries, and the final snapshot is bit-identical to a
+    batch fit over the active window."""
+    eps, min_pts = 0.5, 4
+    with OutlierService(max_queue=8192) as service:
+        live = LiveDetector(eps, min_pts, window=120, name="soak")
+        coordinator = StreamCoordinator(
+            live, service, name="soak", every_points=1
+        )
+        coordinator.ingest(rng.normal(0.0, 0.4, size=(120, 2)))
+        probes = rng.normal(0.0, 2.0, size=(8, 2))
+        stop = threading.Event()
+        failures: list[Exception] = []
+        answered = [0, 0, 0, 0]
+
+        def hammer(slot: int) -> None:
+            while not stop.is_set():
+                try:
+                    labels = service.query("soak", probes)
+                    assert labels.shape == (probes.shape[0],)
+                    answered[slot] += 1
+                except Exception as exc:  # noqa: BLE001 - soak gate
+                    failures.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,), daemon=True)
+            for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        while coordinator.n_swaps < 500 and not failures:
+            coordinator.ingest(rng.normal(0.0, 0.4, size=(4, 2)))
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        assert failures == []
+        assert coordinator.n_swaps >= 500
+        assert all(count > 0 for count in answered)
+        assert service.swap_status("soak")["swaps"] >= 500
+
+        # Snapshot exactness after the churn: the served model equals
+        # a batch fit over the currently-active window.
+        active = live.active_points()
+        batch = DBSCOUT(eps=eps, min_pts=min_pts).fit(active)
+        snapshot = live.snapshot()
+        assert np.array_equal(
+            snapshot.model.classify(active),
+            batch.outlier_mask.astype(np.int64),
+        )

@@ -1,0 +1,137 @@
+"""StreamCoordinator: refresh policies and service hot-swaps."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.serve import OutlierService
+from repro.stream import LiveDetector, StreamCoordinator
+
+
+@pytest.fixture
+def service():
+    with OutlierService() as svc:
+        yield svc
+
+
+def test_requires_at_least_one_trigger(service):
+    live = LiveDetector(0.5, 3)
+    with pytest.raises(ParameterError):
+        StreamCoordinator(live, service, name="x")
+
+
+def test_validates_trigger_bounds(service):
+    live = LiveDetector(0.5, 3)
+    with pytest.raises(ParameterError):
+        StreamCoordinator(live, service, every_points=0)
+    with pytest.raises(ParameterError):
+        StreamCoordinator(live, service, every_s=0.0)
+    with pytest.raises(ParameterError):
+        StreamCoordinator(live, service, drift_threshold=1.5)
+
+
+def test_first_eligible_window_ships_immediately(rng, service):
+    live = LiveDetector(0.5, 3, window=100)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", every_points=1000, min_points=10
+    )
+    status = coordinator.ingest(rng.normal(size=(5, 2)))
+    assert not status["swapped"]  # below min_points: nothing served
+    status = coordinator.ingest(rng.normal(size=(10, 2)))
+    assert status["swapped"] and status["version"] == 1
+    assert "geo" in service.detectors()
+
+
+def test_every_points_trigger_counts_accepted_points(rng, service):
+    live = LiveDetector(0.5, 3, window=100)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", every_points=20
+    )
+    coordinator.ingest(rng.normal(size=(5, 2)))  # first swap
+    swaps = [
+        coordinator.ingest(rng.normal(size=(5, 2)))["swapped"]
+        for _ in range(8)
+    ]
+    # 20 accepted points between swaps -> every 4th batch of 5.
+    assert swaps == [False, False, False, True] * 2
+    assert coordinator.n_swaps == 3
+
+
+def test_every_s_trigger_fires_on_tick(rng, service):
+    live = LiveDetector(0.5, 3)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", every_s=0.01
+    )
+    coordinator.ingest(rng.normal(size=(10, 2)))
+    assert coordinator.n_swaps == 1
+    assert coordinator.tick() is None  # too fresh
+    time.sleep(0.02)
+    assert coordinator.tick() == 2  # stale: tick swaps without ingest
+
+
+def test_drift_trigger_refreshes_on_label_change(rng, service):
+    live = LiveDetector(0.5, 4)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", drift_threshold=0.01
+    )
+    cluster = rng.normal(0.0, 0.2, size=(30, 2))
+    # Cluster plus one far point (an outlier) in the first snapshot.
+    coordinator.ingest(np.vstack([cluster, [[5.0, 5.0]]]))
+    assert coordinator.n_swaps == 1
+    # Same-cluster traffic: no label changes, no swap.
+    status = coordinator.ingest(
+        rng.normal(0.0, 0.2, size=(30, 2))
+    )
+    assert coordinator.n_swaps == 1
+    # Densify the far region: the snapshotted outlier flips to
+    # inlier, pushing drift past the threshold.
+    coordinator.ingest(
+        np.full((8, 2), 5.0) + rng.normal(0, 0.05, size=(8, 2))
+    )
+    assert coordinator.n_swaps == 2
+    assert isinstance(status, dict)
+
+
+def test_refresh_returns_installed_version(rng, service):
+    live = LiveDetector(0.5, 3)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", every_points=10**9
+    )
+    live.ingest(rng.normal(size=(20, 2)))
+    assert coordinator.refresh() == 1
+    assert coordinator.refresh() == 2
+    assert service.swap_status("geo")["versions"] == {"geo": 2}
+
+
+def test_status_reports_window_and_swap_facts(rng, service):
+    live = LiveDetector(0.5, 3, window=16)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", every_points=8
+    )
+    coordinator.ingest(rng.normal(size=(12, 2)))
+    status = coordinator.status()
+    assert status["detector"] == "geo"
+    assert status["window_points"] == 12
+    assert status["window_policy"] == "count<=16"
+    assert status["swaps"] == 1
+    assert status["snapshot_sequence"] == 1
+    assert status["snapshot_age_s"] >= 0.0
+    assert "every_points=8" in repr(coordinator)
+
+
+def test_swapped_model_serves_fresh_labels(rng, service):
+    live = LiveDetector(0.5, 4, window=200)
+    coordinator = StreamCoordinator(
+        live, service, name="geo", every_points=1
+    )
+    coordinator.ingest(rng.normal(0.0, 0.3, size=(60, 2)))
+    probe = np.array([[5.0, 5.0]])
+    assert service.query("geo", probe).tolist() == [1]
+    # Stream a dense cluster at the probe: after the swap the same
+    # probe classifies as inlier against the fresh snapshot.
+    coordinator.ingest(
+        np.full((30, 2), 5.0) + rng.normal(0, 0.1, size=(30, 2))
+    )
+    assert service.query("geo", probe).tolist() == [0]

@@ -1,0 +1,150 @@
+"""LiveDetector: the streaming consistency contract.
+
+The load-bearing property: after any ingest/evict history, the labels
+over the currently-active window — and the exported CoreModel snapshot
+— are bit-identical to a batch ``DBSCOUT.fit`` over exactly those
+points.  Exercised across an engine × eps × minPts × eviction-policy
+matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DBSCOUT
+from repro.exceptions import ParameterError
+from repro.obs.names import undeclared
+from repro.stream import CountWindow, KeepAll, LiveDetector, TimeWindow
+
+
+def _stream(rng, n=240):
+    """Clustered points plus scatter, pre-shuffled arrival order."""
+    points = np.vstack(
+        [
+            rng.normal(0.0, 0.5, size=(n - n // 8, 2)),
+            rng.uniform(-6.0, 6.0, size=(n // 8, 2)),
+        ]
+    )
+    return points[rng.permutation(n)]
+
+
+POLICIES = [
+    lambda: CountWindow(120),
+    lambda: TimeWindow(3.0),
+    lambda: KeepAll(),
+]
+
+
+@pytest.mark.parametrize("engine", ["vectorized", "distributed"])
+@pytest.mark.parametrize("eps", [0.35, 0.7])
+@pytest.mark.parametrize("min_pts", [3, 6])
+@pytest.mark.parametrize(
+    "make_policy", POLICIES, ids=["count", "time", "keep-all"]
+)
+def test_snapshot_is_exact_batch_fit_over_active_window(
+    rng, engine, eps, min_pts, make_policy
+):
+    points = _stream(rng)
+    live = LiveDetector(eps, min_pts, window=make_policy())
+    for tick, start in enumerate(range(0, len(points), 40)):
+        live.ingest(points[start : start + 40], timestamps=float(tick))
+    active = live.active_points()
+    assert active.shape[0] == live.window_points
+    batch = DBSCOUT(eps=eps, min_pts=min_pts, engine=engine).fit(active)
+
+    window = live.result()
+    assert np.array_equal(window.outlier_mask, batch.outlier_mask)
+    assert np.array_equal(window.core_mask, batch.core_mask)
+
+    snapshot = live.snapshot()
+    assert snapshot.window_points == active.shape[0]
+    labels = snapshot.model.classify(active)
+    assert np.array_equal(labels, batch.outlier_mask.astype(np.int64))
+
+
+def test_count_window_keeps_most_recent(rng):
+    live = LiveDetector(0.5, 3, window=10)
+    first = rng.normal(size=(8, 2))
+    second = rng.normal(size=(8, 2))
+    live.ingest(first)
+    outcome = live.ingest(second)
+    assert outcome.evicted == 6
+    assert live.window_points == 10
+    expected = np.vstack([first[6:], second])
+    assert np.array_equal(live.active_points(), expected)
+
+
+def test_time_window_evicts_by_stream_clock(rng):
+    live = LiveDetector(0.5, 3, window=TimeWindow(2.0))
+    live.ingest(rng.normal(size=(5, 2)), timestamps=0.0)
+    live.ingest(rng.normal(size=(5, 2)), timestamps=1.0)
+    outcome = live.ingest(rng.normal(size=(5, 2)), timestamps=3.0)
+    # Batch at t=0 aged out (0 < 3 - 2); t=1 is exactly on the
+    # inclusive boundary and stays.
+    assert outcome.evicted == 5
+    assert live.window_points == 10
+
+
+def test_manual_evict_by_count_and_age(rng):
+    live = LiveDetector(0.5, 3)
+    live.ingest(rng.normal(size=(6, 2)), timestamps=0.0)
+    live.ingest(rng.normal(size=(6, 2)), timestamps=5.0)
+    assert live.evict(count=2) == 2
+    assert live.evict(older_than=5.0) == 4
+    assert live.window_points == 6
+    with pytest.raises(ParameterError):
+        live.evict()
+    with pytest.raises(ParameterError):
+        live.evict(count=1, older_than=1.0)
+
+
+def test_timestamps_shape_is_validated(rng):
+    live = LiveDetector(0.5, 3)
+    with pytest.raises(ParameterError):
+        live.ingest(rng.normal(size=(4, 2)), timestamps=[1.0, 2.0])
+
+
+def test_empty_ingest_is_a_noop():
+    live = LiveDetector(0.5, 3)
+    outcome = live.ingest(np.empty((0, 2)))
+    assert outcome.accepted == 0 and live.window_points == 0
+
+
+def test_empty_window_snapshot_classifies_everything_outlier():
+    live = LiveDetector(0.5, 3)
+    snapshot = live.snapshot()
+    assert snapshot.window_points == 0
+    labels = snapshot.model.classify(np.array([[0.0]]))
+    assert labels.tolist() == [1]
+
+
+def test_drift_tracks_label_changes(rng):
+    live = LiveDetector(0.5, 4, window=KeepAll())
+    cluster = rng.normal(0.0, 0.2, size=(30, 2))
+    live.ingest(cluster)
+    assert live.drift_since_snapshot() == 1.0  # nothing served yet
+    live.snapshot()
+    assert live.drift_since_snapshot() == 0.0
+    # A lone far point is an outlier until densification flips it.
+    live.ingest(np.array([[5.0, 5.0]]))
+    live.snapshot()
+    live.ingest(np.full((6, 2), 5.0) + rng.normal(0, 0.05, size=(6, 2)))
+    assert live.drift_since_snapshot() > 0.0
+
+
+def test_telemetry_counters_are_all_declared(rng):
+    live = LiveDetector(0.5, 3, window=8)
+    live.ingest(rng.normal(size=(12, 2)), timestamps=0.0)
+    live.evict(count=1)
+    live.snapshot()
+    counters = live.telemetry()
+    assert counters["stream.points_ingested"] == 12
+    assert counters["stream.window_points"] == 7
+    assert counters["incremental.points_inserted"] == 12
+    assert undeclared(counters) == []
+
+
+def test_repr_mentions_window_and_snapshots(rng):
+    live = LiveDetector(0.5, 3, window=4, name="gps")
+    live.ingest(rng.normal(size=(4, 2)))
+    text = repr(live)
+    assert "gps" in text and "count<=4" in text

@@ -1,0 +1,71 @@
+"""Unit tests for the sliding-window eviction policies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.stream import (
+    CountWindow,
+    EvictionPolicy,
+    KeepAll,
+    TimeWindow,
+    resolve_policy,
+)
+
+
+def test_count_window_evicts_oldest_excess():
+    policy = CountWindow(3)
+    stamps = np.arange(5.0)
+    victims = policy.select_evictions([10, 11, 12, 13, 14], stamps, 4.0)
+    assert victims == [10, 11]
+
+
+def test_count_window_keeps_everything_under_capacity():
+    policy = CountWindow(10)
+    assert policy.select_evictions([1, 2], np.zeros(2), 0.0) == []
+
+
+def test_count_window_rejects_non_positive_capacity():
+    with pytest.raises(ParameterError):
+        CountWindow(0)
+
+
+def test_time_window_boundary_is_inclusive():
+    # A point stamped exactly now - horizon stays (<= convention).
+    policy = TimeWindow(2.0)
+    stamps = np.array([0.0, 1.0, 3.0])
+    victims = policy.select_evictions([7, 8, 9], stamps, 3.0)
+    assert victims == [7]  # 1.0 == 3.0 - 2.0 stays
+
+
+def test_time_window_rejects_non_positive_horizon():
+    with pytest.raises(ParameterError):
+        TimeWindow(0.0)
+
+
+def test_keep_all_never_evicts():
+    policy = KeepAll()
+    stamps = np.array([0.0, 100.0])
+    assert policy.select_evictions([0, 1], stamps, 1e9) == []
+
+
+def test_resolve_policy_accepts_int_none_and_policy():
+    assert isinstance(resolve_policy(None), KeepAll)
+    count = resolve_policy(42)
+    assert isinstance(count, CountWindow) and count.max_points == 42
+    window = TimeWindow(5.0)
+    assert resolve_policy(window) is window
+
+
+def test_resolve_policy_rejects_bool_and_junk():
+    with pytest.raises(ParameterError):
+        resolve_policy(True)
+    with pytest.raises(ParameterError):
+        resolve_policy("window")
+
+
+def test_describe_strings_name_the_shape():
+    assert resolve_policy(7).describe() == "count<=7"
+    assert TimeWindow(1.5).describe() == "age<=1.5s"
+    assert KeepAll().describe() == "keep-all"
+    assert isinstance(KeepAll(), EvictionPolicy)

@@ -1,0 +1,154 @@
+"""Wire-protocol growth: ingest/evict/swap_status over loopback TCP.
+
+Includes the loopback soak: continuous classify traffic on one
+connection while another connection streams ingest batches that
+hot-swap model versions — zero failed queries allowed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import OutlierClient, OutlierService
+from repro.stream import LiveDetector, StreamCoordinator
+from tests.serve.test_server_client import _ServerHarness
+
+
+@pytest.fixture
+def served_stream(rng):
+    service = OutlierService(max_queue=8192)
+    live = LiveDetector(eps=0.5, min_pts=4, window=150, name="gps")
+    coordinator = StreamCoordinator(
+        live, service, name="gps", every_points=100
+    )
+    harness = _ServerHarness(service)
+    harness.server.attach_stream("gps", coordinator)
+    try:
+        yield harness, coordinator, rng
+    finally:
+        harness.stop()
+        service.close()
+
+
+def test_ingest_round_trip_reports_window_and_swap(served_stream):
+    harness, coordinator, rng = served_stream
+    with OutlierClient(port=harness.port) as client:
+        status = client.ingest("gps", rng.normal(size=(120, 2)))
+        assert status["accepted"] == 120
+        assert status["window_points"] == 120
+        assert status["swapped"] and status["version"] == 1
+        # Below the refresh threshold: no swap on the next batch.
+        status = client.ingest("gps", rng.normal(size=(10, 2)))
+        assert status["swapped"] is False
+        assert coordinator.live.window_points == 130
+
+
+def test_ingest_accepts_timestamps_and_single_point(served_stream):
+    harness, coordinator, _ = served_stream
+    with OutlierClient(port=harness.port) as client:
+        client.ingest("gps", [[0.0, 0.0]], timestamps=1.0)
+        client.ingest(
+            "gps", [[1.0, 1.0], [2.0, 2.0]], timestamps=[2.0, 3.0]
+        )
+        assert coordinator.live.window_points == 3
+
+
+def test_evict_op_shrinks_window(served_stream):
+    harness, coordinator, rng = served_stream
+    with OutlierClient(port=harness.port) as client:
+        client.ingest("gps", rng.normal(size=(20, 2)), timestamps=0.0)
+        assert client.evict("gps", count=5) == 5
+        client.ingest("gps", rng.normal(size=(5, 2)), timestamps=9.0)
+        assert client.evict("gps", older_than=9.0) == 15
+        assert coordinator.live.window_points == 5
+
+
+def test_swap_status_merges_service_and_stream_views(served_stream):
+    harness, _, rng = served_stream
+    with OutlierClient(port=harness.port) as client:
+        client.ingest("gps", rng.normal(size=(120, 2)))
+        status = client.swap_status()
+        assert status["versions"] == {"gps": 1}
+        assert status["swaps"] == 1
+        assert status["streams"]["gps"]["window_points"] == 120
+        assert status["streams"]["gps"]["window_policy"] == "count<=150"
+        narrowed = client.swap_status("gps")
+        assert narrowed["versions"] == {"gps": 1}
+
+
+def test_telemetry_includes_stream_counters(served_stream):
+    harness, _, rng = served_stream
+    from repro.obs.expose import telemetry_text
+
+    with OutlierClient(port=harness.port) as client:
+        client.ingest("gps", rng.normal(size=(120, 2)))
+        snapshot = client.telemetry()
+        counters = snapshot["counters"]
+        assert counters["stream.points_ingested"] == 120
+        assert counters["stream.swaps"] == 1
+        assert counters["incremental.inserts"] >= 1
+        assert "repro_stream_points_ingested" in telemetry_text(snapshot)
+
+
+def test_unknown_stream_is_a_protocol_error(served_stream):
+    harness, _, _ = served_stream
+    with OutlierClient(port=harness.port) as client:
+        with pytest.raises(ServeError, match="unknown stream"):
+            client.ingest("nope", [[0.0, 0.0]])
+        with pytest.raises(ServeError, match="unknown stream"):
+            client.evict("nope", count=1)
+
+
+def test_list_reports_attached_streams(served_stream):
+    harness, _, rng = served_stream
+    with OutlierClient(port=harness.port) as client:
+        response = client.call({"op": "list"})
+        assert response["streams"] == ["gps"]
+        assert response["detectors"] == []
+        client.ingest("gps", rng.normal(size=(120, 2)))
+        assert client.detectors() == ["gps"]
+
+
+def test_loopback_ingest_swap_soak_zero_failed_queries(served_stream):
+    """Continuous remote classify load across ≥50 TCP-driven swaps."""
+    harness, coordinator, rng = served_stream
+    with OutlierClient(port=harness.port) as feeder:
+        feeder.ingest("gps", rng.normal(0.0, 0.4, size=(120, 2)))
+        stop = threading.Event()
+        failures: list[Exception] = []
+        answered = [0]
+
+        def hammer() -> None:
+            probes = rng.normal(0.0, 2.0, size=(4, 2)).tolist()
+            try:
+                with OutlierClient(port=harness.port) as client:
+                    while not stop.is_set():
+                        labels = client.query("gps", probes)
+                        assert labels.shape == (4,)
+                        answered[0] += 1
+            except Exception as exc:  # noqa: BLE001 - soak gate
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, daemon=True)
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        swaps = 0
+        while swaps < 50 and not failures:
+            status = feeder.ingest(
+                "gps", rng.normal(0.0, 0.4, size=(100, 2))
+            )
+            if status["swapped"]:
+                swaps += 1
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+    assert failures == []
+    assert swaps >= 50
+    assert answered[0] > 0
+    assert coordinator.n_swaps >= 50

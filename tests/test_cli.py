@@ -356,3 +356,68 @@ class TestQuery:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestStream:
+    def test_stream_feeds_live_server(self, points_file, capsys):
+        import asyncio
+        import threading
+
+        from repro.serve import OutlierServer, OutlierService
+        from repro.stream import LiveDetector, StreamCoordinator
+
+        service = OutlierService()
+        live = LiveDetector(eps=1.0, min_pts=5, name="gps")
+        coordinator = StreamCoordinator(
+            live, service, name="gps", every_points=64
+        )
+        server = OutlierServer(service, port=0)
+        server.attach_stream("gps", coordinator)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        try:
+            code = main(
+                [
+                    "stream",
+                    str(points_file),
+                    "--connect",
+                    f"127.0.0.1:{server.port}",
+                    "--stream",
+                    "gps",
+                    "--batch-size",
+                    "64",
+                    "--status",
+                ]
+            )
+            assert code == 0
+            captured = capsys.readouterr()
+            assert "ingested 152 points into 'gps'" in captured.err
+            assert "swap -> version 1" in captured.err
+            assert '"versions"' in captured.out
+            assert live.window_points == 152
+            # The swapped model is served: the planted outliers flag.
+            labels = service.query(
+                "gps", np.array([[9.0, 9.0], [0.0, 0.0]])
+            )
+            assert labels.tolist() == [1, 0]
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            service.close()
+
+    def test_stream_bad_connect_is_clean_error(self, points_file, capsys):
+        code = main(
+            ["stream", str(points_file), "--connect", "nowhere"]
+        )
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err

@@ -146,6 +146,17 @@ EXPECTED_BY_MODULE = {
         "OutlierService",
         "QueryOutcome",
     ],
+    "repro.stream": [
+        "LiveDetector",
+        "IngestOutcome",
+        "StreamSnapshot",
+        "StreamCoordinator",
+        "EvictionPolicy",
+        "CountWindow",
+        "TimeWindow",
+        "KeepAll",
+        "resolve_policy",
+    ],
     "repro.experiments": [
         "run_timed",
         "Measurement",
