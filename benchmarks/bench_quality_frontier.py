@@ -1,0 +1,255 @@
+"""Quality-vs-latency frontier of the approximate tier.
+
+Runs the exact engine and the ``balanced`` / ``fast`` presets
+(``repro.core.approx``) on the clustered Table-II-style workload at the
+paper's Section IV-B density, and reports one frontier row per preset:
+wall time, speedup over exact, and precision/recall/F1 of the flagged
+outlier set against the exact labels.  The scores are computed twice —
+directly from the masks and from the engine's self-audit
+(``approx.*`` stats) — and the bench asserts they agree, so the audit
+the tier ships with is itself validated against ground truth.
+
+The tier's guarantee makes the frontier one-sided: recall is 1.0 by
+construction (approximate runs never miss an exact outlier), and the
+presets trade precision for speed.
+
+Every row pins ``kernel="numpy"`` so the frontier isolates the
+approximation axis on the portable kernel tier: the sampling tier's
+win is *fewer distances computed*, which the compiled C kernel (its
+own ablation, ``bench_ablation_kernels``) would partially mask behind
+the shared grid/planner overhead.  The tiers compose — C kernel plus
+``fast`` is the fastest configuration of all.
+
+Usage:
+    python benchmarks/bench_quality_frontier.py [--smoke] [--check]
+
+``--smoke`` shrinks the workload for CI; ``--check`` turns the frontier
+into a hard gate (exit 1) on: balanced recall >= 0.95 vs exact, exact
+labels reproduced bit-identically by every audit, and the superset
+guarantee holding for every preset.  Exposes ``BENCH_STATS`` for
+``run_all.py --json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.approx import ApproxEngine
+from repro.core.vectorized import VectorizedEngine
+from repro.datasets import make_geolife_like
+from repro.experiments import format_table
+from repro.metrics import f1_score, precision_score, recall_score
+
+#: The bench_ablation_kernels workload: skewed GPS-like hotspots at
+#: paper density, where the pair-count hot path dominates and the
+#: sampling tier has real work to cut.
+N_POINTS = 200_000
+SMOKE_N_POINTS = 50_000
+EPS = 200.0
+MIN_PTS = 100
+
+#: CI gate: balanced recall vs exact must stay above this floor.  The
+#: tier's construction puts recall at exactly 1.0; the floor is the
+#: regression tripwire for anything that breaks the one-sided error.
+RECALL_FLOOR = 0.95
+
+#: Machine-readable results for run_all.py --json, filled by main().
+BENCH_STATS: dict[str, object] = {}
+
+
+def _scores_vs_exact(
+    exact_mask: np.ndarray, approx_mask: np.ndarray
+) -> dict[str, float]:
+    if not exact_mask.any():
+        # No exact outliers: recall has a zero denominator; by the
+        # superset guarantee nothing can be missed, so gate-wise this
+        # counts as perfect recall.
+        return {
+            "precision": precision_score(exact_mask, approx_mask),
+            "recall": 1.0,
+            "f1": f1_score(exact_mask, approx_mask),
+        }
+    return {
+        "precision": precision_score(exact_mask, approx_mask),
+        "recall": recall_score(exact_mask, approx_mask),
+        "f1": f1_score(exact_mask, approx_mask),
+    }
+
+
+def run_frontier(n_points: int) -> dict[str, dict[str, object]]:
+    """One frontier: exact plus both presets on the same workload."""
+    points = make_geolife_like(n_points, seed=0)
+
+    start = time.perf_counter()
+    exact = VectorizedEngine(kernel="numpy").detect(points, EPS, MIN_PTS)
+    exact_wall = time.perf_counter() - start
+
+    frontier: dict[str, dict[str, object]] = {
+        "exact": {
+            "wall": exact_wall,
+            "speedup": 1.0,
+            "outliers": exact.n_outliers,
+            "precision": 1.0,
+            "recall": 1.0,
+            "f1": 1.0,
+            "superset": True,
+            "audit_agrees": True,
+        }
+    }
+    for quality in ("balanced", "fast"):
+        engine = ApproxEngine(quality=quality, seed=0, kernel="numpy")
+        start = time.perf_counter()
+        result = engine.detect(points, EPS, MIN_PTS)
+        wall = time.perf_counter() - start
+        direct = _scores_vs_exact(exact.outlier_mask, result.outlier_mask)
+        audit_agrees = bool(
+            np.array_equal(engine.last_audit_mask_, exact.outlier_mask)
+            and np.isclose(
+                result.stats["approx.precision"], direct["precision"]
+            )
+            and np.isclose(result.stats["approx.f1"], direct["f1"])
+        )
+        frontier[quality] = {
+            "wall": wall,
+            "speedup": exact_wall / max(wall, 1e-9),
+            "outliers": result.n_outliers,
+            **direct,
+            "superset": bool(
+                np.all(result.outlier_mask >= exact.outlier_mask)
+            ),
+            "audit_agrees": audit_agrees,
+            "sampled_points": int(result.stats["approx.sampled_points"]),
+            "distance_computations": int(
+                result.stats["distance_computations"]
+            ),
+        }
+    frontier["exact"]["distance_computations"] = int(
+        exact.stats["distance_computations"]
+    )
+    return frontier
+
+
+def check_gates(frontier: dict[str, dict[str, object]]) -> list[str]:
+    """The hard CI gates; returns the list of violations (empty = pass)."""
+    failures = []
+    balanced_recall = float(frontier["balanced"]["recall"])
+    if balanced_recall < RECALL_FLOOR:
+        failures.append(
+            f"balanced recall {balanced_recall:.4f} < floor {RECALL_FLOOR}"
+        )
+    for quality in ("balanced", "fast"):
+        if not frontier[quality]["superset"]:
+            failures.append(
+                f"{quality}: flagged set is not a superset of the exact "
+                "outliers (one-sided guarantee broken)"
+            )
+        if not frontier[quality]["audit_agrees"]:
+            failures.append(
+                f"{quality}: self-audit disagrees with the directly "
+                "computed exact labels"
+            )
+    return failures
+
+
+def main(n_points: int = N_POINTS, check: bool = False) -> int:
+    frontier = run_frontier(n_points)
+    rows = [
+        [
+            quality,
+            round(float(row["wall"]), 3),
+            f"{float(row['speedup']):.2f}x",
+            row["outliers"],
+            round(float(row["precision"]), 4),
+            round(float(row["recall"]), 4),
+            round(float(row["f1"]), 4),
+            row["distance_computations"],
+        ]
+        for quality, row in frontier.items()
+    ]
+    print(
+        format_table(
+            [
+                "quality",
+                "wall (s)",
+                "speedup",
+                "outliers",
+                "precision",
+                "recall",
+                "f1",
+                "distances",
+            ],
+            rows,
+            title=(
+                "Quality-vs-latency frontier "
+                f"(geolife-like, n={n_points}, eps={EPS}, "
+                f"min_pts={MIN_PTS}, seed=0, numpy kernel)"
+            ),
+        )
+    )
+    print(
+        "recall vs exact is 1.0 by construction (one-sided error); "
+        "audit scores cross-checked against directly computed masks"
+    )
+
+    BENCH_STATS.clear()
+    BENCH_STATS.update(
+        {
+            "n_points": n_points,
+            "eps": EPS,
+            "min_pts": MIN_PTS,
+            "kernel": "numpy",
+            "recall_floor": RECALL_FLOOR,
+            "frontier": {
+                quality: {
+                    "wall_seconds": round(float(row["wall"]), 3),
+                    "speedup_over_exact": round(float(row["speedup"]), 2),
+                    "outliers": int(row["outliers"]),
+                    "precision": round(float(row["precision"]), 6),
+                    "recall": round(float(row["recall"]), 6),
+                    "f1": round(float(row["f1"]), 6),
+                    "distance_computations": int(
+                        row["distance_computations"]
+                    ),
+                }
+                for quality, row in frontier.items()
+            },
+        }
+    )
+
+    failures = check_gates(frontier)
+    BENCH_STATS["gate_failures"] = list(failures)
+    if check:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}")
+        verdict = "PASS" if not failures else "FAIL"
+        print(f"quality frontier gate: {verdict}")
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"shrink the workload to n={SMOKE_N_POINTS} for CI",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the recall-floor and guarantee gates pass",
+    )
+    args = parser.parse_args()
+    sys.exit(
+        main(
+            n_points=SMOKE_N_POINTS if args.smoke else N_POINTS,
+            check=args.check,
+        )
+    )

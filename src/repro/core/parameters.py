@@ -19,6 +19,11 @@ from repro.exceptions import ParameterError
 __all__ = ["k_distance_graph", "estimate_eps"]
 
 
+def _scaled_fallback(base: float, upper: float) -> float:
+    """Apply ``upper`` uniformly to a degenerate-curve fallback value."""
+    return (base if base > 0 else 1.0) * upper
+
+
 def k_distance_graph(points: np.ndarray, k: int) -> np.ndarray:
     """Distances to each point's k-th nearest neighbor, descending.
 
@@ -94,14 +99,19 @@ def estimate_eps(
             points = array[np.sort(chosen)]
     curve = k_distance_graph(points, min_pts)
     n_values = curve.shape[0]
+    # Degenerate curves (too short, flat, or all-nonpositive) fall back
+    # to the largest k-distance — still scaled by ``upper``, with 1.0
+    # substituted only for a nonpositive base so the result stays a
+    # valid eps.  Dropping ``upper`` here would silently ignore the
+    # caller's safety factor on constant/duplicate data.
     if n_values < 3:
-        return float(curve[0]) * upper
+        return _scaled_fallback(float(curve[0]), upper)
     x = np.arange(n_values, dtype=np.float64)
     # Normalize both axes so the knee rule is scale-free.
     x_span = x[-1] - x[0]
     y_span = curve[0] - curve[-1]
     if y_span <= 0:  # flat curve: any value works
-        return float(curve[0]) * upper if curve[0] > 0 else 1.0
+        return _scaled_fallback(float(curve[0]), upper)
     x_norm = x / x_span
     y_norm = (curve - curve[-1]) / y_span
     # Distance from each curve point to the endpoint chord.

@@ -397,6 +397,8 @@ def _plan_cell_jobs(
     counters: dict[str, int],
     settle_threshold: int | None = None,
     seed_self: bool = False,
+    member_mask: np.ndarray | None = None,
+    pair_filter=None,
 ) -> tuple[
     np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
     np.ndarray | None,
@@ -407,6 +409,17 @@ def _plan_cell_jobs(
     indices and (b) the member point indices of its neighboring cells
     (optionally restricted to cells where ``candidate_cell_mask`` holds
     and points where ``candidate_point_mask`` holds).
+
+    With ``member_mask``, the member side is restricted to the points
+    where the mask holds — the approximate tier's DBSCAN++ subsampling
+    (``repro.core.approx``) evaluates density only for sampled members
+    while the candidate side stays complete.  ``pair_filter``, when
+    given, is called with the flat ``(work_cell_ids, neighbor_cell_ids)``
+    arrays of the pairs that would reach the distance kernel (after
+    covered/excluded classification and settling) and returns a keep
+    mask; the random-projection prefilter drops boundary cell pairs
+    here.  Both hooks default to off, leaving the exact engine paths
+    untouched.
 
     With ``seed_self``, the work cell's own (mask-restricted)
     population is credited to ``base_counts`` and the self pair never
@@ -447,7 +460,18 @@ def _plan_cell_jobs(
         adj_lens = _segment_sums(keep.astype(np.int64), adj_lens)
         ncell_flat = ncell_flat[keep]
     n_work = work_cells.shape[0]
-    m_sizes = grid.counts[work_cells]
+    if member_mask is None:
+        m_sizes = grid.counts[work_cells]
+        masked_members: np.ndarray | None = None
+    else:
+        masked_members = order[
+            _flat_ranges(member_starts[work_cells], grid.counts[work_cells])
+        ]
+        keep_members = member_mask[masked_members]
+        m_sizes = _segment_sums(
+            keep_members.astype(np.int64), grid.counts[work_cells]
+        )
+        masked_members = masked_members[keep_members]
     base_counts = np.zeros(n_work, dtype=np.int64)
     settled: np.ndarray | None = None
     if candidate_point_mask is not None:
@@ -516,6 +540,12 @@ def _plan_cell_jobs(
         ncell_flat = ncell_flat[keep]
     elif settle_threshold is not None:
         settled = np.zeros(n_work, dtype=bool)
+    if pair_filter is not None and ncell_flat.size:
+        source = np.repeat(np.arange(n_work, dtype=np.int64), adj_lens)
+        keep = pair_filter(work_cells[source], ncell_flat)
+        if not keep.all():
+            adj_lens = _segment_sums(keep.astype(np.int64), adj_lens)
+            ncell_flat = ncell_flat[keep]
     # Candidate points: the members of every (surviving) neighbor cell.
     cand_per_ncell = grid.counts[ncell_flat]
     cands_flat = order[
@@ -529,7 +559,12 @@ def _plan_cell_jobs(
         c_sizes = _segment_sums(keep.astype(np.int64), c_sizes)
         cands_flat = cands_flat[keep]
     # Members of the work cells themselves.
-    members_flat = order[_flat_ranges(member_starts[work_cells], m_sizes)]
+    if masked_members is None:
+        members_flat = order[
+            _flat_ranges(member_starts[work_cells], m_sizes)
+        ]
+    else:
+        members_flat = masked_members
     return members_flat, m_sizes, cands_flat, c_sizes, base_counts, settled
 
 

@@ -202,6 +202,29 @@ def _run_incremental_live(
     return _masks(live.result(), n)
 
 
+def _run_quality_exact(
+    points: np.ndarray, eps: float, min_pts: int
+) -> _Outcome:
+    """The facade with ``quality="exact"`` — the exactness guardrail.
+
+    The quality knob must leave the exact pipeline untouched: routing
+    through :class:`repro.core.dbscout.DBSCOUT` with the default
+    preset has to reproduce the oracle bit-for-bit, proving no
+    approximate-tier code leaks into exact runs.
+    """
+    from repro.core.dbscout import DBSCOUT
+
+    detector = DBSCOUT(
+        eps,
+        min_pts,
+        quality="exact",
+        seed=0,
+        kernel="numpy",
+        cell_planner="stencil",
+    )
+    return _masks(detector.fit(points), points.shape[0])
+
+
 def _run_classify(points: np.ndarray, eps: float, min_pts: int) -> _Outcome:
     """CoreModel.classify over the training points themselves.
 
@@ -267,6 +290,7 @@ _VARIANTS: dict[str, Callable[[np.ndarray, float, int], _Outcome]] = {
     "vectorized_tree": _run_vectorized(
         kernel="numpy", cell_planner="tree"
     ),
+    "vectorized_quality_exact": _run_quality_exact,
     "distributed_group": _run_distributed("group"),
     "distributed_plain": _run_distributed("plain"),
     "distributed_broadcast": _run_distributed("broadcast"),

@@ -89,8 +89,15 @@ class DetectorArtifact:
         name: str = "detector",
         **metadata: Any,
     ) -> "DetectorArtifact":
-        """Wrap a fitted model for persistence under ``name``."""
-        return cls(model=model, name=name, metadata=dict(metadata))
+        """Wrap a fitted model for persistence under ``name``.
+
+        The model's own metadata (quality config, serving-sample facts)
+        is carried into the header so it round-trips through
+        save/load; explicit ``**metadata`` keys take precedence.
+        """
+        return cls(
+            model=model, name=name, metadata={**model.metadata, **metadata}
+        )
 
     # -- header --------------------------------------------------------
 
@@ -240,6 +247,14 @@ class DetectorArtifact:
                     f"but the header declares {declared} — truncated or "
                     "tampered artifact"
                 )
+        metadata = header.get("metadata")
+        if isinstance(metadata, dict) and metadata:
+            # An artifact claiming an unknown quality preset or a bad
+            # sample_fraction must fail at load, not at serve time.
+            # ParameterError propagates as-is per the facade contract.
+            from repro.core.approx import validate_quality_config
+
+            validate_quality_config(metadata)
         return header
 
     # -- views ---------------------------------------------------------

@@ -1,0 +1,474 @@
+"""Tests for the approximate quality tier (``repro.core.approx``).
+
+The tier's contract is one-sided: approximate core points are a subset
+of the exact cores, flagged outliers a superset of the exact outliers
+(recall 1.0 by construction), and the self-audit recovers the exact
+labels from the flagged set alone.  These tests pin each leg of that
+contract against the exact engine, plus the validation, determinism,
+serving, and observability surfaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import (
+    QUALITY_NAMES,
+    QUALITY_PRESETS,
+    ApproxEngine,
+    normalize_quality,
+    normalize_sample_fraction,
+    normalize_seed,
+    validate_quality_config,
+)
+from repro.core.dbscout import DBSCOUT
+from repro.core.vectorized import VectorizedEngine
+from repro.exceptions import ParameterError
+
+EPS = 0.8
+MIN_PTS = 8
+
+
+@pytest.fixture
+def blob_points(rng):
+    cluster_a = rng.normal(0.0, 0.4, size=(400, 2))
+    cluster_b = rng.normal(7.0, 0.5, size=(400, 2))
+    scatter = rng.uniform(-12.0, 18.0, size=(40, 2))
+    return np.vstack([cluster_a, cluster_b, scatter])
+
+
+@pytest.fixture
+def exact_result(blob_points):
+    return VectorizedEngine().detect(blob_points, EPS, MIN_PTS)
+
+
+class TestValidation:
+    def test_quality_names(self):
+        assert QUALITY_NAMES == ("exact", "balanced", "fast")
+        for name in QUALITY_NAMES:
+            assert normalize_quality(name) == name
+        assert normalize_quality(None) == "exact"
+
+    @pytest.mark.parametrize("bad", ["turbo", "", 3, True, b"fast"])
+    def test_bad_quality_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            normalize_quality(bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.0001, float("nan"), True, "half", None])
+    def test_bad_sample_fraction_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            normalize_sample_fraction(bad)
+
+    @pytest.mark.parametrize("good", [1e-9, 0.2, 1, 1.0, np.float64(0.5)])
+    def test_good_sample_fraction(self, good):
+        assert 0.0 < normalize_sample_fraction(good) <= 1.0
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, True, "7"])
+    def test_bad_seed_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            normalize_seed(bad)
+
+    def test_seed_none_is_zero(self):
+        assert normalize_seed(None) == 0
+        assert normalize_seed(np.int64(9)) == 9
+
+    def test_facade_rejects_bad_preset(self):
+        with pytest.raises(ParameterError):
+            DBSCOUT(eps=1.0, min_pts=5, quality="turbo")
+
+    def test_facade_rejects_exact_with_sample_fraction(self):
+        with pytest.raises(ParameterError):
+            DBSCOUT(eps=1.0, min_pts=5, quality="exact", sample_fraction=0.5)
+
+    def test_facade_rejects_distributed_approximate(self):
+        with pytest.raises(ParameterError):
+            DBSCOUT(eps=1.0, min_pts=5, engine="distributed", quality="fast")
+
+    def test_facade_rejects_approx_knobs_on_exact(self):
+        with pytest.raises(ParameterError):
+            DBSCOUT(eps=1.0, min_pts=5, rp_prefilter=False)
+
+    def test_engine_rejects_exact(self):
+        with pytest.raises(ParameterError):
+            ApproxEngine(quality="exact")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_projections": 0},
+            {"n_projections": True},
+            {"rp_margin": 0.0},
+            {"rp_margin": -1.0},
+            {"rp_prefilter": "yes"},
+            {"sample_method": "grid"},
+        ],
+    )
+    def test_engine_knob_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            ApproxEngine(quality="balanced", **kwargs)
+
+    def test_validate_quality_config_roundtrip(self):
+        config = validate_quality_config(
+            {
+                "quality": "fast",
+                "sample_fraction": 0.2,
+                "seed": 3,
+                "sample_method": "kcenter",
+                "unrelated": "ignored",
+            }
+        )
+        assert config == {
+            "quality": "fast",
+            "sample_fraction": 0.2,
+            "seed": 3,
+            "sample_method": "kcenter",
+        }
+
+    def test_validate_quality_config_rejects_exact_with_fraction(self):
+        with pytest.raises(ParameterError):
+            validate_quality_config(
+                {"quality": "exact", "sample_fraction": 0.5}
+            )
+
+    def test_presets_cover_non_exact_names(self):
+        assert set(QUALITY_PRESETS) == {"balanced", "fast"}
+
+
+class TestOneSidedGuarantee:
+    @pytest.mark.parametrize("quality", ["balanced", "fast"])
+    def test_outliers_superset_cores_subset(
+        self, blob_points, exact_result, quality
+    ):
+        result = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality=quality, seed=0
+        ).fit(blob_points)
+        exact_out = exact_result.outlier_mask
+        exact_core = exact_result.core_mask
+        assert np.all(result.outlier_mask >= exact_out)
+        assert np.all(result.core_mask <= exact_core)
+
+    @pytest.mark.parametrize("sample_method", ["uniform", "kcenter"])
+    @pytest.mark.parametrize("rp_prefilter", [False, True])
+    def test_guarantee_holds_across_knobs(
+        self, blob_points, exact_result, sample_method, rp_prefilter
+    ):
+        result = DBSCOUT(
+            eps=EPS,
+            min_pts=MIN_PTS,
+            quality="fast",
+            seed=1,
+            sample_method=sample_method,
+            rp_prefilter=rp_prefilter,
+        ).fit(blob_points)
+        assert np.all(result.outlier_mask >= exact_result.outlier_mask)
+        assert np.all(result.core_mask <= exact_result.core_mask)
+
+    def test_reported_recall_is_one(self, blob_points):
+        result = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=0
+        ).fit(blob_points)
+        assert result.stats["approx.recall"] == 1.0
+
+    def test_full_sample_reproduces_exact(self, blob_points, exact_result):
+        result = DBSCOUT(
+            eps=EPS,
+            min_pts=MIN_PTS,
+            quality="balanced",
+            sample_fraction=1.0,
+            seed=0,
+        ).fit(blob_points)
+        assert np.array_equal(
+            result.outlier_mask, exact_result.outlier_mask
+        )
+        assert np.array_equal(result.core_mask, exact_result.core_mask)
+
+    def test_tree_planner_composes(self, rng):
+        # The RP prefilter must compose with the grid-tree planner in
+        # higher dimensions without breaking the one-sided direction.
+        points = np.vstack(
+            [
+                rng.normal(0.0, 0.5, size=(300, 5)),
+                rng.uniform(-10.0, 10.0, size=(25, 5)),
+            ]
+        )
+        exact = VectorizedEngine(cell_planner="tree").detect(
+            points, 2.0, 6
+        )
+        approx = DBSCOUT(
+            eps=2.0,
+            min_pts=6,
+            quality="fast",
+            seed=2,
+            cell_planner="tree",
+        ).fit(points)
+        assert np.all(approx.outlier_mask >= exact.outlier_mask)
+        assert np.all(approx.core_mask <= exact.core_mask)
+
+
+class TestAudit:
+    def test_audit_mask_matches_exact_engine(self, blob_points, exact_result):
+        detector = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=0
+        )
+        detector.fit(blob_points)
+        audit = detector._engine.last_audit_mask_
+        assert audit is not None
+        assert np.array_equal(audit, exact_result.outlier_mask)
+
+    def test_audit_matches_exact_on_fuzz_seeds(self):
+        from repro.qa.generators import generate_dataset
+
+        for seed in range(8):
+            dataset = generate_dataset(seed)
+            try:
+                exact = VectorizedEngine().detect(
+                    dataset.points, dataset.eps, dataset.min_pts
+                )
+            except Exception:
+                continue  # datasets the exact engine rejects
+            engine = ApproxEngine(quality="fast", seed=seed)
+            result = engine.detect(
+                dataset.points, dataset.eps, dataset.min_pts
+            )
+            assert np.all(result.outlier_mask >= exact.outlier_mask), seed
+            if dataset.n_points:
+                assert np.array_equal(
+                    engine.last_audit_mask_, exact.outlier_mask
+                ), seed
+
+    def test_reported_precision_matches_direct_computation(
+        self, blob_points, exact_result
+    ):
+        from repro.metrics import precision_score
+
+        result = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=0
+        ).fit(blob_points)
+        direct = precision_score(
+            exact_result.outlier_mask, result.outlier_mask
+        )
+        assert result.stats["approx.precision"] == pytest.approx(direct)
+
+    def test_audit_off_skips_scores(self, blob_points):
+        result = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=0, audit=False
+        ).fit(blob_points)
+        assert "approx.precision" not in result.stats
+        assert "approx.sampled_points" in result.stats
+
+
+class TestDeterminism:
+    def test_same_seed_same_labels(self, blob_points):
+        first = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=11
+        ).fit(blob_points)
+        second = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=11
+        ).fit(blob_points)
+        assert np.array_equal(first.outlier_mask, second.outlier_mask)
+        assert np.array_equal(first.core_mask, second.core_mask)
+
+    def test_seed_recorded_in_run_context(self, blob_points):
+        result = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="balanced", seed=23
+        ).fit(blob_points)
+        assert result.record.context["seed"] == 23
+        assert result.record.context["quality"] == "balanced"
+        assert result.record.context["sample_fraction"] == 0.5
+
+    def test_stats_families_declared(self, blob_points):
+        from repro.obs.names import undeclared
+
+        result = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="balanced", seed=0
+        ).fit(blob_points)
+        approx_keys = {
+            key for key in result.stats if key.startswith("approx.")
+        }
+        assert {
+            "approx.sampled_points",
+            "approx.precision",
+            "approx.recall",
+            "approx.f1",
+            "approx.flagged_outliers",
+            "approx.exact_outliers",
+            "approx.false_outliers",
+        } <= approx_keys
+        assert undeclared(approx_keys) == []
+
+
+class TestServing:
+    def test_core_model_carries_quality_config(self, blob_points):
+        detector = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="fast", seed=5
+        )
+        detector.fit(blob_points)
+        model = detector.core_model_
+        assert model.quality == "fast"
+        assert model.quality_config == {
+            "quality": "fast",
+            "sample_fraction": 0.2,
+            "seed": 5,
+            "sample_method": "uniform",
+        }
+
+    def test_exact_core_model_is_marked_exact(self, blob_points):
+        detector = DBSCOUT(eps=EPS, min_pts=MIN_PTS)
+        detector.fit(blob_points)
+        assert detector.core_model_.quality == "exact"
+
+    def test_artifact_roundtrip_keeps_quality(self, blob_points, tmp_path):
+        from repro.serve import load_artifact, save_artifact
+
+        detector = DBSCOUT(
+            eps=EPS, min_pts=MIN_PTS, quality="balanced", seed=4
+        )
+        detector.fit(blob_points)
+        path = save_artifact(detector.core_model_, tmp_path / "approx.npz")
+        loaded = load_artifact(path)
+        assert loaded.model.quality == "balanced"
+        assert loaded.model.quality_config["seed"] == 4
+        assert np.array_equal(
+            loaded.model.classify(blob_points),
+            detector.core_model_.classify(blob_points),
+        )
+
+    def test_load_rejects_invalid_quality_metadata(
+        self, blob_points, tmp_path
+    ):
+        import json
+
+        from repro.serve import load_artifact, save_artifact
+
+        detector = DBSCOUT(eps=EPS, min_pts=MIN_PTS, quality="fast", seed=0)
+        detector.fit(blob_points)
+        path = save_artifact(detector.core_model_, tmp_path / "a.npz")
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(payload["header"]).decode("utf-8"))
+        header["metadata"]["quality"] = "turbo"
+        payload["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        tampered = tmp_path / "tampered.npz"
+        np.savez(tampered, **payload)
+        with pytest.raises(ParameterError):
+            load_artifact(tampered)
+
+    def test_subsample_is_seeded_superset_labeler(self, blob_points):
+        detector = DBSCOUT(eps=EPS, min_pts=MIN_PTS)
+        detector.fit(blob_points)
+        model = detector.core_model_
+        sub = model.subsample(0.3, seed=9)
+        again = model.subsample(0.3, seed=9)
+        assert np.array_equal(sub.core_points, again.core_points)
+        assert sub.n_core_points < model.n_core_points
+        assert sub.metadata["serving_sample_fraction"] == 0.3
+        # One-sided: the subset model can only flag more outliers.
+        assert np.all(
+            sub.classify(blob_points) >= model.classify(blob_points)
+        )
+
+    def test_subsample_validates_inputs(self, blob_points):
+        detector = DBSCOUT(eps=EPS, min_pts=MIN_PTS)
+        detector.fit(blob_points)
+        with pytest.raises(ParameterError):
+            detector.core_model_.subsample(0.0)
+        with pytest.raises(ParameterError):
+            detector.core_model_.subsample(0.5, seed=-2)
+
+
+class TestQaIntegration:
+    def test_quality_exact_variant_registered(self):
+        from repro.qa.runner import VARIANT_NAMES
+
+        assert "vectorized_quality_exact" in VARIANT_NAMES
+
+    def test_quality_exact_variant_matches_oracle(self):
+        from repro.qa.runner import DifferentialRunner
+
+        runner = DifferentialRunner(
+            variants=("vectorized_quality_exact",), emit_records=False
+        )
+        for seed in range(6):
+            case = runner.run_seed(seed)
+            assert case.ok, [str(d) for d in case.divergences]
+
+
+class TestCli:
+    @pytest.fixture
+    def points_file(self, tmp_path, rng):
+        from repro.datasets.io import save_points
+
+        cluster = rng.normal(0.0, 0.3, size=(200, 2))
+        outliers = np.array([[9.0, 9.0], [-8.0, 4.0]])
+        path = tmp_path / "points.csv"
+        save_points(np.vstack([cluster, outliers]), path)
+        return path
+
+    def test_detect_quality_flag(self, points_file, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "detect",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--quality",
+                "fast",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out.split()
+        # Superset guarantee: the planted outliers are always flagged.
+        assert {"200", "201"} <= set(printed)
+
+    def test_detect_rejects_exact_with_fraction(self, points_file, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "detect",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--sample-fraction",
+                "0.5",
+            ]
+        )
+        assert code == 1
+        assert "sample_fraction" in capsys.readouterr().err
+
+    def test_fit_quality_reaches_artifact(
+        self, points_file, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.serve import load_artifact
+
+        path = tmp_path / "model.npz"
+        code = main(
+            [
+                "fit",
+                str(points_file),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "5",
+                "--quality",
+                "balanced",
+                "--seed",
+                "6",
+                "--save-artifact",
+                str(path),
+            ]
+        )
+        assert code == 0
+        loaded = load_artifact(path)
+        assert loaded.model.quality == "balanced"
+        assert loaded.model.quality_config["seed"] == 6

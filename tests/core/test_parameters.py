@@ -111,3 +111,54 @@ class TestEstimateEps:
         )
         eps = estimate_eps(points, min_pts=3)
         assert eps > 0
+
+
+class TestEstimateEpsDegenerateUpper:
+    """The ``upper`` factor must survive every degenerate-curve path.
+
+    Regression tests: the short-curve and flat-curve fallbacks used to
+    return the raw fallback value, silently dropping the caller's
+    safety factor while the elbow path applied it.
+    """
+
+    def test_flat_curve_applies_upper(self):
+        # Evenly spaced collinear points: every k-distance is equal, so
+        # the curve is flat and the knee rule cannot fire.
+        points = np.arange(20.0)[:, None] * np.array([[1.0, 0.0]])
+        base = estimate_eps(points, min_pts=1, upper=1.0)
+        assert base > 0
+        assert estimate_eps(points, min_pts=1, upper=2.0) == pytest.approx(
+            2.0 * base
+        )
+
+    def test_short_curve_applies_upper(self):
+        # Two points: the curve has a single value, below the 3-point
+        # minimum the knee rule needs.
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert estimate_eps(points, min_pts=1, upper=1.0) == pytest.approx(
+            5.0
+        )
+        assert estimate_eps(points, min_pts=1, upper=2.0) == pytest.approx(
+            10.0
+        )
+
+    def test_all_duplicates_still_positive_and_scaled(self):
+        # Identical points: flat curve at distance zero; the fallback
+        # substitutes 1.0 for the nonpositive base, scaled by upper.
+        points = np.tile([[2.0, 2.0]], (10, 1))
+        assert estimate_eps(points, min_pts=2, upper=1.0) == pytest.approx(
+            1.0
+        )
+        assert estimate_eps(points, min_pts=2, upper=1.5) == pytest.approx(
+            1.5
+        )
+
+    def test_upper_scales_elbow_path_too(self, rng):
+        # Sanity: the non-degenerate path already scaled by upper; the
+        # fix must keep all paths consistent.
+        cluster = rng.normal(0.0, 0.3, size=(300, 2))
+        scatter = rng.uniform(50.0, 100.0, size=(10, 2))
+        points = np.vstack([cluster, scatter])
+        one = estimate_eps(points, min_pts=5, upper=1.0)
+        two = estimate_eps(points, min_pts=5, upper=2.0)
+        assert two == pytest.approx(2.0 * one)

@@ -79,6 +79,53 @@ class TestScores:
                 2 * precision * recall / (precision + recall)
             )
 
+    def test_empty_inputs_are_zero_not_nan(self):
+        # The approximate tier scores itself on arbitrary runs,
+        # including zero-point ones; every score must be a finite 0.0.
+        for score in (precision_score, recall_score, f1_score):
+            value = score([], [])
+            assert value == 0.0
+            assert np.isfinite(value)
+        empty = np.zeros(0, dtype=bool)
+        assert confusion_counts(empty, empty) == (0, 0, 0, 0)
+
+    def test_all_outliers_everywhere(self):
+        # Both sides flag everything: perfect agreement.
+        y = np.ones(7, dtype=np.int64)
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+        assert confusion_counts(y, y) == (7, 0, 0, 0)
+
+    def test_all_inliers_everywhere(self):
+        # No outliers on either side: zero denominators, scores 0.0 by
+        # convention (callers gate on exact-outlier counts first).
+        y = np.zeros(5, dtype=np.int64)
+        assert precision_score(y, y) == 0.0
+        assert recall_score(y, y) == 0.0
+        assert f1_score(y, y) == 0.0
+        assert confusion_counts(y, y) == (0, 0, 0, 5)
+
+    def test_all_flagged_against_all_clean(self):
+        y_true = np.zeros(4, dtype=np.int64)
+        y_pred = np.ones(4, dtype=np.int64)
+        assert precision_score(y_true, y_pred) == 0.0
+        assert recall_score(y_true, y_pred) == 0.0
+        assert confusion_counts(y_true, y_pred) == (0, 4, 0, 0)
+
+    def test_scores_reject_shape_mismatch(self):
+        for score in (precision_score, recall_score, f1_score):
+            with pytest.raises(DataValidationError):
+                score([1, 0, 1], [1, 0])
+
+    def test_equal_shape_2d_input_reduces_over_all_elements(self):
+        # Documented contract: arrays of equal shape reduce over all
+        # elements, so a (2, 2) mask scores like its ravel.
+        y_true = [[1, 0], [1, 0]]
+        y_pred = [[1, 1], [0, 0]]
+        assert confusion_counts(y_true, y_pred) == (1, 1, 1, 1)
+        assert precision_score(y_true, y_pred) == 0.5
+
     @settings(max_examples=100, deadline=None)
     @given(
         labels=st.lists(
